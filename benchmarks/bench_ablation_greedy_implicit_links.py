@@ -1,0 +1,58 @@
+"""Ablation A2: why G2 beats G1 — the cost of implicitly added links.
+
+Sect. 4.3.2 explains G1's weakness: the link it explicitly selects is cheap,
+but mapping a node also fixes every other edge between that node and
+already-placed neighbors, and those implicit links can be expensive.  This
+ablation measures, for each allocation, the gap between the cheapest link G1
+selects and the final longest link it ends up with, and compares against G2.
+"""
+
+import numpy as np
+
+from repro.core import CommunicationGraph
+from repro.analysis import format_table
+from repro.core.objectives import longest_link_cost, worst_link
+from repro.solvers import GreedyG1, GreedyG2
+
+from conftest import allocate_ids, make_cloud
+
+ALLOCATION_SEEDS = [61, 62, 63, 64, 65, 66]
+
+
+def build_figure():
+    graph = CommunicationGraph.mesh_2d(4, 5)
+    rows = []
+    for seed in ALLOCATION_SEEDS:
+        cloud = make_cloud("ec2", seed=seed)
+        ids = allocate_ids(cloud, 22)
+        costs = cloud.true_cost_matrix(ids)
+        g1 = GreedyG1().solve(graph, costs)
+        g2 = GreedyG2().solve(graph, costs)
+        # The cheapest links in the allocation: what G1 "thinks" it is picking.
+        cheapest_link = costs.min_cost()
+        g1_worst = worst_link(g1.plan, graph, costs).cost
+        g2_worst = worst_link(g2.plan, graph, costs).cost
+        rows.append((seed, cheapest_link, g1_worst, g2_worst,
+                     g1_worst / cheapest_link, g2_worst / cheapest_link))
+    return rows
+
+
+def test_ablation_greedy_implicit_links(benchmark, emit):
+    rows = benchmark.pedantic(build_figure, rounds=1, iterations=1)
+
+    table = format_table(
+        ["allocation seed", "cheapest link [ms]", "G1 longest link [ms]",
+         "G2 longest link [ms]", "G1 blow-up", "G2 blow-up"],
+        rows,
+        title="Ablation A2 — implicit-link penalty of G1 vs. G2 "
+              "(paper: implicit links make G1's final cost much higher than "
+              "the links it explicitly selects)",
+    )
+    emit("ablation_greedy_implicit_links", table)
+
+    g1_blowups = [row[4] for row in rows]
+    g2_blowups = [row[5] for row in rows]
+    # G1's final longest link is far above the cheap links it greedily picks…
+    assert float(np.mean(g1_blowups)) > 1.5
+    # …and G2's implicit-link awareness reduces that blow-up on average.
+    assert float(np.mean(g2_blowups)) <= float(np.mean(g1_blowups)) + 1e-9

@@ -1,0 +1,67 @@
+"""Ablation A3: local search and portfolio extensions versus R2 and CP.
+
+These solvers are not part of the paper's evaluated set; the ablation
+quantifies how far simple swap-based local search and a warm-started
+portfolio close the gap between time-bounded random search (R2) and the CP
+solver on the longest-link problem, justifying the library's default of
+using the portfolio when a few seconds of search time are available.
+"""
+
+import numpy as np
+
+from repro.core import CommunicationGraph
+from repro.analysis import format_table
+from repro.solvers import (
+    CPLongestLinkSolver,
+    PortfolioSolver,
+    RandomSearch,
+    SearchBudget,
+    SimulatedAnnealing,
+    SwapLocalSearch,
+)
+
+from conftest import allocate_ids, make_cloud
+
+ALLOCATION_SEEDS = [71, 72, 73]
+TIME_LIMIT_S = 4.0
+
+
+def build_figure():
+    graph = CommunicationGraph.mesh_2d(4, 5)
+    per_solver = {"R2": [], "local search": [], "annealing": [], "portfolio": [],
+                  "CP": []}
+    for seed in ALLOCATION_SEEDS:
+        cloud = make_cloud("ec2", seed=seed)
+        ids = allocate_ids(cloud, 22)
+        costs = cloud.true_cost_matrix(ids)
+        budget = SearchBudget.seconds(TIME_LIMIT_S)
+        per_solver["R2"].append(
+            RandomSearch.r2(seed=seed).solve(graph, costs, budget=budget).cost)
+        per_solver["local search"].append(
+            SwapLocalSearch(seed=seed).solve(graph, costs, budget=budget).cost)
+        per_solver["annealing"].append(
+            SimulatedAnnealing(seed=seed).solve(graph, costs, budget=budget).cost)
+        per_solver["portfolio"].append(
+            PortfolioSolver(seed=seed).solve(graph, costs, budget=budget).cost)
+        per_solver["CP"].append(
+            CPLongestLinkSolver(seed=seed).solve(graph, costs, budget=budget).cost)
+    return per_solver
+
+
+def test_ablation_local_search(benchmark, emit):
+    per_solver = benchmark.pedantic(build_figure, rounds=1, iterations=1)
+
+    means = {name: float(np.mean(values)) for name, values in per_solver.items()}
+    table = format_table(
+        ["approach", "mean longest-link latency [ms]", "vs. CP"],
+        [(name, means[name], f"{means[name] / means['CP']:.2f}x")
+         for name in ("R2", "local search", "annealing", "portfolio", "CP")],
+        title="Ablation A3 — local search / portfolio extensions vs. R2 and CP "
+              "(equal wall-clock budgets)",
+    )
+    emit("ablation_local_search", table)
+
+    # The portfolio (which includes CP) should match CP, and the local-search
+    # extensions should not be dramatically worse than plain random search.
+    assert means["portfolio"] <= means["CP"] * 1.10 + 1e-9
+    assert means["local search"] <= means["R2"] * 1.25 + 1e-9

@@ -1,0 +1,44 @@
+"""Figure 5: convergence of the staged latency measurement over time.
+
+The paper measures 100 instances for 30 minutes and shows the root-mean-
+square error of partial estimates (against the full measurement) dropping
+quickly within the first five minutes.  The benchmark reproduces the curve
+at reduced scale and asserts the same monotone-decreasing shape.
+"""
+
+import numpy as np
+
+from repro.analysis import format_series
+from repro.netmeasure import StagedMeasurement, rmse_convergence
+
+from conftest import allocate_ids, make_cloud
+
+
+def build_figure():
+    cloud = make_cloud("ec2", seed=5)
+    ids = allocate_ids(cloud, 40)
+    result = StagedMeasurement(seed=0, samples_per_stage=10).measure(
+        cloud, ids, target_samples_per_link=60)
+    reference = result.to_cost_matrix()
+    checkpoints = np.linspace(result.elapsed_ms * 0.05, result.elapsed_ms, 12)
+    curve = rmse_convergence(result, reference, checkpoints)
+    return result, curve
+
+
+def test_fig05_measurement_convergence(benchmark, emit):
+    result, curve = benchmark.pedantic(build_figure, rounds=1, iterations=1)
+    xs = [when / 1000.0 for when, _ in curve]
+    ys = [value for _, value in curve]
+    table = format_series(
+        "Figure 5 — RMSE of partial mean-latency estimates vs. full measurement "
+        "(staged, 40 instances)",
+        xs, ys, x_label="measurement time [s]", y_label="RMSE [ms]",
+    )
+    emit("fig05_measurement_convergence", table)
+
+    assert len(curve) >= 6
+    # The error decreases (strongly) with measurement time and ends at zero.
+    assert ys[0] > ys[len(ys) // 2] >= ys[-1]
+    assert ys[-1] < 1e-9
+    # Most of the error disappears in the first third of the measurement.
+    assert ys[len(ys) // 3] < ys[0] * 0.6

@@ -1,0 +1,62 @@
+"""Figure 10: correlation between candidate communication cost metrics.
+
+The paper plots, for one representative 110-instance allocation, each link's
+mean latency against its mean-plus-standard-deviation and its 99th
+percentile: the metrics are positively related but not perfectly correlated.
+The benchmark reproduces the scatter at 40 instances and reports the
+correlation coefficients.
+"""
+
+import numpy as np
+
+from repro.core import LatencyMetric
+from repro.analysis import format_table, pearson, spearman
+
+from conftest import allocate_ids, make_cloud
+
+
+def build_figure():
+    cloud = make_cloud("ec2", seed=10)
+    ids = allocate_ids(cloud, 40)
+    mean_matrix = cloud.true_cost_matrix(ids, metric=LatencyMetric.MEAN)
+    mean_std_matrix = cloud.true_cost_matrix(ids, metric=LatencyMetric.MEAN_PLUS_STD,
+                                             num_samples=48)
+    p99_matrix = cloud.true_cost_matrix(ids, metric=LatencyMetric.P99,
+                                        num_samples=48)
+    return (mean_matrix.link_costs(), mean_std_matrix.link_costs(),
+            p99_matrix.link_costs())
+
+
+def test_fig10_metric_correlation(benchmark, emit):
+    mean_values, mean_std_values, p99_values = benchmark.pedantic(
+        build_figure, rounds=1, iterations=1)
+
+    # A scatter sample: 20 links spread across the mean-latency range.
+    order = np.argsort(mean_values)
+    picks = order[np.linspace(0, len(order) - 1, 20).astype(int)]
+    scatter_rows = [
+        (float(mean_values[i]), float(mean_std_values[i]), float(p99_values[i]))
+        for i in picks
+    ]
+    scatter = format_table(
+        ["mean [ms]", "mean+SD [ms]", "p99 [ms]"], scatter_rows,
+        title="Figure 10 — sample of links: mean vs. mean+SD vs. p99 "
+              "(40 instances)",
+    )
+    correlation = format_table(
+        ["metric pair", "Pearson", "Spearman"],
+        [
+            ("mean vs mean+SD", pearson(mean_values, mean_std_values),
+             spearman(mean_values, mean_std_values)),
+            ("mean vs p99", pearson(mean_values, p99_values),
+             spearman(mean_values, p99_values)),
+        ],
+        title="Figure 10 summary (paper: related but not perfectly correlated)",
+    )
+    emit("fig10_metric_correlation", scatter + "\n\n" + correlation)
+
+    # Positively correlated…
+    assert pearson(mean_values, mean_std_values) > 0.3
+    assert pearson(mean_values, p99_values) > 0.2
+    # …but not perfectly (jitter decouples the tails from the mean).
+    assert spearman(mean_values, p99_values) < 0.999

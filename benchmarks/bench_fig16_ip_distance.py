@@ -1,0 +1,63 @@
+"""Figure 16: mean latency of links grouped by IP distance (negative result).
+
+Appendix 2 of the paper orders links by measured latency within each IP
+distance group and observes that the groups overlap heavily: sharing a /24
+does not imply a faster link, so IP distance is not a usable proxy.  The
+benchmark prints per-group latency statistics and the overlap fraction.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.netmeasure import (
+    group_overlap_fraction,
+    ip_distance_matrix,
+    links_grouped_by_proxy,
+    proxy_quality,
+)
+
+from conftest import allocate_ids, make_cloud
+
+
+def build_figure():
+    cloud = make_cloud("ec2", seed=16)
+    ids = allocate_ids(cloud, 60)
+    latency = cloud.true_cost_matrix(ids)
+    proxy = ip_distance_matrix(cloud, ids)
+    groups = links_grouped_by_proxy(proxy, latency)
+    quality = proxy_quality(proxy, latency)
+    return groups, quality
+
+
+def test_fig16_ip_distance(benchmark, emit):
+    groups, quality = benchmark.pedantic(build_figure, rounds=1, iterations=1)
+
+    rows = [
+        (f"IP distance = {int(value)}", len(latencies),
+         float(np.min(latencies)), float(np.median(latencies)),
+         float(np.max(latencies)))
+        for value, latencies in groups.items()
+    ]
+    table = format_table(
+        ["group", "links", "min latency [ms]", "median [ms]", "max [ms]"],
+        rows,
+        title="Figure 16 — link latency grouped by IP distance "
+              "(paper: groups overlap; monotonicity does not hold)",
+    )
+    summary = format_table(
+        ["statistic", "value"],
+        [
+            ("Spearman correlation", quality.spearman),
+            ("Pearson correlation", quality.pearson),
+            ("pairwise ordering violations", quality.ordering_violations),
+            ("adjacent group overlap fraction", group_overlap_fraction(groups)),
+        ],
+        title="Figure 16 summary",
+    )
+    emit("fig16_ip_distance", table + "\n\n" + summary)
+
+    # The negative result: IP distance does not predict latency.
+    assert abs(quality.spearman) < 0.6
+    assert quality.ordering_violations > 0.10
+    if len(groups) >= 2:
+        assert group_overlap_fraction(groups) > 0.0

@@ -1,0 +1,63 @@
+"""Figure 17: mean latency of links grouped by hop count (negative result).
+
+Hop count is a slightly better-informed proxy than IP distance (it reflects
+the physical topology) but the paper still finds many link pairs ordered
+inconsistently by hop count and by measured latency.  The benchmark prints
+per-group latency statistics and the ordering-violation rate.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.netmeasure import (
+    group_overlap_fraction,
+    hop_count_matrix,
+    links_grouped_by_proxy,
+    proxy_quality,
+)
+
+from conftest import allocate_ids, make_cloud
+
+
+def build_figure():
+    cloud = make_cloud("ec2", seed=17)
+    ids = allocate_ids(cloud, 60)
+    latency = cloud.true_cost_matrix(ids)
+    proxy = hop_count_matrix(cloud, ids)
+    groups = links_grouped_by_proxy(proxy, latency)
+    quality = proxy_quality(proxy, latency)
+    return groups, quality
+
+
+def test_fig17_hop_count(benchmark, emit):
+    groups, quality = benchmark.pedantic(build_figure, rounds=1, iterations=1)
+
+    rows = [
+        (f"hop count = {int(value)}", len(latencies),
+         float(np.min(latencies)), float(np.median(latencies)),
+         float(np.max(latencies)))
+        for value, latencies in groups.items()
+    ]
+    table = format_table(
+        ["group", "links", "min latency [ms]", "median [ms]", "max [ms]"],
+        rows,
+        title="Figure 17 — link latency grouped by hop count "
+              "(paper: a significant number of pairs are ordered inconsistently)",
+    )
+    summary = format_table(
+        ["statistic", "value"],
+        [
+            ("Spearman correlation", quality.spearman),
+            ("Pearson correlation", quality.pearson),
+            ("pairwise ordering violations", quality.ordering_violations),
+            ("adjacent group overlap fraction", group_overlap_fraction(groups)),
+        ],
+        title="Figure 17 summary",
+    )
+    emit("fig17_hop_count", table + "\n\n" + summary)
+
+    # Hop count carries some signal but leaves a substantial violation rate,
+    # so it cannot replace actual latency measurements.
+    assert quality.ordering_violations > 0.05
+    if len(groups) >= 2:
+        assert group_overlap_fraction(groups) > 0.0

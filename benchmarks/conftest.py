@@ -1,0 +1,84 @@
+"""Shared fixtures and helpers for the figure-reproduction benchmarks.
+
+Every benchmark regenerates one figure of the paper: it computes the same
+series the figure plots, prints it as a text table (captured by pytest; run
+with ``-s`` to see it live) and also writes it to
+``benchmarks/results/<figure>.txt`` so the output survives output capturing.
+The pytest-benchmark fixture wraps the computation so the harness also
+reports how long regenerating each figure takes.
+
+The scales are reduced relative to the paper (tens of instances instead of
+100–150, seconds of solver time instead of minutes) so the whole suite runs
+in minutes on a laptop; EXPERIMENTS.md discusses how the shapes compare.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro import AdvisorConfig, ClouDiA, MeasurementConfig
+from repro.cloud import DatacenterTopology, ProviderProfile, SimulatedCloud
+from repro.workloads import compare_deployments
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def make_cloud(profile_name: str = "ec2", seed: int = 0,
+               num_pods: int = 6, racks_per_pod: int = 8,
+               hosts_per_rack: int = 16) -> SimulatedCloud:
+    """A deterministic simulated cloud region for one benchmark."""
+    topology = DatacenterTopology(num_pods=num_pods, racks_per_pod=racks_per_pod,
+                                  hosts_per_rack=hosts_per_rack, seed=seed)
+    return SimulatedCloud(profile=ProviderProfile.by_name(profile_name),
+                          topology=topology, seed=seed)
+
+
+def allocate_ids(cloud: SimulatedCloud, count: int) -> list:
+    """Allocate ``count`` instances and return their identifiers in provider order."""
+    return [instance.instance_id for instance in cloud.allocate(count)]
+
+
+def optimize_and_compare(cloud, workload, objective, solver=None,
+                         over_allocation_ratio=0.10, solver_time_limit_s=4.0,
+                         metric=None, seed=0, eval_seed=100, repetitions=1):
+    """Run the full ClouDiA pipeline for a workload and compare against default.
+
+    Returns ``(report, comparison)`` where ``comparison.reduction`` is the
+    relative reduction in time-to-solution / response time — the quantity the
+    paper's Figs. 11–13 report.  Instances are left running so the default
+    deployment can be evaluated, then everything allocated for the workload
+    is terminated to keep the cloud reusable across benchmark cases.
+    """
+    config_kwargs = dict(
+        objective=objective,
+        over_allocation_ratio=over_allocation_ratio,
+        solver_time_limit_s=solver_time_limit_s,
+        measurement=MeasurementConfig(target_samples_per_link=6),
+        terminate_unused=False,
+        seed=seed,
+    )
+    if solver is not None:
+        config_kwargs["solver"] = solver
+    if metric is not None:
+        config_kwargs["metric"] = metric
+    advisor = ClouDiA(cloud, AdvisorConfig(**config_kwargs))
+    report = advisor.recommend(workload.communication_graph())
+    comparison = compare_deployments(workload, report.default_plan, report.plan,
+                                     cloud, seed=eval_seed, repetitions=repetitions)
+    cloud.terminate(report.allocated_instances)
+    return report, comparison
+
+
+@pytest.fixture
+def emit():
+    """Print a figure's data table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(figure_name: str, text: str) -> None:
+        print()
+        print(text)
+        (RESULTS_DIR / f"{figure_name}.txt").write_text(text + "\n")
+
+    return _emit

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Comparing latency heterogeneity across cloud providers (Appendix 3).
+
+Allocates instances on the simulated EC2, Google Compute Engine and
+Rackspace regions, prints each provider's latency spread, and shows how much
+a deployment optimised by ClouDiA improves the longest link on each —
+heterogeneous providers leave more room for improvement.
+
+Run it with ``python examples/provider_comparison.py``.
+"""
+
+from repro import CommunicationGraph, CPLongestLinkSolver, SearchBudget, SimulatedCloud
+from repro.analysis import empirical_cdf, format_table
+from repro.cloud import ProviderProfile
+from repro.core.objectives import longest_link_cost
+from repro.solvers import default_plan
+
+
+def main() -> None:
+    graph = CommunicationGraph.mesh_2d(4, 5)
+    rows = []
+    for provider in ("ec2", "gce", "rackspace"):
+        cloud = SimulatedCloud(profile=ProviderProfile.by_name(provider), seed=41)
+        ids = [instance.instance_id for instance in cloud.allocate(24)]
+        costs = cloud.true_cost_matrix(ids)
+        cdf = empirical_cdf(costs.link_costs())
+
+        baseline = longest_link_cost(default_plan(graph, costs), graph, costs)
+        optimized = CPLongestLinkSolver(seed=0).solve(
+            graph, costs, budget=SearchBudget.seconds(4.0)).cost
+        improvement = 100.0 * (baseline - optimized) / baseline
+        rows.append((provider, cdf.quantile(0.10), cdf.quantile(0.90),
+                     cdf.spread(0.1, 0.9), baseline, optimized,
+                     f"{improvement:.1f}%"))
+
+    print(format_table(
+        ["provider", "p10 latency [ms]", "p90 latency [ms]", "p90/p10 spread",
+         "default longest link [ms]", "ClouDiA longest link [ms]", "improvement"],
+        rows,
+        title="Latency heterogeneity and deployment improvement per provider",
+    ))
+    print("\nProviders with wider latency spread (EC2) leave ClouDiA more room "
+          "to improve the deployment; tighter providers (Rackspace) benefit "
+          "less, matching Appendix 3 of the paper.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Shim so legacy editable installs work in offline environments without wheel.
+
+All project metadata lives in ``pyproject.toml``; this file only exists so
+``pip install -e . --no-build-isolation --no-use-pep517`` (the path taken
+when the ``wheel`` package is unavailable) has a ``setup.py`` to call.
+"""
+
+from setuptools import setup
+
+setup()

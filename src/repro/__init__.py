@@ -1,0 +1,92 @@
+"""ClouDiA: a deployment advisor for public clouds — reproduction library.
+
+This package reproduces the system described in "ClouDiA: a deployment
+advisor for public clouds" (Zou, Le Bras, Vaz Salles, Demers, Gehrke; VLDB
+2012 / VLDB Journal 2015) as a pure-Python library:
+
+* :mod:`repro.core` — communication graphs, cost matrices, deployment plans,
+  the two deployment objectives, and the :class:`ClouDiA` advisor pipeline;
+* :mod:`repro.solvers` — CP, MIP, greedy, randomized and local-search
+  deployment solvers;
+* :mod:`repro.cloud` — a simulated public cloud (EC2 / GCE / Rackspace
+  latency profiles) standing in for the paper's real allocations;
+* :mod:`repro.netmeasure` — the token-passing, uncoordinated and staged
+  pairwise latency measurement schemes plus the IP-distance / hop-count
+  approximations;
+* :mod:`repro.workloads` — the behavioral simulation, aggregation query and
+  key-value store applications used in the evaluation;
+* :mod:`repro.analysis` — CDFs, statistics and reporting helpers used by the
+  benchmark harness.
+"""
+
+from .core import (
+    CommunicationGraph,
+    CostMatrix,
+    DeploymentPlan,
+    LatencyMetric,
+    Objective,
+    deployment_cost,
+    longest_link_cost,
+    longest_path_cost,
+)
+from .core.advisor import AdvisorConfig, AdvisorReport, ClouDiA, MeasurementConfig
+from .cloud import DatacenterTopology, ProviderProfile, SimulatedCloud
+from .netmeasure import (
+    StagedMeasurement,
+    TokenPassingMeasurement,
+    UncoordinatedMeasurement,
+)
+from .solvers import (
+    CPLongestLinkSolver,
+    GreedyG1,
+    GreedyG2,
+    MIPLongestLinkSolver,
+    MIPLongestPathSolver,
+    PortfolioSolver,
+    RandomSearch,
+    SearchBudget,
+    default_plan,
+)
+from .workloads import (
+    AggregationQueryWorkload,
+    BehavioralSimulationWorkload,
+    KeyValueStoreWorkload,
+    compare_deployments,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdvisorConfig",
+    "AdvisorReport",
+    "AggregationQueryWorkload",
+    "BehavioralSimulationWorkload",
+    "CPLongestLinkSolver",
+    "ClouDiA",
+    "CommunicationGraph",
+    "CostMatrix",
+    "DatacenterTopology",
+    "DeploymentPlan",
+    "GreedyG1",
+    "GreedyG2",
+    "KeyValueStoreWorkload",
+    "LatencyMetric",
+    "MIPLongestLinkSolver",
+    "MIPLongestPathSolver",
+    "MeasurementConfig",
+    "Objective",
+    "PortfolioSolver",
+    "ProviderProfile",
+    "RandomSearch",
+    "SearchBudget",
+    "SimulatedCloud",
+    "StagedMeasurement",
+    "TokenPassingMeasurement",
+    "UncoordinatedMeasurement",
+    "compare_deployments",
+    "default_plan",
+    "deployment_cost",
+    "longest_link_cost",
+    "longest_path_cost",
+    "__version__",
+]

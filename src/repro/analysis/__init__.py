@@ -1,0 +1,34 @@
+"""Analysis helpers: CDFs, statistics and benchmark reporting."""
+
+from .cdf import EmpiricalCDF, cdf_points, empirical_cdf
+from .reporting import banner, format_comparison, format_series, format_table
+from .stats import (
+    confidence_interval,
+    geometric_mean,
+    improvement_percent,
+    normalized,
+    pearson,
+    relative_errors,
+    rmse,
+    spearman,
+    summary,
+)
+
+__all__ = [
+    "EmpiricalCDF",
+    "banner",
+    "cdf_points",
+    "confidence_interval",
+    "empirical_cdf",
+    "format_comparison",
+    "format_series",
+    "format_table",
+    "geometric_mean",
+    "improvement_percent",
+    "normalized",
+    "pearson",
+    "relative_errors",
+    "rmse",
+    "spearman",
+    "summary",
+]

@@ -1,0 +1,64 @@
+"""Empirical distribution helpers used by the latency-heterogeneity figures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..core.errors import ClouDiAError
+
+
+@dataclass(frozen=True)
+class EmpiricalCDF:
+    """Empirical cumulative distribution function of a scalar sample."""
+
+    values: np.ndarray
+    probabilities: np.ndarray
+
+    def at(self, x: float) -> float:
+        """Fraction of observations less than or equal to ``x``."""
+        return float(np.searchsorted(self.values, x, side="right") / len(self.values))
+
+    def quantile(self, q: float) -> float:
+        """Value below which a fraction ``q`` of the observations fall."""
+        if not 0.0 <= q <= 1.0:
+            raise ClouDiAError("quantile must be in [0, 1]")
+        return float(np.quantile(self.values, q))
+
+    def spread(self, low: float = 0.1, high: float = 0.9) -> float:
+        """Ratio between a high and a low quantile (heterogeneity measure).
+
+        Fig. 1 of the paper is summarised well by this number: for EC2 the
+        90th-percentile mean link latency is roughly twice the 10th.
+        """
+        lower = self.quantile(low)
+        if lower <= 0:
+            return float("inf")
+        return self.quantile(high) / lower
+
+    def as_series(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(x, F(x)) arrays ready for plotting or printing."""
+        return self.values.copy(), self.probabilities.copy()
+
+
+def empirical_cdf(values: Sequence[float]) -> EmpiricalCDF:
+    """Build the empirical CDF of a sample."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ClouDiAError("cannot build a CDF from an empty sample")
+    ordered = np.sort(data)
+    probabilities = np.arange(1, ordered.size + 1) / ordered.size
+    return EmpiricalCDF(values=ordered, probabilities=probabilities)
+
+
+def cdf_points(values: Sequence[float], num_points: int = 20) -> Tuple[np.ndarray, np.ndarray]:
+    """Downsample an empirical CDF to ``num_points`` evenly spaced quantiles.
+
+    Benchmarks print these compact series instead of thousands of raw points.
+    """
+    cdf = empirical_cdf(values)
+    quantiles = np.linspace(0.0, 1.0, num_points)
+    xs = np.quantile(cdf.values, quantiles)
+    return xs, quantiles

@@ -1,0 +1,73 @@
+"""Plain-text tables and series: the output format of the benchmark harness.
+
+Every benchmark regenerates one figure of the paper; since this is a
+terminal-first reproduction, "regenerating a figure" means printing the same
+series the figure plots, using the helpers below.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str | None = None, float_format: str = "{:.4g}") -> str:
+    """Render a fixed-width text table.
+
+    Args:
+        headers: column names.
+        rows: row values; floats are formatted with ``float_format``.
+        title: optional title printed above the table.
+        float_format: format spec applied to float cells.
+    """
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    rendered_rows: List[List[str]] = [[render(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append(line(["-" * width for width in widths]))
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)
+
+
+def format_series(name: str, xs: Sequence[float], ys: Sequence[float],
+                  x_label: str = "x", y_label: str = "y",
+                  float_format: str = "{:.4g}") -> str:
+    """Render an (x, y) series as a two-column table."""
+    rows = [(float(x), float(y)) for x, y in zip(xs, ys)]
+    return format_table([x_label, y_label], rows, title=name,
+                        float_format=float_format)
+
+
+def format_comparison(title: str, entries: Sequence[Tuple[str, float, float]],
+                      baseline_label: str = "baseline",
+                      value_label: str = "optimized") -> str:
+    """Render baseline-vs-optimised rows with the percentage reduction."""
+    rows = []
+    for label, baseline, optimized in entries:
+        reduction = 0.0 if baseline <= 0 else 100.0 * (baseline - optimized) / baseline
+        rows.append((label, baseline, optimized, f"{reduction:.1f}%"))
+    return format_table(
+        ["case", baseline_label, value_label, "reduction"], rows, title=title
+    )
+
+
+def banner(text: str, width: int = 72) -> str:
+    """A separator banner used between benchmark sections."""
+    pad = max(0, width - len(text) - 2)
+    left = pad // 2
+    right = pad - left
+    return f"{'=' * left} {text} {'=' * right}"

@@ -1,0 +1,255 @@
+"""Command-line interface for the ClouDiA reproduction.
+
+The CLI exposes the advisor on the simulated cloud so the full pipeline can
+be exercised without writing Python:
+
+* ``python -m repro advise --template mesh --rows 4 --cols 5`` — allocate,
+  measure, search and print the recommended deployment plan;
+* ``python -m repro measure --instances 20`` — run a pairwise latency
+  measurement and print per-link statistics;
+* ``python -m repro providers`` — compare latency heterogeneity of the
+  built-in provider profiles;
+* ``python -m repro templates`` — list the communication-graph templates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis import empirical_cdf, format_table
+from .cloud import ProviderProfile, SimulatedCloud
+from .core import CommunicationGraph, LatencyMetric, Objective
+from .core.advisor import AdvisorConfig, ClouDiA, MeasurementConfig
+from .solvers import (
+    CPLongestLinkSolver,
+    GreedyG2,
+    MIPLongestPathSolver,
+    PortfolioSolver,
+    RandomSearch,
+)
+
+#: Graph templates the CLI can build, mapping name -> builder description.
+TEMPLATE_DESCRIPTIONS = {
+    "mesh": "2-D mesh (behavioral simulations); use --rows and --cols",
+    "mesh3d": "3-D mesh; use --rows, --cols and --depth",
+    "tree": "aggregation tree (search / web services); use --branching and --depth",
+    "bipartite": "front-end / storage bipartite graph (key-value stores); "
+                 "use --frontends and --storage",
+    "ring": "bidirectional ring; use --nodes",
+    "hypercube": "boolean hypercube; use --dimension",
+}
+
+
+def build_graph(args: argparse.Namespace) -> CommunicationGraph:
+    """Construct the communication graph selected by the CLI arguments."""
+    template = args.template
+    if template == "mesh":
+        return CommunicationGraph.mesh_2d(args.rows, args.cols)
+    if template == "mesh3d":
+        return CommunicationGraph.mesh_3d(args.rows, args.cols, args.depth)
+    if template == "tree":
+        return CommunicationGraph.aggregation_tree(args.branching, args.depth)
+    if template == "bipartite":
+        return CommunicationGraph.bipartite(args.frontends, args.storage)
+    if template == "ring":
+        return CommunicationGraph.ring(args.nodes)
+    if template == "hypercube":
+        return CommunicationGraph.hypercube(args.dimension)
+    raise SystemExit(f"unknown template {template!r}; see 'templates' command")
+
+
+def build_solver(name: str, objective: Objective, seed: Optional[int]):
+    """Instantiate the solver selected on the command line (None = paper default)."""
+    if name == "auto":
+        return None
+    if name == "cp":
+        return CPLongestLinkSolver(seed=seed)
+    if name == "mip":
+        return MIPLongestPathSolver(backend="bnb")
+    if name == "greedy":
+        return GreedyG2()
+    if name == "random":
+        return RandomSearch.r2(seed=seed)
+    if name == "portfolio":
+        return PortfolioSolver(seed=seed)
+    raise SystemExit(f"unknown solver {name!r}")
+
+
+def command_advise(args: argparse.Namespace) -> int:
+    """Run the full advisor pipeline and print the recommended plan."""
+    graph = build_graph(args)
+    objective = Objective(args.objective)
+    cloud = SimulatedCloud(profile=ProviderProfile.by_name(args.provider),
+                           seed=args.seed)
+    config = AdvisorConfig(
+        objective=objective,
+        over_allocation_ratio=args.over_allocation,
+        metric=LatencyMetric(args.metric),
+        solver=build_solver(args.solver, objective, args.seed),
+        solver_time_limit_s=args.time_limit,
+        measurement=MeasurementConfig(scheme=args.measurement,
+                                      target_samples_per_link=args.samples),
+        seed=args.seed,
+    )
+    advisor = ClouDiA(cloud, config)
+    report = advisor.recommend(graph)
+
+    print(format_table(
+        ["quantity", "value"],
+        [
+            ("application nodes", graph.num_nodes),
+            ("communication edges", graph.num_edges),
+            ("instances allocated", len(report.allocated_instances)),
+            ("instances terminated", len(report.terminated_instances)),
+            ("measurement time [simulated ms]", report.measurement_time_ms),
+            ("search time [s]", report.search_time_s),
+            ("solver", report.solver_result.solver_name),
+            (f"default {objective.value} cost [ms]", report.default_predicted_cost),
+            (f"optimised {objective.value} cost [ms]", report.predicted_cost),
+            ("predicted improvement", f"{report.predicted_improvement:.1%}"),
+        ],
+        title="ClouDiA recommendation",
+    ))
+    if args.show_plan:
+        print()
+        print(format_table(
+            ["node", "instance", "private ip"],
+            [
+                (node, report.plan.instance_for(node),
+                 cloud.private_ip(report.plan.instance_for(node)))
+                for node in graph.nodes
+            ],
+            title="deployment plan",
+        ))
+    return 0
+
+
+def command_measure(args: argparse.Namespace) -> int:
+    """Measure pairwise latencies on a fresh allocation and print statistics."""
+    cloud = SimulatedCloud(profile=ProviderProfile.by_name(args.provider),
+                           seed=args.seed)
+    ids = [instance.instance_id for instance in cloud.allocate(args.instances)]
+    scheme = MeasurementConfig(scheme=args.measurement,
+                               target_samples_per_link=args.samples
+                               ).build_scheme(seed=args.seed)
+    result = scheme.measure(cloud, ids, target_samples_per_link=args.samples)
+    matrix = result.to_cost_matrix()
+    cdf = empirical_cdf(matrix.link_costs())
+    print(format_table(
+        ["quantity", "value"],
+        [
+            ("instances", len(ids)),
+            ("probes sent", result.num_probes),
+            ("simulated measurement time [ms]", result.elapsed_ms),
+            ("min link latency [ms]", matrix.min_cost()),
+            ("median link latency [ms]", cdf.quantile(0.5)),
+            ("p90 link latency [ms]", cdf.quantile(0.9)),
+            ("max link latency [ms]", matrix.max_cost()),
+            ("p90 / p10 spread", cdf.spread(0.1, 0.9)),
+        ],
+        title=f"pairwise latency measurement ({scheme.name})",
+    ))
+    return 0
+
+
+def command_providers(args: argparse.Namespace) -> int:
+    """Compare latency heterogeneity across the built-in provider profiles."""
+    rows = []
+    for name in ("ec2", "gce", "rackspace"):
+        cloud = SimulatedCloud(profile=ProviderProfile.by_name(name), seed=args.seed)
+        ids = [instance.instance_id for instance in cloud.allocate(args.instances)]
+        cdf = empirical_cdf(cloud.true_cost_matrix(ids).link_costs())
+        rows.append((name, cdf.quantile(0.1), cdf.quantile(0.5), cdf.quantile(0.9),
+                     cdf.spread(0.1, 0.9)))
+    print(format_table(
+        ["provider", "p10 [ms]", "median [ms]", "p90 [ms]", "p90/p10 spread"],
+        rows, title=f"latency heterogeneity ({args.instances} instances per provider)",
+    ))
+    return 0
+
+
+def command_templates(_args: argparse.Namespace) -> int:
+    """List the communication-graph templates the CLI can build."""
+    print(format_table(
+        ["template", "description"],
+        sorted(TEMPLATE_DESCRIPTIONS.items()),
+        title="communication graph templates",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ClouDiA deployment advisor (reproduction) command-line interface",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--provider", default="ec2",
+                         choices=["ec2", "gce", "rackspace"],
+                         help="latency profile of the simulated cloud")
+        sub.add_argument("--seed", type=int, default=0, help="random seed")
+        sub.add_argument("--measurement", default="staged",
+                         choices=["staged", "uncoordinated", "token-passing"],
+                         help="pairwise latency measurement scheme")
+        sub.add_argument("--samples", type=int, default=10,
+                         help="target RTT samples per directed link")
+
+    advise = subparsers.add_parser("advise", help="run the full advisor pipeline")
+    add_common(advise)
+    advise.add_argument("--template", default="mesh",
+                        choices=sorted(TEMPLATE_DESCRIPTIONS),
+                        help="communication graph template")
+    advise.add_argument("--rows", type=int, default=4)
+    advise.add_argument("--cols", type=int, default=5)
+    advise.add_argument("--depth", type=int, default=2)
+    advise.add_argument("--branching", type=int, default=3)
+    advise.add_argument("--frontends", type=int, default=4)
+    advise.add_argument("--storage", type=int, default=12)
+    advise.add_argument("--nodes", type=int, default=8)
+    advise.add_argument("--dimension", type=int, default=3)
+    advise.add_argument("--objective", default=Objective.LONGEST_LINK.value,
+                        choices=[objective.value for objective in Objective])
+    advise.add_argument("--metric", default=LatencyMetric.MEAN.value,
+                        choices=[metric.value for metric in LatencyMetric])
+    advise.add_argument("--solver", default="auto",
+                        choices=["auto", "cp", "mip", "greedy", "random", "portfolio"])
+    advise.add_argument("--over-allocation", type=float, default=0.10,
+                        help="fraction of extra instances to allocate")
+    advise.add_argument("--time-limit", type=float, default=5.0,
+                        help="solver time limit in seconds")
+    advise.add_argument("--show-plan", action="store_true",
+                        help="print the full node-to-instance mapping")
+    advise.set_defaults(handler=command_advise)
+
+    measure = subparsers.add_parser("measure",
+                                    help="measure pairwise latencies on a fresh allocation")
+    add_common(measure)
+    measure.add_argument("--instances", type=int, default=20)
+    measure.set_defaults(handler=command_measure)
+
+    providers = subparsers.add_parser("providers",
+                                      help="compare latency heterogeneity across providers")
+    providers.add_argument("--instances", type=int, default=30)
+    providers.add_argument("--seed", type=int, default=0)
+    providers.set_defaults(handler=command_providers)
+
+    templates = subparsers.add_parser("templates",
+                                      help="list communication graph templates")
+    templates.set_defaults(handler=command_templates)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""Simulated public cloud substrate (stands in for EC2 / GCE / Rackspace)."""
+
+from .allocation import (
+    AllocationPolicy,
+    ContiguousAllocation,
+    ScatteredAllocation,
+    UniformRandomAllocation,
+)
+from .instance import Instance
+from .latency_model import LatencyModel, ProviderProfile
+from .provider import SimulatedCloud, ip_distance
+from .topology import DatacenterTopology, Host
+from .traces import LatencyTrace, collect_latency_trace, representative_links
+
+__all__ = [
+    "AllocationPolicy",
+    "ContiguousAllocation",
+    "DatacenterTopology",
+    "Host",
+    "Instance",
+    "LatencyModel",
+    "LatencyTrace",
+    "ProviderProfile",
+    "ScatteredAllocation",
+    "SimulatedCloud",
+    "UniformRandomAllocation",
+    "collect_latency_trace",
+    "ip_distance",
+    "representative_links",
+]

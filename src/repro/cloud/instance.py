@@ -1,0 +1,31 @@
+"""Allocated virtual machine instances."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.types import InstanceId
+
+
+@dataclass(frozen=True)
+class Instance:
+    """A virtual machine allocated by the simulated cloud.
+
+    Attributes:
+        instance_id: identifier returned to the tenant (what deployment
+            plans refer to).
+        host_id: physical host the instance landed on.  Tenants of real
+            clouds never see this; it exists so the simulator can derive
+            latencies, hop counts and locality.
+        private_ip: internal IPv4 address, used by the IP-distance
+            approximation of Appendix 2.
+        allocated_at_hours: simulated allocation time.
+    """
+
+    instance_id: InstanceId
+    host_id: int
+    private_ip: str
+    allocated_at_hours: float = 0.0
+
+    def __repr__(self) -> str:
+        return f"Instance(id={self.instance_id}, ip={self.private_ip})"

@@ -1,0 +1,212 @@
+"""Latency generation for the simulated public cloud.
+
+The model produces, for every ordered pair of hosts:
+
+* a *stable mean* latency (the quantity ClouDiA estimates and optimises),
+* slow *drift* of that mean over hours (small, so means stay stable as in
+  Fig. 2 / 19 / 21 of the paper), and
+* per-sample *jitter* (clouds are known to exhibit heavy-tailed latency
+  spikes; the measurement schemes must average these out).
+
+Provider profiles encode the ranges observed in the paper for Amazon EC2
+(Fig. 1), Google Compute Engine (Fig. 18) and Rackspace (Fig. 20).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .topology import DatacenterTopology
+
+
+@dataclass(frozen=True)
+class ProviderProfile:
+    """Distribution parameters for one public cloud provider.
+
+    Latency values are milliseconds of TCP round-trip time for 1 KB
+    messages, the unit used throughout the paper.
+    """
+
+    name: str
+    #: (low, high) uniform range of base RTT for pairs in the same rack.
+    same_rack_ms: Tuple[float, float]
+    #: (low, high) range for pairs in the same pod but different racks.
+    same_pod_ms: Tuple[float, float]
+    #: (low, high) range for pairs crossing pods through the core.
+    cross_pod_ms: Tuple[float, float]
+    #: Fraction of hosts with a degraded virtualisation/network stack.
+    slow_host_fraction: float
+    #: (low, high) multiplicative penalty of a slow host.
+    slow_host_factor: Tuple[float, float]
+    #: Log-normal sigma of multiplicative per-sample jitter.
+    jitter_sigma: float
+    #: Probability of an additive latency spike on a sample.
+    spike_probability: float
+    #: Mean of the exponential spike magnitude (ms).
+    spike_scale_ms: float
+    #: Relative amplitude of the slow sinusoidal drift of the mean.
+    drift_amplitude: float
+    #: Period of the drift in hours.
+    drift_period_hours: float
+    #: Effective per-flow bandwidth in MB/s used for the message-size term.
+    bandwidth_mb_per_s: float = 100.0
+
+    @classmethod
+    def ec2(cls) -> "ProviderProfile":
+        """Amazon EC2 m1.large, US East (Fig. 1 and 2)."""
+        return cls(
+            name="ec2",
+            same_rack_ms=(0.18, 0.42),
+            same_pod_ms=(0.30, 0.75),
+            cross_pod_ms=(0.38, 1.20),
+            slow_host_fraction=0.10,
+            slow_host_factor=(1.25, 2.0),
+            jitter_sigma=0.35,
+            spike_probability=0.02,
+            spike_scale_ms=2.0,
+            drift_amplitude=0.04,
+            drift_period_hours=72.0,
+        )
+
+    @classmethod
+    def gce(cls) -> "ProviderProfile":
+        """Google Compute Engine n1-standard-1, us-central1-a (Fig. 18 and 19)."""
+        return cls(
+            name="gce",
+            same_rack_ms=(0.28, 0.36),
+            same_pod_ms=(0.32, 0.46),
+            cross_pod_ms=(0.36, 0.62),
+            slow_host_fraction=0.06,
+            slow_host_factor=(1.1, 1.4),
+            jitter_sigma=0.25,
+            spike_probability=0.015,
+            spike_scale_ms=1.2,
+            drift_amplitude=0.03,
+            drift_period_hours=48.0,
+        )
+
+    @classmethod
+    def rackspace(cls) -> "ProviderProfile":
+        """Rackspace Cloud Server performance 1-1, IAD (Fig. 20 and 21)."""
+        return cls(
+            name="rackspace",
+            same_rack_ms=(0.20, 0.27),
+            same_pod_ms=(0.23, 0.34),
+            cross_pod_ms=(0.27, 0.48),
+            slow_host_fraction=0.05,
+            slow_host_factor=(1.1, 1.35),
+            jitter_sigma=0.22,
+            spike_probability=0.01,
+            spike_scale_ms=1.0,
+            drift_amplitude=0.03,
+            drift_period_hours=36.0,
+        )
+
+    @classmethod
+    def by_name(cls, name: str) -> "ProviderProfile":
+        """Look up a built-in profile by name (``ec2``, ``gce``, ``rackspace``)."""
+        profiles = {"ec2": cls.ec2, "gce": cls.gce, "rackspace": cls.rackspace}
+        try:
+            return profiles[name.lower()]()
+        except KeyError as exc:
+            raise ValueError(f"unknown provider profile {name!r}") from exc
+
+
+class LatencyModel:
+    """Deterministic, lazily evaluated latency generator over a topology.
+
+    Every ordered host pair has a stable base mean latency derived from the
+    pair's locality class, per-host slowdown factors and a per-pair noise
+    term.  All quantities are derived from the model seed, so two models
+    created with the same seed are identical; this keeps experiments
+    reproducible and lets the measurement tools be validated against the
+    ground truth.
+    """
+
+    def __init__(self, topology: DatacenterTopology, profile: ProviderProfile,
+                 seed: int | None = None):
+        self.topology = topology
+        self.profile = profile
+        self._seed = 0 if seed is None else int(seed)
+        self._host_factor: Dict[int, float] = {}
+        self._pair_cache: Dict[Tuple[int, int], float] = {}
+        self._host_rng = np.random.default_rng(self._seed + 101)
+        self._precompute_host_factors()
+
+    def _precompute_host_factors(self) -> None:
+        low, high = self.profile.slow_host_factor
+        for host in self.topology.hosts():
+            if self._host_rng.random() < self.profile.slow_host_fraction:
+                factor = float(self._host_rng.uniform(low, high))
+            else:
+                factor = float(self._host_rng.uniform(0.97, 1.06))
+            self._host_factor[host.host_id] = factor
+
+    def _pair_rng(self, host_a: int, host_b: int) -> np.random.Generator:
+        """Deterministic RNG for the unordered pair (base latency generation)."""
+        lo, hi = (host_a, host_b) if host_a <= host_b else (host_b, host_a)
+        return np.random.default_rng((self._seed, lo, hi))
+
+    def base_mean_latency(self, host_a: int, host_b: int) -> float:
+        """Stable mean RTT (ms) between two hosts, before drift and jitter."""
+        if host_a == host_b:
+            return 0.0
+        key = (host_a, host_b) if host_a <= host_b else (host_b, host_a)
+        cached = self._pair_cache.get(key)
+        if cached is not None:
+            return cached
+
+        rng = self._pair_rng(host_a, host_b)
+        locality = self.topology.locality(host_a, host_b)
+        if locality == "same_rack":
+            low, high = self.profile.same_rack_ms
+        elif locality == "same_pod":
+            low, high = self.profile.same_pod_ms
+        else:
+            low, high = self.profile.cross_pod_ms
+        base = float(rng.uniform(low, high))
+        base *= self._host_factor[host_a] * self._host_factor[host_b]
+        # Small per-pair asymmetry-free noise so the distribution is smooth.
+        base *= float(rng.uniform(0.97, 1.03))
+        self._pair_cache[key] = base
+        return base
+
+    def host_factor(self, host_id: int) -> float:
+        """Multiplicative slowdown factor of a host (1.0 is nominal)."""
+        return self._host_factor[host_id]
+
+    def mean_latency(self, host_a: int, host_b: int, at_hours: float = 0.0) -> float:
+        """Mean RTT (ms) at a point in time, including slow drift."""
+        base = self.base_mean_latency(host_a, host_b)
+        if base == 0.0:
+            return 0.0
+        rng = self._pair_rng(host_a, host_b)
+        phase = float(rng.uniform(0.0, 2.0 * math.pi))
+        drift = 1.0 + self.profile.drift_amplitude * math.sin(
+            2.0 * math.pi * at_hours / self.profile.drift_period_hours + phase
+        )
+        return base * drift
+
+    def message_size_term(self, message_bytes: int) -> float:
+        """Additional RTT (ms) caused by serialising the probe payload twice."""
+        bytes_per_ms = self.profile.bandwidth_mb_per_s * 1e6 / 1e3
+        return 2.0 * message_bytes / bytes_per_ms
+
+    def sample_rtt(self, host_a: int, host_b: int, rng: np.random.Generator,
+                   at_hours: float = 0.0, message_bytes: int = 1024) -> float:
+        """One observed RTT sample (ms) including jitter and occasional spikes."""
+        mean = self.mean_latency(host_a, host_b, at_hours)
+        if mean == 0.0 and host_a == host_b:
+            return 0.0
+        size_term = self.message_size_term(message_bytes)
+        # Log-normal multiplicative jitter with unit mean.
+        sigma = self.profile.jitter_sigma
+        jitter = float(rng.lognormal(mean=-0.5 * sigma * sigma, sigma=sigma))
+        sample = (mean + size_term) * jitter
+        if rng.random() < self.profile.spike_probability:
+            sample += float(rng.exponential(self.profile.spike_scale_ms))
+        return sample

@@ -1,0 +1,236 @@
+"""The simulated public cloud provider.
+
+:class:`SimulatedCloud` stands in for Amazon EC2 / Google Compute Engine /
+Rackspace in this reproduction.  It exposes exactly the interface a cloud
+tenant has — allocate instances, terminate instances, send messages and
+observe their round-trip times, read internal IP addresses and TTL-derived
+hop counts — plus ground-truth accessors (``mean_latency``,
+``true_cost_matrix``) that only the experiment harness uses to validate the
+measurement tools.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.cost_matrix import CostMatrix, LatencyMetric
+from ..core.errors import AllocationError
+from ..core.types import InstanceId, make_rng
+from .allocation import AllocationPolicy, ScatteredAllocation
+from .instance import Instance
+from .latency_model import LatencyModel, ProviderProfile
+from .topology import DatacenterTopology
+
+
+class SimulatedCloud:
+    """A multi-rack public cloud region a tenant can allocate instances in.
+
+    Args:
+        profile: latency distribution profile (EC2 / GCE / Rackspace).
+        topology: datacenter topology; a default 4-pod/8-rack/16-host tree
+            (512 hosts) is built when omitted.
+        allocation_policy: how the provider scatters new instances.
+        seed: master seed; everything the cloud does is deterministic in it.
+    """
+
+    def __init__(self, profile: ProviderProfile | None = None,
+                 topology: DatacenterTopology | None = None,
+                 allocation_policy: AllocationPolicy | None = None,
+                 seed: int | None = None):
+        self.profile = profile if profile is not None else ProviderProfile.ec2()
+        self._seed = 0 if seed is None else int(seed)
+        self.topology = topology if topology is not None else DatacenterTopology(
+            num_pods=4, racks_per_pod=8, hosts_per_rack=16, seed=self._seed,
+        )
+        self.allocation_policy = (
+            allocation_policy if allocation_policy is not None else ScatteredAllocation()
+        )
+        self.latency_model = LatencyModel(self.topology, self.profile, seed=self._seed)
+
+        self._rng = make_rng(self._seed + 7)
+        self._sample_rng = make_rng(self._seed + 13)
+        self._instances: Dict[InstanceId, Instance] = {}
+        self._used_hosts: set[int] = set()
+        self._next_instance_id = 0
+        self._clock_hours = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Tenant-facing API
+    # ------------------------------------------------------------------ #
+
+    @property
+    def clock_hours(self) -> float:
+        """Current simulated time in hours."""
+        return self._clock_hours
+
+    def advance_time(self, hours: float) -> None:
+        """Move the simulated clock forward."""
+        if hours < 0:
+            raise AllocationError("time cannot move backwards")
+        self._clock_hours += hours
+
+    def allocate(self, count: int) -> List[Instance]:
+        """Allocate ``count`` instances (one ``ec2-run-instance`` call).
+
+        Returns the instances in the provider's default ordering — the order
+        a tenant would get from the allocation command, which is what the
+        paper's *default deployment* baseline uses.
+        """
+        free_hosts = [h.host_id for h in self.topology.hosts()
+                      if h.host_id not in self._used_hosts]
+        hosts = self.allocation_policy.choose_hosts(
+            self.topology, free_hosts, count, self._rng
+        )
+        instances: List[Instance] = []
+        for host_id in hosts:
+            instance = Instance(
+                instance_id=self._next_instance_id,
+                host_id=host_id,
+                private_ip=self.topology.private_ip(host_id),
+                allocated_at_hours=self._clock_hours,
+            )
+            self._next_instance_id += 1
+            self._used_hosts.add(host_id)
+            self._instances[instance.instance_id] = instance
+            instances.append(instance)
+        return instances
+
+    def terminate(self, instance_ids: Iterable[InstanceId]) -> None:
+        """Terminate instances (idempotent for already-terminated ids)."""
+        for instance_id in list(instance_ids):
+            instance = self._instances.pop(instance_id, None)
+            if instance is not None:
+                self._used_hosts.discard(instance.host_id)
+
+    def active_instances(self) -> List[Instance]:
+        """Currently allocated instances, ordered by identifier."""
+        return [self._instances[i] for i in sorted(self._instances)]
+
+    def instance(self, instance_id: InstanceId) -> Instance:
+        """Look up an allocated instance."""
+        try:
+            return self._instances[instance_id]
+        except KeyError as exc:
+            raise AllocationError(f"instance {instance_id} is not allocated") from exc
+
+    def sample_rtt(self, src: InstanceId, dst: InstanceId,
+                   message_bytes: int = 1024,
+                   at_hours: float | None = None,
+                   rng: np.random.Generator | None = None) -> float:
+        """Observe one TCP round-trip time (ms) between two instances.
+
+        This is the only latency signal a real tenant can obtain; it includes
+        jitter and occasional spikes on top of the stable mean.
+        """
+        a = self.instance(src)
+        b = self.instance(dst)
+        when = self._clock_hours if at_hours is None else at_hours
+        generator = rng if rng is not None else self._sample_rng
+        return self.latency_model.sample_rtt(
+            a.host_id, b.host_id, generator, at_hours=when,
+            message_bytes=message_bytes,
+        )
+
+    def hop_count(self, src: InstanceId, dst: InstanceId) -> int:
+        """TTL-derived router hop count between two instances (Appendix 2)."""
+        a = self.instance(src)
+        b = self.instance(dst)
+        return self.topology.hop_count(a.host_id, b.host_id)
+
+    def private_ip(self, instance_id: InstanceId) -> str:
+        """Internal IPv4 address of an instance."""
+        return self.instance(instance_id).private_ip
+
+    # ------------------------------------------------------------------ #
+    # Ground-truth accessors (simulation only)
+    # ------------------------------------------------------------------ #
+
+    def mean_latency(self, src: InstanceId, dst: InstanceId,
+                     at_hours: float | None = None) -> float:
+        """Ground-truth mean RTT (ms) between two instances."""
+        a = self.instance(src)
+        b = self.instance(dst)
+        when = self._clock_hours if at_hours is None else at_hours
+        return self.latency_model.mean_latency(a.host_id, b.host_id, at_hours=when)
+
+    def true_cost_matrix(self, instance_ids: Sequence[InstanceId] | None = None,
+                         metric: LatencyMetric = LatencyMetric.MEAN,
+                         at_hours: float | None = None,
+                         num_samples: int = 64,
+                         message_bytes: int = 1024,
+                         seed: int | None = None) -> CostMatrix:
+        """Ground-truth cost matrix between allocated instances.
+
+        For the :class:`LatencyMetric.MEAN` metric this is exact (the model
+        mean); for the jitter-sensitive metrics it is estimated from
+        ``num_samples`` interference-free samples per ordered pair.
+        """
+        if instance_ids is None:
+            instance_ids = [inst.instance_id for inst in self.active_instances()]
+        ids = list(instance_ids)
+        when = self._clock_hours if at_hours is None else at_hours
+
+        if metric is LatencyMetric.MEAN:
+            return CostMatrix.from_function(
+                ids, lambda i, j: self.mean_latency(i, j, at_hours=when)
+            )
+
+        rng = make_rng(self._seed + 1009 if seed is None else seed)
+        n = len(ids)
+        matrix = np.zeros((n, n), dtype=float)
+        for ai, a in enumerate(ids):
+            for bi, b in enumerate(ids):
+                if ai == bi:
+                    continue
+                samples = [
+                    self.sample_rtt(a, b, message_bytes=message_bytes,
+                                    at_hours=when, rng=rng)
+                    for _ in range(num_samples)
+                ]
+                matrix[ai, bi] = metric.summarise(samples)
+        return CostMatrix(ids, matrix)
+
+    def pairwise_mean_latencies(self, instance_ids: Sequence[InstanceId] | None = None,
+                                at_hours: float | None = None) -> Dict[Tuple[int, int], float]:
+        """Ground-truth mean latency for every ordered pair of instances."""
+        if instance_ids is None:
+            instance_ids = [inst.instance_id for inst in self.active_instances()]
+        ids = list(instance_ids)
+        when = self._clock_hours if at_hours is None else at_hours
+        return {
+            (a, b): self.mean_latency(a, b, at_hours=when)
+            for a in ids for b in ids if a != b
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulatedCloud(profile={self.profile.name!r}, "
+            f"hosts={self.topology.num_hosts}, active={len(self._instances)})"
+        )
+
+
+def ip_distance(ip_a: str, ip_b: str, group_bits: int = 8) -> int:
+    """Dissimilarity of two IPv4 addresses, as defined in Appendix 2.
+
+    Two addresses sharing a ``/x`` prefix but not a ``/(x + group_bits)``
+    prefix have distance ``(32 - x) / group_bits`` (in groups).  With the
+    default ``group_bits=8`` this is simply the number of dotted octets,
+    counted from the right, in which the addresses differ.
+    """
+    if not 1 <= group_bits < 32:
+        raise ValueError("group_bits must be in [1, 31]")
+
+    def to_int(ip: str) -> int:
+        parts = [int(p) for p in ip.split(".")]
+        if len(parts) != 4 or any(not 0 <= p <= 255 for p in parts):
+            raise ValueError(f"invalid IPv4 address {ip!r}")
+        return (parts[0] << 24) | (parts[1] << 16) | (parts[2] << 8) | parts[3]
+
+    xor = to_int(ip_a) ^ to_int(ip_b)
+    if xor == 0:
+        return 0
+    shared_prefix = 32 - xor.bit_length()
+    differing_bits = 32 - shared_prefix
+    return (differing_bits + group_bits - 1) // group_bits

@@ -1,0 +1,158 @@
+"""Synthetic datacenter topology used by the simulated public cloud.
+
+The paper deliberately avoids relying on datacenter topology (providers do
+not expose it and inference is unreliable), but the *simulation substrate*
+needs one to generate realistic pairwise latencies, hop counts and internal
+IP addresses.  We model the common three-tier tree: hosts sit in racks,
+racks connect to aggregation (pod) switches, and pods connect through the
+core layer.  Latency heterogeneity then emerges from where instances land.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..core.errors import AllocationError
+from ..core.types import make_rng
+
+
+@dataclass(frozen=True)
+class Host:
+    """A physical machine in the simulated datacenter."""
+
+    host_id: int
+    rack_id: int
+    pod_id: int
+
+    def locality_with(self, other: "Host") -> str:
+        """Coarse locality class of a pair of hosts."""
+        if self.host_id == other.host_id:
+            return "same_host"
+        if self.rack_id == other.rack_id:
+            return "same_rack"
+        if self.pod_id == other.pod_id:
+            return "same_pod"
+        return "cross_pod"
+
+
+class DatacenterTopology:
+    """Three-tier tree topology: pods -> racks -> hosts.
+
+    Args:
+        num_pods: number of aggregation pods.
+        racks_per_pod: racks under each pod.
+        hosts_per_rack: physical hosts per rack.
+        ip_assignment: ``"scattered"`` (default) hands out internal IP blocks
+            in an order unrelated to physical placement, which reproduces the
+            paper's Appendix-2 finding that IP distance does not predict
+            latency.  ``"topological"`` assigns one /24 per rack.
+        seed: seed for the scattered IP permutation.
+    """
+
+    #: Hop counts per locality class, chosen to match the values the paper
+    #: observed in EC2 (0, 1 and 3 intermediate routers; cross-pod pairs add
+    #: the core layer).
+    HOPS = {"same_host": 0, "same_rack": 1, "same_pod": 3, "cross_pod": 5}
+
+    def __init__(self, num_pods: int = 4, racks_per_pod: int = 8,
+                 hosts_per_rack: int = 16, ip_assignment: str = "scattered",
+                 seed: int | None = None):
+        if num_pods < 1 or racks_per_pod < 1 or hosts_per_rack < 1:
+            raise AllocationError("topology dimensions must be positive")
+        if ip_assignment not in ("scattered", "topological"):
+            raise AllocationError(
+                f"unknown ip_assignment {ip_assignment!r}; "
+                "use 'scattered' or 'topological'"
+            )
+        self.num_pods = num_pods
+        self.racks_per_pod = racks_per_pod
+        self.hosts_per_rack = hosts_per_rack
+        self.ip_assignment = ip_assignment
+
+        self._hosts: List[Host] = []
+        host_id = 0
+        for pod in range(num_pods):
+            for rack_in_pod in range(racks_per_pod):
+                rack_id = pod * racks_per_pod + rack_in_pod
+                for _ in range(hosts_per_rack):
+                    self._hosts.append(Host(host_id=host_id, rack_id=rack_id,
+                                            pod_id=pod))
+                    host_id += 1
+
+        self._ips = self._assign_ips(make_rng(seed))
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_hosts(self) -> int:
+        """Total number of physical hosts."""
+        return len(self._hosts)
+
+    @property
+    def num_racks(self) -> int:
+        """Total number of racks."""
+        return self.num_pods * self.racks_per_pod
+
+    def hosts(self) -> Tuple[Host, ...]:
+        """All hosts in the datacenter."""
+        return tuple(self._hosts)
+
+    def host(self, host_id: int) -> Host:
+        """Look up a host by identifier."""
+        if not 0 <= host_id < len(self._hosts):
+            raise AllocationError(f"unknown host {host_id}")
+        return self._hosts[host_id]
+
+    def locality(self, host_a: int, host_b: int) -> str:
+        """Locality class (``same_host`` / ``same_rack`` / ``same_pod`` / ``cross_pod``)."""
+        return self.host(host_a).locality_with(self.host(host_b))
+
+    def hop_count(self, host_a: int, host_b: int) -> int:
+        """Number of intermediate routers between two hosts.
+
+        Mirrors what a tenant would infer by inspecting the TTL field of
+        received packets (Appendix 2 of the paper).
+        """
+        return self.HOPS[self.locality(host_a, host_b)]
+
+    def private_ip(self, host_id: int) -> str:
+        """Internal IPv4 address of a host (as a dotted string)."""
+        return self._ips[host_id]
+
+    # ------------------------------------------------------------------ #
+
+    def _assign_ips(self, rng: np.random.Generator) -> Dict[int, str]:
+        """Assign one internal 10.0.0.0/8 address per host.
+
+        Under the default ``scattered`` policy the address order is a random
+        permutation of the host order, so two hosts in the same rack rarely
+        share a /24 — the realistic situation in EC2 where DHCP pools are
+        decoupled from racks.  Under ``topological`` each rack owns a /24.
+        """
+        ips: Dict[int, str] = {}
+        if self.ip_assignment == "topological":
+            for host in self._hosts:
+                index_in_rack = host.host_id % self.hosts_per_rack
+                ips[host.host_id] = (
+                    f"10.{host.pod_id}.{host.rack_id % 256}.{index_in_rack + 1}"
+                )
+            return ips
+
+        # Scattered: hosts are enumerated in a random order and packed four per
+        # /24 block, with blocks hashed over a handful of /16 subnets.  Because
+        # the order is a random permutation of the hosts, two machines in the
+        # same rack are no more likely to share an address prefix than any
+        # other pair — which is why IP distance fails as a latency proxy.
+        hosts_per_block = 4
+        order = rng.permutation(len(self._hosts))
+        for slot, host_index in enumerate(order):
+            host = self._hosts[int(host_index)]
+            block = slot // hosts_per_block
+            second = (block * 7) % 8
+            third = (block * 53) % 256
+            fourth = (slot % hosts_per_block) + 1 + (block // 256) * hosts_per_block
+            ips[host.host_id] = f"10.{second}.{third}.{fourth}"
+        return ips

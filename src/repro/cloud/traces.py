@@ -1,0 +1,106 @@
+"""Latency traces over time: the stability experiments (Figs. 2, 19, 21).
+
+A :class:`LatencyTrace` records, for a set of directed links, the mean
+latency estimated over consecutive time windows.  The paper uses such traces
+to argue that mean latencies are stable over many hours, which is what makes
+measure-then-optimise deployment tuning worthwhile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.types import InstanceId, Link, make_rng
+from .provider import SimulatedCloud
+
+
+@dataclass(frozen=True)
+class LatencyTrace:
+    """Time series of per-link mean latencies.
+
+    Attributes:
+        times_hours: window midpoints, in hours since the trace start.
+        links: the directed instance pairs observed.
+        means_ms: array of shape ``(len(links), len(times_hours))`` with the
+            per-window mean latency of each link.
+    """
+
+    times_hours: Tuple[float, ...]
+    links: Tuple[Link, ...]
+    means_ms: np.ndarray
+
+    def series(self, link: Link) -> np.ndarray:
+        """The mean-latency series of one link."""
+        index = self.links.index(link)
+        return self.means_ms[index]
+
+    def stability(self, link: Link) -> float:
+        """Coefficient of variation of a link's mean latency over time.
+
+        Small values (a few percent) indicate a stable mean, the property
+        Fig. 2 demonstrates for EC2.
+        """
+        series = self.series(link)
+        mean = float(series.mean())
+        if mean == 0.0:
+            return 0.0
+        return float(series.std(ddof=0) / mean)
+
+    def max_relative_drift(self, link: Link) -> float:
+        """Largest relative deviation of a window mean from the overall mean."""
+        series = self.series(link)
+        mean = float(series.mean())
+        if mean == 0.0:
+            return 0.0
+        return float(np.abs(series - mean).max() / mean)
+
+
+def collect_latency_trace(cloud: SimulatedCloud, links: Sequence[Link],
+                          duration_hours: float, window_hours: float,
+                          samples_per_window: int = 200,
+                          message_bytes: int = 1024,
+                          seed: int | None = None) -> LatencyTrace:
+    """Measure a latency trace by repeatedly probing the given links.
+
+    Each window's value is the average of ``samples_per_window`` RTT samples
+    taken at the window midpoint, mirroring the paper's methodology of
+    averaging latency measurements every two hours over a ten-day run.
+    """
+    rng = make_rng(seed)
+    num_windows = max(1, int(round(duration_hours / window_hours)))
+    times = tuple((w + 0.5) * window_hours for w in range(num_windows))
+    means = np.zeros((len(links), num_windows), dtype=float)
+    for link_index, (src, dst) in enumerate(links):
+        for window_index, when in enumerate(times):
+            samples = [
+                cloud.sample_rtt(src, dst, message_bytes=message_bytes,
+                                 at_hours=when, rng=rng)
+                for _ in range(samples_per_window)
+            ]
+            means[link_index, window_index] = float(np.mean(samples))
+    return LatencyTrace(times_hours=times, links=tuple(links), means_ms=means)
+
+
+def representative_links(cloud: SimulatedCloud, count: int = 4,
+                         instance_ids: Sequence[InstanceId] | None = None) -> List[Link]:
+    """Pick links spanning the latency range, like the four links of Fig. 2.
+
+    Links are chosen at evenly spaced quantiles of the ground-truth mean
+    latency distribution so the plotted series cover slow and fast links.
+    """
+    if instance_ids is None:
+        instance_ids = [inst.instance_id for inst in cloud.active_instances()]
+    ids = list(instance_ids)
+    pairs: Dict[Link, float] = {
+        (a, b): cloud.mean_latency(a, b) for a in ids for b in ids if a < b
+    }
+    ordered = sorted(pairs, key=pairs.get)
+    if not ordered:
+        return []
+    if count >= len(ordered):
+        return ordered
+    positions = np.linspace(0, len(ordered) - 1, count).round().astype(int)
+    return [ordered[int(p)] for p in positions]

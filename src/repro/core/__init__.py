@@ -1,0 +1,55 @@
+"""Core abstractions of the ClouDiA deployment advisor."""
+
+from .clustering import ClusteringResult, cluster_costs, kmeans_1d
+from .communication_graph import CommunicationGraph, augment_with_dummy_nodes
+from .cost_matrix import CostMatrix, LatencyMetric
+from .deployment import DeploymentPlan
+from .errors import (
+    AllocationError,
+    BudgetExhaustedError,
+    ClouDiAError,
+    InfeasibleProblemError,
+    InvalidCostMatrixError,
+    InvalidDeploymentError,
+    InvalidGraphError,
+    MeasurementError,
+    SolverError,
+)
+from .objectives import (
+    CriticalElement,
+    Objective,
+    critical_path,
+    deployment_cost,
+    improvement_ratio,
+    longest_link_cost,
+    longest_path_cost,
+    worst_link,
+)
+
+__all__ = [
+    "AllocationError",
+    "BudgetExhaustedError",
+    "ClouDiAError",
+    "ClusteringResult",
+    "CommunicationGraph",
+    "CostMatrix",
+    "CriticalElement",
+    "DeploymentPlan",
+    "InfeasibleProblemError",
+    "InvalidCostMatrixError",
+    "InvalidDeploymentError",
+    "InvalidGraphError",
+    "LatencyMetric",
+    "MeasurementError",
+    "Objective",
+    "SolverError",
+    "augment_with_dummy_nodes",
+    "cluster_costs",
+    "critical_path",
+    "deployment_cost",
+    "improvement_ratio",
+    "kmeans_1d",
+    "longest_link_cost",
+    "longest_path_cost",
+    "worst_link",
+]

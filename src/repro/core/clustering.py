@@ -1,0 +1,144 @@
+"""Optimal one-dimensional k-means used to cluster link costs (Sect. 6.3).
+
+The paper reduces the number of distinct cost values seen by the CP solver
+by clustering link costs with k-means.  Because the costs are scalar, the
+clustering can be solved exactly with dynamic programming: optimal clusters
+of sorted values are contiguous ranges, so the problem decomposes over a
+prefix structure.  The implementation below is the textbook
+O(k * n^2) dynamic program with prefix sums, which is more than fast enough
+for the few hundred distinct values produced by rounding latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from .errors import ClouDiAError
+
+
+@dataclass(frozen=True)
+class ClusteringResult:
+    """Result of clustering scalar values into ``k`` groups.
+
+    Attributes:
+        centers: cluster means, sorted ascending.
+        labels: for each input value (in the original order), the index of
+            the cluster it belongs to.
+        cost: total within-cluster sum of squared deviations.
+    """
+
+    centers: np.ndarray
+    labels: np.ndarray
+    cost: float
+
+    @property
+    def num_clusters(self) -> int:
+        """Number of clusters actually produced."""
+        return int(len(self.centers))
+
+    def mapped_values(self) -> np.ndarray:
+        """Each input value replaced by the mean of its cluster."""
+        return self.centers[self.labels]
+
+
+def kmeans_1d(values: Sequence[float], k: int) -> ClusteringResult:
+    """Cluster scalar ``values`` into at most ``k`` groups, exactly.
+
+    Args:
+        values: the scalar observations (any order, duplicates allowed).
+        k: the maximum number of clusters.  If there are fewer distinct
+            values than ``k``, one cluster per distinct value is returned.
+
+    Returns:
+        A :class:`ClusteringResult` with cluster means and per-value labels.
+
+    Raises:
+        ClouDiAError: if ``values`` is empty or ``k`` is not positive.
+    """
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ClouDiAError("cannot cluster an empty collection of values")
+    if k <= 0:
+        raise ClouDiAError("number of clusters must be positive")
+
+    distinct = np.unique(data)
+    n = distinct.size
+    k_eff = min(k, n)
+
+    if k_eff == n:
+        centers = distinct
+        labels = np.searchsorted(distinct, data)
+        return ClusteringResult(centers=centers, labels=labels, cost=0.0)
+
+    # Prefix sums over the sorted distinct values weighted by multiplicity.
+    counts = np.array([np.count_nonzero(data == v) for v in distinct], dtype=float)
+    prefix_count = np.concatenate(([0.0], np.cumsum(counts)))
+    prefix_sum = np.concatenate(([0.0], np.cumsum(counts * distinct)))
+    prefix_sq = np.concatenate(([0.0], np.cumsum(counts * distinct ** 2)))
+
+    def segment_cost(lo: int, hi: int) -> float:
+        """Within-cluster SSE of distinct values with indices [lo, hi)."""
+        cnt = prefix_count[hi] - prefix_count[lo]
+        total = prefix_sum[hi] - prefix_sum[lo]
+        total_sq = prefix_sq[hi] - prefix_sq[lo]
+        return float(total_sq - (total * total) / cnt)
+
+    # dp[c][i]: best cost of splitting the first i distinct values into c clusters.
+    inf = float("inf")
+    dp = np.full((k_eff + 1, n + 1), inf)
+    split = np.zeros((k_eff + 1, n + 1), dtype=int)
+    dp[0][0] = 0.0
+    for c in range(1, k_eff + 1):
+        for i in range(c, n + 1):
+            best, best_j = inf, c - 1
+            for j in range(c - 1, i):
+                candidate = dp[c - 1][j] + segment_cost(j, i)
+                if candidate < best:
+                    best, best_j = candidate, j
+            dp[c][i] = best
+            split[c][i] = best_j
+
+    # Recover segment boundaries.
+    boundaries: List[int] = [n]
+    i = n
+    for c in range(k_eff, 0, -1):
+        i = split[c][i]
+        boundaries.append(i)
+    boundaries.reverse()
+
+    centers = np.empty(k_eff)
+    distinct_labels = np.empty(n, dtype=int)
+    for c in range(k_eff):
+        lo, hi = boundaries[c], boundaries[c + 1]
+        cnt = prefix_count[hi] - prefix_count[lo]
+        centers[c] = (prefix_sum[hi] - prefix_sum[lo]) / cnt
+        distinct_labels[lo:hi] = c
+
+    labels = distinct_labels[np.searchsorted(distinct, data)]
+    return ClusteringResult(centers=centers, labels=labels, cost=float(dp[k_eff][n]))
+
+
+def cluster_costs(values: Sequence[float], k: int | None,
+                  round_to: float | None = None) -> np.ndarray:
+    """Replace each value by its cluster mean (helper for cost matrices).
+
+    Args:
+        values: scalar link costs.
+        k: number of clusters; ``None`` disables clustering and returns the
+            (optionally rounded) values unchanged.
+        round_to: optional rounding grid applied before clustering.  The
+            paper rounds latencies to the nearest 0.01 ms before counting
+            distinct values.
+
+    Returns:
+        A NumPy array with the same length as ``values``.
+    """
+    data = np.asarray(list(values), dtype=float)
+    if round_to is not None and round_to > 0:
+        data = np.round(data / round_to) * round_to
+    if k is None:
+        return data
+    return kmeans_1d(data, k).mapped_values()

@@ -1,0 +1,162 @@
+"""Deployment plans: injective mappings of application nodes to instances.
+
+Definition 2 of the paper: a deployment plan ``D : N -> S`` maps each
+application node to a distinct cloud instance.  Instances left unmapped can
+be terminated (this is what makes over-allocation useful).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from .communication_graph import CommunicationGraph
+from .errors import InvalidDeploymentError
+from .types import InstanceId, NodeId, make_rng
+
+
+class DeploymentPlan:
+    """Injective mapping from application nodes to allocated instances."""
+
+    def __init__(self, mapping: Mapping[NodeId, InstanceId]):
+        items = dict(mapping)
+        if not items:
+            raise InvalidDeploymentError("deployment plan cannot be empty")
+        instances = list(items.values())
+        if len(instances) != len(set(instances)):
+            raise InvalidDeploymentError(
+                "deployment plan must be injective: two nodes share an instance"
+            )
+        self._mapping: Dict[NodeId, InstanceId] = items
+        self._inverse: Dict[InstanceId, NodeId] = {v: k for k, v in items.items()}
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def identity(cls, nodes: Sequence[NodeId],
+                 instances: Sequence[InstanceId]) -> "DeploymentPlan":
+        """Map the ``k``-th node onto the ``k``-th instance.
+
+        This is the *default deployment* the paper compares against: the
+        tenant simply uses instances in the order the cloud returned them.
+        """
+        nodes = list(nodes)
+        instances = list(instances)
+        if len(instances) < len(nodes):
+            raise InvalidDeploymentError(
+                f"need at least {len(nodes)} instances, got {len(instances)}"
+            )
+        return cls(dict(zip(nodes, instances)))
+
+    @classmethod
+    def random(cls, nodes: Sequence[NodeId], instances: Sequence[InstanceId],
+               rng: np.random.Generator | int | None = None) -> "DeploymentPlan":
+        """Uniformly random injective mapping (used by R1/R2 and as warm start)."""
+        nodes = list(nodes)
+        instances = list(instances)
+        if len(instances) < len(nodes):
+            raise InvalidDeploymentError(
+                f"need at least {len(nodes)} instances, got {len(instances)}"
+            )
+        generator = make_rng(rng)
+        chosen = generator.choice(len(instances), size=len(nodes), replace=False)
+        return cls({node: instances[idx] for node, idx in zip(nodes, chosen)})
+
+    @classmethod
+    def from_permutation(cls, nodes: Sequence[NodeId],
+                         instances: Sequence[InstanceId],
+                         permutation: Sequence[int]) -> "DeploymentPlan":
+        """Build a plan from a permutation of instance indices."""
+        nodes = list(nodes)
+        instances = list(instances)
+        if len(permutation) != len(nodes):
+            raise InvalidDeploymentError("permutation length must match node count")
+        return cls({node: instances[p] for node, p in zip(nodes, permutation)})
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def nodes(self) -> Tuple[NodeId, ...]:
+        """Application nodes covered by the plan."""
+        return tuple(self._mapping.keys())
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of mapped application nodes."""
+        return len(self._mapping)
+
+    def instance_for(self, node: NodeId) -> InstanceId:
+        """The instance hosting ``node``."""
+        try:
+            return self._mapping[node]
+        except KeyError as exc:
+            raise InvalidDeploymentError(f"node {node} is not mapped") from exc
+
+    def node_for(self, instance: InstanceId) -> NodeId | None:
+        """The node hosted on ``instance``, or ``None`` if the instance is unused."""
+        return self._inverse.get(instance)
+
+    def used_instances(self) -> Tuple[InstanceId, ...]:
+        """Instances that host an application node."""
+        return tuple(self._mapping.values())
+
+    def unused_instances(self, all_instances: Iterable[InstanceId]) -> List[InstanceId]:
+        """Instances from ``all_instances`` that the plan leaves idle.
+
+        These are the over-allocated instances ClouDiA terminates in the
+        final step of its architecture (Fig. 3).
+        """
+        used = set(self._mapping.values())
+        return [i for i in all_instances if i not in used]
+
+    def as_dict(self) -> Dict[NodeId, InstanceId]:
+        """Plain ``dict`` copy of the mapping."""
+        return dict(self._mapping)
+
+    def covers(self, graph: CommunicationGraph) -> bool:
+        """Return ``True`` if every node of ``graph`` is mapped."""
+        return all(node in self._mapping for node in graph.nodes)
+
+    # ------------------------------------------------------------------ #
+    # Derived plans
+    # ------------------------------------------------------------------ #
+
+    def with_swap(self, node_a: NodeId, node_b: NodeId) -> "DeploymentPlan":
+        """Return a copy with the instances of two nodes exchanged.
+
+        Swaps preserve injectivity, which makes them the natural move for
+        local-search extensions.
+        """
+        mapping = dict(self._mapping)
+        mapping[node_a], mapping[node_b] = mapping[node_b], mapping[node_a]
+        return DeploymentPlan(mapping)
+
+    def with_relocation(self, node: NodeId, instance: InstanceId) -> "DeploymentPlan":
+        """Return a copy with ``node`` moved to a currently unused ``instance``."""
+        if instance in self._inverse and self._inverse[instance] != node:
+            raise InvalidDeploymentError(
+                f"instance {instance} already hosts node {self._inverse[instance]}"
+            )
+        mapping = dict(self._mapping)
+        mapping[node] = instance
+        return DeploymentPlan(mapping)
+
+    def restricted_to(self, nodes: Iterable[NodeId]) -> "DeploymentPlan":
+        """Return the plan restricted to a subset of nodes."""
+        return DeploymentPlan({n: self._mapping[n] for n in nodes})
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DeploymentPlan):
+            return NotImplemented
+        return self._mapping == other._mapping
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._mapping.items()))
+
+    def __repr__(self) -> str:
+        return f"DeploymentPlan(nodes={self.num_nodes})"

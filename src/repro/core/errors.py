@@ -1,0 +1,53 @@
+"""Exception hierarchy for the ClouDiA reproduction.
+
+Every error raised by the library derives from :class:`ClouDiAError` so that
+callers can catch library-specific failures without masking programming
+errors such as ``TypeError`` or ``KeyError`` raised by incorrect usage.
+"""
+
+from __future__ import annotations
+
+
+class ClouDiAError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class InvalidGraphError(ClouDiAError):
+    """Raised when a communication graph is malformed.
+
+    Examples include duplicate nodes, edges referring to unknown nodes,
+    self-loops, or requesting a longest-path objective on a cyclic graph.
+    """
+
+
+class InvalidDeploymentError(ClouDiAError):
+    """Raised when a deployment plan is not a valid injective mapping."""
+
+
+class InvalidCostMatrixError(ClouDiAError):
+    """Raised when a cost matrix is malformed (wrong shape, negative costs)."""
+
+
+class AllocationError(ClouDiAError):
+    """Raised when the simulated cloud cannot satisfy an allocation request."""
+
+
+class MeasurementError(ClouDiAError):
+    """Raised when a network measurement scheme is misconfigured or fails."""
+
+
+class SolverError(ClouDiAError):
+    """Raised when a deployment solver is misconfigured or fails internally."""
+
+
+class InfeasibleProblemError(SolverError):
+    """Raised when a node deployment problem admits no feasible deployment.
+
+    This can only happen when there are fewer instances than application
+    nodes, since the instance graph is complete and any injection is feasible
+    otherwise.
+    """
+
+
+class BudgetExhaustedError(SolverError):
+    """Raised when a solver cannot produce any solution within its budget."""

@@ -1,0 +1,148 @@
+"""Deployment cost functions: longest link and longest path (Sect. 3.3).
+
+The two objective classes the paper optimises:
+
+* ``LONGEST_LINK`` (Class 1, LLNDP) — the maximum link cost over the edges of
+  the communication graph, modelling barrier-synchronised HPC applications.
+* ``LONGEST_PATH`` (Class 2, LPNDP) — the maximum total cost of a directed
+  path through an acyclic communication graph, modelling service-call chains
+  in web portals and aggregation trees.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .communication_graph import CommunicationGraph
+from .cost_matrix import CostMatrix
+from .deployment import DeploymentPlan
+from .errors import InvalidDeploymentError, InvalidGraphError
+from .types import Edge, NodeId
+
+
+class Objective(enum.Enum):
+    """Which deployment cost function a problem instance minimises."""
+
+    LONGEST_LINK = "longest_link"
+    LONGEST_PATH = "longest_path"
+
+
+@dataclass(frozen=True)
+class CriticalElement:
+    """The element of the communication graph that realises the deployment cost.
+
+    For the longest-link objective this is a single edge; for the longest-path
+    objective it is the full critical path.
+    """
+
+    cost: float
+    edges: Tuple[Edge, ...]
+
+
+def _check_coverage(plan: DeploymentPlan, graph: CommunicationGraph) -> None:
+    if not plan.covers(graph):
+        missing = [n for n in graph.nodes if n not in plan.nodes]
+        raise InvalidDeploymentError(f"plan does not map nodes {missing[:5]}")
+
+
+def longest_link_cost(plan: DeploymentPlan, graph: CommunicationGraph,
+                      costs: CostMatrix) -> float:
+    """Deployment cost ``C_D^LL``: the most expensive communication link used.
+
+    Returns 0.0 for graphs without edges (an isolated node never pays any
+    network cost).
+    """
+    _check_coverage(plan, graph)
+    worst = 0.0
+    for i, j in graph.edges:
+        value = costs.cost(plan.instance_for(i), plan.instance_for(j))
+        if value > worst:
+            worst = value
+    return worst
+
+
+def worst_link(plan: DeploymentPlan, graph: CommunicationGraph,
+               costs: CostMatrix) -> CriticalElement:
+    """The edge realising the longest-link cost together with its cost."""
+    _check_coverage(plan, graph)
+    worst_cost = -1.0
+    worst_edge: Optional[Edge] = None
+    for i, j in graph.edges:
+        value = costs.cost(plan.instance_for(i), plan.instance_for(j))
+        if value > worst_cost:
+            worst_cost = value
+            worst_edge = (i, j)
+    if worst_edge is None:
+        return CriticalElement(cost=0.0, edges=())
+    return CriticalElement(cost=worst_cost, edges=(worst_edge,))
+
+
+def longest_path_cost(plan: DeploymentPlan, graph: CommunicationGraph,
+                      costs: CostMatrix) -> float:
+    """Deployment cost ``C_D^LP``: the cost of the most expensive directed path.
+
+    The communication graph must be acyclic.  Costs add up along a path, as
+    the paper assumes causally related messages are sent sequentially along
+    each path.
+
+    Raises:
+        InvalidGraphError: if the graph has a cycle.
+    """
+    return critical_path(plan, graph, costs).cost
+
+
+def critical_path(plan: DeploymentPlan, graph: CommunicationGraph,
+                  costs: CostMatrix) -> CriticalElement:
+    """The critical (most expensive) path under the given deployment.
+
+    Uses a topological-order dynamic program: ``t[i]`` is the cost of the
+    most expensive path ending at node ``i``.  The returned element lists the
+    edges of one critical path in order from its source to its sink.
+    """
+    _check_coverage(plan, graph)
+    if not graph.is_dag():
+        raise InvalidGraphError("longest-path objective requires an acyclic graph")
+
+    order = graph.topological_order()
+    best: Dict[NodeId, float] = {n: 0.0 for n in graph.nodes}
+    parent: Dict[NodeId, Optional[NodeId]] = {n: None for n in graph.nodes}
+    for i in order:
+        for j in graph.successors(i):
+            edge_cost = costs.cost(plan.instance_for(i), plan.instance_for(j))
+            if best[i] + edge_cost > best[j]:
+                best[j] = best[i] + edge_cost
+                parent[j] = i
+
+    if not graph.edges:
+        return CriticalElement(cost=0.0, edges=())
+
+    end = max(best, key=lambda n: best[n])
+    path_nodes: List[NodeId] = [end]
+    while parent[path_nodes[-1]] is not None:
+        path_nodes.append(parent[path_nodes[-1]])
+    path_nodes.reverse()
+    edges = tuple(zip(path_nodes[:-1], path_nodes[1:]))
+    return CriticalElement(cost=best[end], edges=edges)
+
+
+def deployment_cost(plan: DeploymentPlan, graph: CommunicationGraph,
+                    costs: CostMatrix, objective: Objective) -> float:
+    """Evaluate a deployment plan under the requested objective."""
+    if objective is Objective.LONGEST_LINK:
+        return longest_link_cost(plan, graph, costs)
+    if objective is Objective.LONGEST_PATH:
+        return longest_path_cost(plan, graph, costs)
+    raise ValueError(f"unknown objective {objective!r}")
+
+
+def improvement_ratio(baseline_cost: float, optimized_cost: float) -> float:
+    """Relative improvement of an optimised cost over a baseline cost.
+
+    Returns a value in ``[0, 1]``; e.g. 0.30 means the optimised deployment
+    is 30 % cheaper.  A zero baseline yields zero improvement by convention.
+    """
+    if baseline_cost <= 0:
+        return 0.0
+    return max(0.0, (baseline_cost - optimized_cost) / baseline_cost)

@@ -1,0 +1,48 @@
+"""Pairwise latency measurement substrate (Sect. 5 and Appendix 2)."""
+
+from .approximations import (
+    ProxyQuality,
+    group_overlap_fraction,
+    hop_count_matrix,
+    ip_distance_matrix,
+    links_grouped_by_proxy,
+    proxy_quality,
+)
+from .estimator import (
+    MeasurementResult,
+    normalized_latency_vector,
+    relative_error_cdf_input,
+    rmse_convergence,
+)
+from .interference import NO_INTERFERENCE, InterferenceModel
+from .probing import (
+    MeasurementScheme,
+    ProbeEngine,
+    all_ordered_pairs,
+    round_robin_pairings,
+)
+from .staged import StagedMeasurement
+from .token_passing import TokenPassingMeasurement
+from .uncoordinated import UncoordinatedMeasurement
+
+__all__ = [
+    "InterferenceModel",
+    "MeasurementResult",
+    "MeasurementScheme",
+    "NO_INTERFERENCE",
+    "ProbeEngine",
+    "ProxyQuality",
+    "StagedMeasurement",
+    "TokenPassingMeasurement",
+    "UncoordinatedMeasurement",
+    "all_ordered_pairs",
+    "group_overlap_fraction",
+    "hop_count_matrix",
+    "ip_distance_matrix",
+    "links_grouped_by_proxy",
+    "normalized_latency_vector",
+    "proxy_quality",
+    "relative_error_cdf_input",
+    "rmse_convergence",
+    "round_robin_pairings",
+]

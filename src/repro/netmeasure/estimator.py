@@ -1,0 +1,155 @@
+"""Aggregation of raw probe samples into cost matrices and convergence curves.
+
+A measurement scheme produces a :class:`MeasurementResult`: time-stamped RTT
+samples per directed link plus bookkeeping about how long the measurement
+took.  The estimator turns those samples into :class:`~repro.core.CostMatrix`
+objects under any of the latency metrics of Sect. 3.2, and computes the
+convergence statistics plotted in Figs. 4 and 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.cost_matrix import CostMatrix, LatencyMetric
+from ..core.errors import MeasurementError
+from ..core.types import InstanceId, Link
+
+
+@dataclass
+class MeasurementResult:
+    """Raw output of one pairwise latency measurement run.
+
+    Attributes:
+        scheme: name of the measurement scheme that produced the samples.
+        instance_ids: instances covered by the measurement.
+        samples: per directed link, a list of ``(observation_time_ms, rtt_ms)``
+            pairs in observation order.
+        elapsed_ms: total simulated wall-clock time the measurement took.
+        num_probes: total number of round trips issued.
+    """
+
+    scheme: str
+    instance_ids: Tuple[InstanceId, ...]
+    samples: Dict[Link, List[Tuple[float, float]]] = field(default_factory=dict)
+    elapsed_ms: float = 0.0
+    num_probes: int = 0
+
+    # ------------------------------------------------------------------ #
+
+    def record(self, link: Link, observed_at_ms: float, rtt_ms: float) -> None:
+        """Append one RTT observation for a link."""
+        self.samples.setdefault(link, []).append((observed_at_ms, rtt_ms))
+        self.num_probes += 1
+
+    def sample_count(self, link: Link) -> int:
+        """Number of samples collected for a link."""
+        return len(self.samples.get(link, []))
+
+    def min_samples_per_link(self) -> int:
+        """Smallest sample count over all observed links (0 when a link is missing)."""
+        if not self.samples:
+            return 0
+        expected = {
+            (a, b) for a in self.instance_ids for b in self.instance_ids if a != b
+        }
+        observed_counts = [len(self.samples.get(link, [])) for link in expected]
+        return min(observed_counts) if observed_counts else 0
+
+    def rtt_values(self, link: Link, until_ms: float | None = None) -> List[float]:
+        """RTT samples of a link observed up to ``until_ms`` (all when ``None``)."""
+        observations = self.samples.get(link, [])
+        if until_ms is None:
+            return [value for _, value in observations]
+        return [value for when, value in observations if when <= until_ms]
+
+    # ------------------------------------------------------------------ #
+
+    def to_cost_matrix(self, metric: LatencyMetric = LatencyMetric.MEAN,
+                       until_ms: float | None = None,
+                       symmetric_fallback: bool = True) -> CostMatrix:
+        """Summarise the samples into a cost matrix.
+
+        Args:
+            metric: latency metric to apply per link.
+            until_ms: only use samples observed before this time; used to
+                study convergence of partial measurements (Fig. 5).
+            symmetric_fallback: when a directed link has no samples yet, use
+                the reverse direction's samples; raises if neither exists.
+        """
+        per_link: Dict[Link, Sequence[float]] = {}
+        for a in self.instance_ids:
+            for b in self.instance_ids:
+                if a == b:
+                    continue
+                values = self.rtt_values((a, b), until_ms)
+                if not values and symmetric_fallback:
+                    values = self.rtt_values((b, a), until_ms)
+                if values:
+                    per_link[(a, b)] = values
+        missing = [
+            (a, b)
+            for a in self.instance_ids for b in self.instance_ids
+            if a != b and (a, b) not in per_link
+        ]
+        if missing:
+            raise MeasurementError(
+                f"{len(missing)} links have no samples at t={until_ms}; "
+                "measure longer before building a cost matrix"
+            )
+        return CostMatrix.from_samples(per_link, metric=metric,
+                                       instance_ids=self.instance_ids)
+
+    def mean_latency_vector(self, until_ms: float | None = None,
+                            symmetric_fallback: bool = True) -> np.ndarray:
+        """Flattened vector of per-link mean latencies (row-major, no diagonal)."""
+        matrix = self.to_cost_matrix(LatencyMetric.MEAN, until_ms=until_ms,
+                                     symmetric_fallback=symmetric_fallback)
+        return matrix.link_costs()
+
+
+def normalized_latency_vector(matrix: CostMatrix) -> np.ndarray:
+    """Unit-norm latency vector, the representation compared in Fig. 4."""
+    vector = matrix.link_costs()
+    norm = float(np.linalg.norm(vector))
+    return vector / norm if norm > 0 else vector
+
+
+def relative_error_cdf_input(estimate: CostMatrix, reference: CostMatrix) -> np.ndarray:
+    """Per-link normalized relative error of ``estimate`` against ``reference``.
+
+    Both matrices are normalized to unit vectors first so a uniform bias
+    (over- or under-estimating every link by the same factor) counts as zero
+    error, exactly as in the paper's comparison methodology.
+    """
+    if estimate.instance_ids != reference.instance_ids:
+        estimate = estimate.submatrix(reference.instance_ids)
+    est = normalized_latency_vector(estimate)
+    ref = normalized_latency_vector(reference)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        errors = np.abs(est - ref) / ref
+    return np.nan_to_num(errors, nan=0.0, posinf=0.0)
+
+
+def rmse_convergence(result: MeasurementResult, reference: CostMatrix,
+                     checkpoints_ms: Sequence[float]) -> List[Tuple[float, float]]:
+    """Root-mean-square error of partial estimates at increasing durations.
+
+    Reproduces the methodology of Fig. 5: the estimate built from samples up
+    to each checkpoint is compared against ``reference`` (the paper uses the
+    full 30-minute measurement as ground truth).
+    """
+    reference_vector = reference.link_costs()
+    curve: List[Tuple[float, float]] = []
+    for checkpoint in checkpoints_ms:
+        try:
+            partial = result.to_cost_matrix(LatencyMetric.MEAN, until_ms=checkpoint)
+        except MeasurementError:
+            continue
+        estimate_vector = partial.link_costs()
+        rmse = float(np.sqrt(np.mean((estimate_vector - reference_vector) ** 2)))
+        curve.append((checkpoint, rmse))
+    return curve

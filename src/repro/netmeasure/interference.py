@@ -1,0 +1,67 @@
+"""Interference model for concurrent latency probes.
+
+The three measurement schemes of Sect. 5 differ in how much *cross-link
+correlation* their probe traffic creates: token passing serialises all
+probes (no interference), the staged scheme schedules disjoint pairs (no
+interference but parallel), and the uncoordinated scheme lets probes collide
+at shared endpoints.  The model below inflates an observed round-trip time
+as a function of how many other probes share its source or destination at
+the same time, which is what queueing at the VM's network stack does in a
+real cloud.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from ..core.types import InstanceId, Link
+
+
+@dataclass(frozen=True)
+class InterferenceModel:
+    """Inflation of probe RTTs caused by concurrent probes at shared endpoints.
+
+    Attributes:
+        per_flow_penalty_ms: additive delay for every other concurrent flow
+            that shares an endpoint with the probe (send or receive side).
+        self_collision_factor: multiplicative inflation applied when the
+            probing instance is itself serving another transfer at the same
+            time (a send and a receive competing for one virtual NIC).
+    """
+
+    per_flow_penalty_ms: float = 0.25
+    self_collision_factor: float = 1.15
+
+    def endpoint_load(self, probes: Sequence[Link]) -> Dict[InstanceId, int]:
+        """Number of concurrent flows touching each instance in a probe batch."""
+        load: Dict[InstanceId, int] = {}
+        for src, dst in probes:
+            load[src] = load.get(src, 0) + 1
+            load[dst] = load.get(dst, 0) + 1
+        return load
+
+    def observed_rtt(self, probe: Link, true_rtt_ms: float,
+                     endpoint_load: Dict[InstanceId, int]) -> float:
+        """Observed RTT of ``probe`` given the batch's endpoint loads.
+
+        A probe always contributes one flow at each of its own endpoints, so
+        a load of 1 at both endpoints means no interference at all.
+        """
+        src, dst = probe
+        extra_flows = (endpoint_load.get(src, 1) - 1) + (endpoint_load.get(dst, 1) - 1)
+        observed = true_rtt_ms + self.per_flow_penalty_ms * extra_flows
+        if extra_flows > 0:
+            observed *= self.self_collision_factor
+        return observed
+
+    def batch_observations(self, probes: Sequence[Tuple[Link, float]]) -> Tuple[float, ...]:
+        """Observed RTTs for a batch of (probe, true RTT) pairs issued together."""
+        load = self.endpoint_load([probe for probe, _ in probes])
+        return tuple(
+            self.observed_rtt(probe, true_rtt, load) for probe, true_rtt in probes
+        )
+
+
+#: Interference-free model used by token passing and the staged scheme.
+NO_INTERFERENCE = InterferenceModel(per_flow_penalty_ms=0.0, self_collision_factor=1.0)

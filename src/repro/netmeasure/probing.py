@@ -1,0 +1,153 @@
+"""Probe execution shared by the measurement schemes.
+
+A measurement scheme decides *which* probes to issue together; the
+:class:`ProbeEngine` executes a batch of concurrent probes against the
+simulated cloud, applies the interference model, and records the observed
+round-trip times in a :class:`~repro.netmeasure.estimator.MeasurementResult`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.errors import MeasurementError
+from ..core.types import InstanceId, Link, make_rng
+from ..cloud.provider import SimulatedCloud
+from .estimator import MeasurementResult
+from .interference import NO_INTERFERENCE, InterferenceModel
+
+
+class ProbeEngine:
+    """Executes batches of concurrent probes and records their observations.
+
+    Args:
+        cloud: the simulated cloud to probe.
+        result: the measurement result being filled in.
+        interference: how concurrent probes at shared endpoints inflate RTTs.
+        message_bytes: probe payload size (1 KB in the paper's experiments).
+        rng: random stream for RTT sampling.
+    """
+
+    def __init__(self, cloud: SimulatedCloud, result: MeasurementResult,
+                 interference: InterferenceModel = NO_INTERFERENCE,
+                 message_bytes: int = 1024,
+                 rng: np.random.Generator | int | None = None):
+        self.cloud = cloud
+        self.result = result
+        self.interference = interference
+        self.message_bytes = message_bytes
+        self.rng = make_rng(rng)
+        self.clock_ms = 0.0
+
+    def run_batch(self, probes: Sequence[Link],
+                  repetitions: int = 1) -> List[Tuple[Link, float]]:
+        """Issue ``probes`` concurrently, each repeated ``repetitions`` times.
+
+        All probes of the batch start together; within a probe, repetitions
+        are back-to-back round trips between the same pair (the staged
+        scheme's ``Ks`` optimisation).  The batch finishes when its slowest
+        probe finishes, which is how long the scheme must wait before
+        starting the next batch.
+
+        Returns:
+            The observed samples, one entry per (probe, repetition).
+        """
+        if repetitions < 1:
+            raise MeasurementError("repetitions must be >= 1")
+        observations: List[Tuple[Link, float]] = []
+        completion_times: List[float] = []
+        load = self.interference.endpoint_load(list(probes))
+
+        for probe in probes:
+            src, dst = probe
+            elapsed_in_probe = 0.0
+            for _ in range(repetitions):
+                true_rtt = self.cloud.sample_rtt(
+                    src, dst, message_bytes=self.message_bytes, rng=self.rng
+                )
+                observed = self.interference.observed_rtt(probe, true_rtt, load)
+                elapsed_in_probe += observed
+                self.result.record(probe, self.clock_ms + elapsed_in_probe, observed)
+                observations.append((probe, observed))
+            completion_times.append(elapsed_in_probe)
+
+        if completion_times:
+            self.clock_ms += max(completion_times)
+        self.result.elapsed_ms = self.clock_ms
+        return observations
+
+    def advance(self, milliseconds: float) -> None:
+        """Account for non-probe time (coordination messages, token passes)."""
+        if milliseconds < 0:
+            raise MeasurementError("cannot advance the clock backwards")
+        self.clock_ms += milliseconds
+        self.result.elapsed_ms = self.clock_ms
+
+
+class MeasurementScheme(abc.ABC):
+    """Base class for the three pairwise measurement methodologies of Sect. 5."""
+
+    #: Name reported in measurement results.
+    name: str = "scheme"
+
+    def __init__(self, message_bytes: int = 1024, seed: int | None = None):
+        self.message_bytes = message_bytes
+        self._seed = seed
+
+    @abc.abstractmethod
+    def measure(self, cloud: SimulatedCloud, instance_ids: Sequence[InstanceId],
+                target_samples_per_link: int = 10,
+                max_duration_ms: float | None = None) -> MeasurementResult:
+        """Collect RTT samples for every ordered pair of instances.
+
+        Args:
+            cloud: the simulated cloud.
+            instance_ids: the allocated instances to measure.
+            target_samples_per_link: stop once (almost) every link has this
+                many samples.
+            max_duration_ms: stop once this much simulated time has passed,
+                even if some links have fewer samples.
+        """
+
+    def _validate(self, instance_ids: Sequence[InstanceId]) -> List[InstanceId]:
+        ids = list(instance_ids)
+        if len(ids) < 2:
+            raise MeasurementError("need at least two instances to measure latency")
+        if len(ids) != len(set(ids)):
+            raise MeasurementError("duplicate instance identifiers")
+        return ids
+
+
+def all_ordered_pairs(instance_ids: Sequence[InstanceId]) -> List[Link]:
+    """Every ordered pair of distinct instances."""
+    return [(a, b) for a in instance_ids for b in instance_ids if a != b]
+
+
+def round_robin_pairings(instance_ids: Sequence[InstanceId]) -> List[List[Link]]:
+    """Round-robin tournament schedule: disjoint pairings covering all pairs.
+
+    Uses the classic circle method.  For ``n`` instances (padded to even with
+    a bye), it produces ``n - 1`` rounds of ``n / 2`` disjoint pairs, and
+    every unordered pair appears exactly once.  The staged scheme's
+    coordinator uses consecutive rounds, alternating probe direction, so all
+    ordered pairs are eventually covered without endpoint collisions.
+    """
+    ids = list(instance_ids)
+    bye = object()
+    if len(ids) % 2 == 1:
+        ids = ids + [bye]  # type: ignore[list-item]
+    half = len(ids) // 2
+    rounds: List[List[Link]] = []
+    rotation = ids[:]
+    for _ in range(len(ids) - 1):
+        pairs: List[Link] = []
+        for k in range(half):
+            a, b = rotation[k], rotation[len(ids) - 1 - k]
+            if a is not bye and b is not bye:
+                pairs.append((a, b))
+        rounds.append(pairs)
+        rotation = [rotation[0]] + [rotation[-1]] + rotation[1:-1]
+    return rounds

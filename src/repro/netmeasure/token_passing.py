@@ -1,0 +1,57 @@
+"""Token-passing measurement (Sect. 5, approach 1).
+
+A unique token circulates among the instances; only the token holder probes,
+so exactly one message is in flight at any time and measurements are free of
+cross-link correlation.  The price is a total measurement time proportional
+to the number of links times the samples per link — the scheme does not
+scale, which is why the paper uses it only as the accuracy baseline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core.types import InstanceId, Link, make_rng
+from ..cloud.provider import SimulatedCloud
+from .estimator import MeasurementResult
+from .interference import NO_INTERFERENCE
+from .probing import MeasurementScheme, ProbeEngine, all_ordered_pairs
+
+
+class TokenPassingMeasurement(MeasurementScheme):
+    """Serial probing driven by a circulating token.
+
+    Args:
+        token_pass_overhead_ms: time to hand the token to the next instance.
+            The paper passes the token with a small control message; we
+            charge a constant close to a one-way cheap-link latency.
+    """
+
+    name = "token-passing"
+
+    def __init__(self, message_bytes: int = 1024, seed: int | None = None,
+                 token_pass_overhead_ms: float = 0.25):
+        super().__init__(message_bytes=message_bytes, seed=seed)
+        self.token_pass_overhead_ms = token_pass_overhead_ms
+
+    def measure(self, cloud: SimulatedCloud, instance_ids: Sequence[InstanceId],
+                target_samples_per_link: int = 10,
+                max_duration_ms: float | None = None) -> MeasurementResult:
+        ids = self._validate(instance_ids)
+        rng = make_rng(self._seed)
+        result = MeasurementResult(scheme=self.name, instance_ids=tuple(ids))
+        engine = ProbeEngine(cloud, result, interference=NO_INTERFERENCE,
+                             message_bytes=self.message_bytes, rng=rng)
+
+        pairs: List[Link] = all_ordered_pairs(ids)
+        for _ in range(target_samples_per_link):
+            # The token visits the pairs in a shuffled order each sweep, so a
+            # drifting network does not bias early links systematically.
+            order = list(rng.permutation(len(pairs)))
+            for index in order:
+                probe = pairs[index]
+                engine.run_batch([probe], repetitions=1)
+                engine.advance(self.token_pass_overhead_ms)
+                if max_duration_ms is not None and engine.clock_ms >= max_duration_ms:
+                    return result
+        return result

@@ -1,0 +1,63 @@
+"""Uncoordinated parallel measurement (Sect. 5, approach 2).
+
+Every instance independently picks a random destination and probes it; all
+instances do this at the same time, so up to ``n`` messages are in flight.
+Because destinations are chosen without coordination, probes collide — an
+instance may be sending its own probe while serving someone else's, and
+several probes may target the same destination.  Those collisions inflate
+the observed round-trip times, which is exactly the accuracy penalty that
+Fig. 4 quantifies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core.types import InstanceId, Link, make_rng
+from ..cloud.provider import SimulatedCloud
+from .estimator import MeasurementResult
+from .interference import InterferenceModel
+from .probing import MeasurementScheme, ProbeEngine
+
+
+class UncoordinatedMeasurement(MeasurementScheme):
+    """Parallel probing with independently chosen random destinations."""
+
+    name = "uncoordinated"
+
+    def __init__(self, message_bytes: int = 1024, seed: int | None = None,
+                 interference: InterferenceModel | None = None):
+        super().__init__(message_bytes=message_bytes, seed=seed)
+        self.interference = interference if interference is not None else InterferenceModel()
+
+    def measure(self, cloud: SimulatedCloud, instance_ids: Sequence[InstanceId],
+                target_samples_per_link: int = 10,
+                max_duration_ms: float | None = None) -> MeasurementResult:
+        ids = self._validate(instance_ids)
+        rng = make_rng(self._seed)
+        result = MeasurementResult(scheme=self.name, instance_ids=tuple(ids))
+        engine = ProbeEngine(cloud, result, interference=self.interference,
+                             message_bytes=self.message_bytes, rng=rng)
+
+        num_links = len(ids) * (len(ids) - 1)
+        target_total = target_samples_per_link * num_links
+
+        # Each round issues one probe per instance; in expectation a given
+        # directed link is covered once every (n - 1) rounds, so we plan for
+        # a generous number of rounds and additionally stop on sample count
+        # or duration.
+        max_rounds = target_samples_per_link * (len(ids) - 1) * 3
+        for _ in range(max_rounds):
+            probes: List[Link] = []
+            for src in ids:
+                dst = ids[int(rng.integers(len(ids) - 1))]
+                if dst == src:
+                    dst = ids[-1]
+                probes.append((src, dst))
+            engine.run_batch(probes, repetitions=1)
+            if max_duration_ms is not None and engine.clock_ms >= max_duration_ms:
+                break
+            if result.num_probes >= target_total and \
+                    result.min_samples_per_link() >= max(1, target_samples_per_link // 2):
+                break
+        return result

@@ -1,0 +1,51 @@
+"""Deployment-plan search techniques (Sect. 4 of the paper)."""
+
+from .base import (
+    ConvergenceTrace,
+    DeploymentSolver,
+    SearchBudget,
+    SolverResult,
+    Stopwatch,
+    best_random_plan,
+    default_plan,
+    random_plans,
+)
+from .cp import (
+    CPLongestLinkSolver,
+    SearchOutcome,
+    SubgraphMonomorphismSearch,
+)
+from .greedy import GreedyG1, GreedyG2
+from .local_search import SimulatedAnnealing, SwapLocalSearch
+from .mip import (
+    LLNDPEncoding,
+    LPNDPEncoding,
+    MIPLongestLinkSolver,
+    MIPLongestPathSolver,
+)
+from .portfolio import PortfolioSolver
+from .random_search import RandomSearch
+
+__all__ = [
+    "CPLongestLinkSolver",
+    "ConvergenceTrace",
+    "DeploymentSolver",
+    "GreedyG1",
+    "GreedyG2",
+    "LLNDPEncoding",
+    "LPNDPEncoding",
+    "MIPLongestLinkSolver",
+    "MIPLongestPathSolver",
+    "PortfolioSolver",
+    "RandomSearch",
+    "SearchBudget",
+    "SearchOutcome",
+    "SimulatedAnnealing",
+    "SolverResult",
+    "Stopwatch",
+    "SubgraphMonomorphismSearch",
+    "SwapLocalSearch",
+    "best_random_plan",
+    "default_plan",
+    "random_plans",
+]

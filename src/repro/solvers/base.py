@@ -1,0 +1,209 @@
+"""Common interfaces shared by all node-deployment solvers.
+
+A solver receives a communication graph, a cost matrix over allocated
+instances and an objective, and returns a :class:`SolverResult` containing
+the best deployment plan found, the plan's cost, a convergence trace and
+whether optimality was proven.  Solvers respect a :class:`SearchBudget`
+(time limit and/or iteration limit) so the benchmarks can compare them under
+equal conditions, as the paper does (Sect. 6.5).
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.communication_graph import CommunicationGraph
+from ..core.cost_matrix import CostMatrix
+from ..core.deployment import DeploymentPlan
+from ..core.errors import InfeasibleProblemError, SolverError
+from ..core.objectives import Objective, deployment_cost
+from ..core.types import make_rng
+
+
+@dataclass(frozen=True)
+class SearchBudget:
+    """Limits on how long a solver may search.
+
+    Attributes:
+        time_limit_s: wall-clock limit in seconds (``None`` = unlimited).
+        max_iterations: iteration limit whose meaning is solver-specific
+            (random plans generated, branch-and-bound nodes, CP backtracks).
+        target_cost: stop early once a plan at or below this cost is found.
+    """
+
+    time_limit_s: Optional[float] = None
+    max_iterations: Optional[int] = None
+    target_cost: Optional[float] = None
+
+    @classmethod
+    def unlimited(cls) -> "SearchBudget":
+        """A budget with no limits (use with care)."""
+        return cls()
+
+    @classmethod
+    def seconds(cls, seconds: float) -> "SearchBudget":
+        """A pure time budget."""
+        return cls(time_limit_s=seconds)
+
+
+class Stopwatch:
+    """Tracks elapsed time against an optional deadline."""
+
+    def __init__(self, budget: SearchBudget):
+        self._budget = budget
+        self._start = time.perf_counter()
+
+    def elapsed(self) -> float:
+        """Seconds since the solver started."""
+        return time.perf_counter() - self._start
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left, or ``None`` when the budget has no time limit."""
+        if self._budget.time_limit_s is None:
+            return None
+        return self._budget.time_limit_s - self.elapsed()
+
+    def expired(self) -> bool:
+        """Whether the time limit has been reached."""
+        remaining = self.remaining()
+        return remaining is not None and remaining <= 0.0
+
+
+@dataclass
+class ConvergenceTrace:
+    """Incumbent cost over time, for convergence plots (Figs. 6, 7, 9)."""
+
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def record(self, elapsed_s: float, cost: float) -> None:
+        """Record a new incumbent if it improves on the previous one."""
+        if not self.points or cost < self.points[-1][1]:
+            self.points.append((elapsed_s, cost))
+
+    def best_cost(self) -> Optional[float]:
+        """Cost of the last (best) incumbent, if any."""
+        return self.points[-1][1] if self.points else None
+
+    def cost_at(self, elapsed_s: float) -> Optional[float]:
+        """Best cost known at a given point in time."""
+        best = None
+        for when, cost in self.points:
+            if when <= elapsed_s:
+                best = cost
+            else:
+                break
+        return best
+
+    def as_tuples(self) -> Tuple[Tuple[float, float], ...]:
+        """Immutable copy of the trace points."""
+        return tuple(self.points)
+
+
+@dataclass(frozen=True)
+class SolverResult:
+    """Outcome of one solver run."""
+
+    plan: DeploymentPlan
+    cost: float
+    objective: Objective
+    solver_name: str
+    solve_time_s: float
+    iterations: int
+    optimal: bool
+    trace: Tuple[Tuple[float, float], ...] = ()
+
+    def improvement_over(self, baseline_cost: float) -> float:
+        """Relative improvement of this result over a baseline cost."""
+        if baseline_cost <= 0:
+            return 0.0
+        return max(0.0, (baseline_cost - self.cost) / baseline_cost)
+
+
+class DeploymentSolver(abc.ABC):
+    """Base class for all node-deployment solvers."""
+
+    #: Human-readable solver name used in results and benchmark output.
+    name: str = "solver"
+
+    #: Objectives the solver can optimise.
+    supported_objectives: Tuple[Objective, ...] = (
+        Objective.LONGEST_LINK,
+        Objective.LONGEST_PATH,
+    )
+
+    def check_problem(self, graph: CommunicationGraph, costs: CostMatrix,
+                      objective: Objective) -> None:
+        """Validate a problem instance before solving it."""
+        if objective not in self.supported_objectives:
+            raise SolverError(
+                f"{self.name} does not support objective {objective.value}"
+            )
+        if costs.num_instances < graph.num_nodes:
+            raise InfeasibleProblemError(
+                f"{graph.num_nodes} application nodes cannot be deployed on "
+                f"{costs.num_instances} instances"
+            )
+
+    @abc.abstractmethod
+    def solve(self, graph: CommunicationGraph, costs: CostMatrix,
+              objective: Objective = Objective.LONGEST_LINK,
+              budget: SearchBudget | None = None,
+              initial_plan: DeploymentPlan | None = None) -> SolverResult:
+        """Search for a low-cost deployment plan.
+
+        Args:
+            graph: the application communication graph.
+            costs: pairwise communication costs over allocated instances.
+            objective: which deployment cost function to minimise.
+            budget: optional time / iteration limits.
+            initial_plan: optional warm-start plan.
+
+        Returns:
+            The best plan found, its cost, and bookkeeping information.
+        """
+
+
+def random_plans(graph: CommunicationGraph, costs: CostMatrix, count: int,
+                 rng: np.random.Generator | int | None = None) -> List[DeploymentPlan]:
+    """Generate ``count`` uniformly random deployment plans."""
+    generator = make_rng(rng)
+    instances = list(costs.instance_ids)
+    return [
+        DeploymentPlan.random(graph.nodes, instances, generator)
+        for _ in range(count)
+    ]
+
+
+def best_random_plan(graph: CommunicationGraph, costs: CostMatrix,
+                     objective: Objective, count: int,
+                     rng: np.random.Generator | int | None = None
+                     ) -> Tuple[DeploymentPlan, float]:
+    """Best of ``count`` random plans; used to bootstrap exact solvers.
+
+    The paper seeds its solvers with the best of 10 random deployments
+    (Sect. 6.3.1).
+    """
+    generator = make_rng(rng)
+    best_plan: Optional[DeploymentPlan] = None
+    best_cost = float("inf")
+    for plan in random_plans(graph, costs, count, generator):
+        cost = deployment_cost(plan, graph, costs, objective)
+        if cost < best_cost:
+            best_plan, best_cost = plan, cost
+    if best_plan is None:
+        raise SolverError("count must be positive to draw a random plan")
+    return best_plan, best_cost
+
+
+def default_plan(graph: CommunicationGraph, costs: CostMatrix) -> DeploymentPlan:
+    """The default deployment: nodes mapped to instances in provider order.
+
+    This is the baseline every experiment in Sect. 6.4 compares against.
+    """
+    instances: Sequence[int] = costs.instance_ids[: graph.num_nodes]
+    return DeploymentPlan.identity(graph.nodes, instances)

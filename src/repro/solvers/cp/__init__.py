@@ -1,0 +1,20 @@
+"""Constraint-programming machinery for the longest-link deployment problem."""
+
+from .alldifferent import matching_feasible, propagate_assignment, prune_singletons
+from .domains import DomainStore
+from .labeling import compatibility_domains, quick_infeasibility_check, threshold_degrees
+from .llndp_cp import CPLongestLinkSolver
+from .subgraph import SearchOutcome, SubgraphMonomorphismSearch
+
+__all__ = [
+    "CPLongestLinkSolver",
+    "DomainStore",
+    "SearchOutcome",
+    "SubgraphMonomorphismSearch",
+    "compatibility_domains",
+    "matching_feasible",
+    "propagate_assignment",
+    "prune_singletons",
+    "quick_infeasibility_check",
+    "threshold_degrees",
+]

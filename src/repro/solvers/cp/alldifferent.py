@@ -1,0 +1,93 @@
+"""``alldifferent`` reasoning for the CP deployment solver.
+
+The CP encoding of Sect. 4.2 keeps one integer variable per application
+node whose value is the hosting instance, with an ``alldifferent``
+constraint over all of them.  Two levels of propagation are provided:
+
+* *value elimination* — once a variable is assigned, its value is removed
+  from every other domain (arc consistency on the pairwise decomposition);
+* *matching feasibility* — a bipartite matching test that detects, earlier
+  than value elimination can, situations where the remaining domains cannot
+  be completed to an injective assignment (a lightweight stand-in for
+  Régin's filtering).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Mapping, Sequence, Set
+
+from .domains import DomainStore
+
+Variable = Hashable
+
+
+def propagate_assignment(store: DomainStore, assigned_var: Variable,
+                         value: int) -> bool:
+    """Remove ``value`` from the domain of every other variable.
+
+    Returns ``False`` if this wipes out some domain.
+    """
+    for var in store.variables:
+        if var == assigned_var:
+            continue
+        if not store.remove(var, value):
+            return False
+    return True
+
+
+def matching_feasible(domains: Mapping[Variable, Iterable[int]]) -> bool:
+    """Check whether an injective assignment consistent with the domains exists.
+
+    Runs Kuhn's augmenting-path algorithm on the variable/value bipartite
+    graph.  Complexity is O(V * E); with at most a few hundred variables and
+    values this is cheap enough to run periodically during search.
+    """
+    variables = list(domains)
+    # Order variables by domain size: tight variables first makes failures
+    # appear earlier.
+    variables.sort(key=lambda v: len(list(domains[v])))
+
+    match_of_value: Dict[int, Variable] = {}
+    match_of_var: Dict[Variable, int] = {}
+
+    def try_augment(var: Variable, visited: Set[int]) -> bool:
+        for value in domains[var]:
+            if value in visited:
+                continue
+            visited.add(value)
+            owner = match_of_value.get(value)
+            if owner is None or try_augment(owner, visited):
+                match_of_value[value] = var
+                match_of_var[var] = value
+                return True
+        return False
+
+    for var in variables:
+        if not try_augment(var, set()):
+            return False
+    return True
+
+
+def prune_singletons(store: DomainStore, variables: Sequence[Variable] | None = None) -> bool:
+    """Repeatedly apply value elimination for every assigned variable.
+
+    Returns ``False`` on wipeout.  This restores arc consistency after bulk
+    domain restrictions (e.g. the initial compatibility filtering).
+    """
+    work = list(variables if variables is not None else store.variables)
+    processed: Set[Variable] = set()
+    while work:
+        var = work.pop()
+        if var in processed or not store.is_assigned(var):
+            continue
+        processed.add(var)
+        value = store.value(var)
+        for other in store.variables:
+            if other == var:
+                continue
+            before = store.size(other)
+            if not store.remove(other, value):
+                return False
+            if store.size(other) == 1 and before > 1:
+                work.append(other)
+    return True

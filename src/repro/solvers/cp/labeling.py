@@ -1,0 +1,119 @@
+"""Degree- and neighborhood-based compatibility filtering (Sect. 4.2).
+
+At the root of the CP search tree the paper filters the domain of every
+application node using a labeling that expresses compatibility between
+application nodes and instances in the threshold graph ``G_c``: an
+application node can only be mapped to an instance whose in/out degree is at
+least as large, and whose neighborhood degree profile dominates the node's.
+This module computes those initial domains for a given threshold graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+import numpy as np
+
+from ...core.communication_graph import CommunicationGraph
+from ...core.types import NodeId
+
+
+def threshold_degrees(allowed: np.ndarray) -> Dict[str, np.ndarray]:
+    """Out-, in- and undirected degrees of every instance in a threshold graph.
+
+    Args:
+        allowed: boolean adjacency matrix of the instance threshold graph
+            ``G_c`` (entry ``[a, b]`` is ``True`` when the link ``a -> b`` is
+            cheap enough to use).
+    """
+    out_degree = allowed.sum(axis=1)
+    in_degree = allowed.sum(axis=0)
+    undirected = (allowed | allowed.T).sum(axis=1)
+    return {"out": out_degree, "in": in_degree, "undirected": undirected}
+
+
+def _dominates(sorted_larger: List[int], sorted_smaller: List[int]) -> bool:
+    """True when the k-th largest of one sequence is >= the k-th of the other."""
+    if len(sorted_larger) < len(sorted_smaller):
+        return False
+    return all(
+        sorted_larger[k] >= sorted_smaller[k] for k in range(len(sorted_smaller))
+    )
+
+
+def compatibility_domains(graph: CommunicationGraph, allowed: np.ndarray,
+                          refine_neighborhood: bool = True
+                          ) -> Dict[NodeId, Set[int]]:
+    """Initial CP domains: which instance indices each node may map to.
+
+    An instance index ``s`` stays in the domain of node ``i`` when:
+
+    1. the out-degree and in-degree of ``s`` in the threshold graph are at
+       least the out-/in-degree of ``i`` in the communication graph, and
+    2. (optionally) the sorted undirected degrees of the threshold-graph
+       neighbors of ``s`` dominate the sorted undirected degrees of the
+       communication-graph neighbors of ``i``.
+
+    Both checks are necessary conditions for a monomorphism to exist, so the
+    filtering never removes feasible values.
+    """
+    num_instances = allowed.shape[0]
+    degrees = threshold_degrees(allowed)
+    undirected_allowed = allowed | allowed.T
+
+    node_out = {n: graph.out_degree(n) for n in graph.nodes}
+    node_in = {n: graph.in_degree(n) for n in graph.nodes}
+    node_neighbor_degrees = {
+        n: sorted((graph.degree(m) for m in graph.neighbors(n)), reverse=True)
+        for n in graph.nodes
+    }
+    instance_neighbor_degrees: List[List[int]] = []
+    for s in range(num_instances):
+        neighbor_indices = np.nonzero(undirected_allowed[s])[0]
+        instance_neighbor_degrees.append(
+            sorted(
+                (int(degrees["undirected"][t]) for t in neighbor_indices),
+                reverse=True,
+            )
+        )
+
+    domains: Dict[NodeId, Set[int]] = {}
+    for node in graph.nodes:
+        candidates: Set[int] = set()
+        for s in range(num_instances):
+            if degrees["out"][s] < node_out[node]:
+                continue
+            if degrees["in"][s] < node_in[node]:
+                continue
+            if refine_neighborhood and not _dominates(
+                instance_neighbor_degrees[s], node_neighbor_degrees[node]
+            ):
+                continue
+            candidates.add(s)
+        domains[node] = candidates
+    return domains
+
+
+def quick_infeasibility_check(graph: CommunicationGraph, allowed: np.ndarray) -> bool:
+    """Cheap necessary conditions for a monomorphism to exist.
+
+    Returns ``True`` when the threshold graph *might* contain the
+    communication graph (the CP search still has to confirm), ``False`` when
+    it provably cannot — e.g. not enough instances, not enough edges, or the
+    degree profiles cannot be matched.
+    """
+    num_instances = allowed.shape[0]
+    if num_instances < graph.num_nodes:
+        return False
+    if int(allowed.sum()) < graph.num_edges:
+        return False
+    degrees = threshold_degrees(allowed)
+    instance_out = sorted((int(d) for d in degrees["out"]), reverse=True)
+    instance_in = sorted((int(d) for d in degrees["in"]), reverse=True)
+    node_out = sorted((graph.out_degree(n) for n in graph.nodes), reverse=True)
+    node_in = sorted((graph.in_degree(n) for n in graph.nodes), reverse=True)
+    if not _dominates(instance_out, node_out):
+        return False
+    if not _dominates(instance_in, node_in):
+        return False
+    return True

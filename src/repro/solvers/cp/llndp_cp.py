@@ -1,0 +1,146 @@
+"""Constraint-programming solver for the Longest Link problem (Sect. 4.2).
+
+The solver exploits the connection between LLNDP and subgraph isomorphism:
+a deployment of cost at most ``c`` exists iff the threshold graph ``G_c``
+(instances connected by links of cost <= ``c``) contains a subgraph
+isomorphic to the communication graph.  Starting from an initial incumbent,
+the solver repeatedly lowers the threshold to the next smaller distinct cost
+value and re-solves the satisfaction problem, stopping when no deployment is
+found (the incumbent is then optimal) or the budget runs out.
+
+Cost clustering (Sect. 6.3) reduces the number of distinct values — and thus
+iterations — at the price of approximating the objective.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from ...core.communication_graph import CommunicationGraph
+from ...core.cost_matrix import CostMatrix
+from ...core.deployment import DeploymentPlan
+from ...core.objectives import Objective, deployment_cost
+from ...core.types import make_rng
+from ..base import (
+    ConvergenceTrace,
+    DeploymentSolver,
+    SearchBudget,
+    SolverResult,
+    Stopwatch,
+    best_random_plan,
+)
+from .subgraph import SubgraphMonomorphismSearch
+
+
+class CPLongestLinkSolver(DeploymentSolver):
+    """Iterative threshold-lowering CP solver for LLNDP.
+
+    Args:
+        k_clusters: number of cost clusters to round link costs into before
+            solving (``None`` disables clustering, reproducing the paper's
+            "no clustering" configuration).
+        round_to: rounding grid (ms) applied to costs before clustering;
+            the paper rounds to the nearest 0.01 ms.
+        initial_random_plans: how many random plans seed the incumbent.
+        max_backtracks_per_iteration: optional cap on backtracks within one
+            satisfaction search, to bound worst-case behaviour.
+        seed: RNG seed for the initial random plans.
+    """
+
+    name = "CP"
+    supported_objectives = (Objective.LONGEST_LINK,)
+
+    def __init__(self, k_clusters: Optional[int] = 20, round_to: float | None = 0.01,
+                 initial_random_plans: int = 10,
+                 max_backtracks_per_iteration: int | None = 200_000,
+                 matching_check_interval: int = 8,
+                 seed: int | None = None):
+        if k_clusters is not None and k_clusters < 2:
+            raise ValueError("k_clusters must be at least 2 (or None)")
+        self.k_clusters = k_clusters
+        self.round_to = round_to
+        self.initial_random_plans = max(1, initial_random_plans)
+        self.max_backtracks_per_iteration = max_backtracks_per_iteration
+        self.matching_check_interval = matching_check_interval
+        self._seed = seed
+
+    def solve(self, graph: CommunicationGraph, costs: CostMatrix,
+              objective: Objective = Objective.LONGEST_LINK,
+              budget: SearchBudget | None = None,
+              initial_plan: DeploymentPlan | None = None) -> SolverResult:
+        budget = budget or SearchBudget.seconds(30.0)
+        self.check_problem(graph, costs, objective)
+        watch = Stopwatch(budget)
+        trace = ConvergenceTrace()
+        rng = make_rng(self._seed)
+
+        clustered = costs.clustered(self.k_clusters, round_to=self.round_to)
+        cost_array = clustered.as_array()
+        instance_ids = list(clustered.instance_ids)
+
+        # Seed the incumbent with the best of a few random plans (and the
+        # caller-provided warm start when available).
+        plan, _ = best_random_plan(graph, costs, objective,
+                                   self.initial_random_plans, rng)
+        if initial_plan is not None:
+            if deployment_cost(initial_plan, graph, costs, objective) < \
+                    deployment_cost(plan, graph, costs, objective):
+                plan = initial_plan
+        best_plan = plan
+        best_true_cost = deployment_cost(best_plan, graph, costs, objective)
+        best_clustered_cost = deployment_cost(best_plan, graph, clustered, objective)
+        trace.record(watch.elapsed(), best_true_cost)
+
+        distinct = clustered.distinct_costs()
+        iterations = 0
+        proven_optimal = False
+
+        while not watch.expired():
+            lower_values = distinct[distinct < best_clustered_cost - 1e-12]
+            if lower_values.size == 0:
+                proven_optimal = True
+                break
+            threshold = float(lower_values.max())
+            allowed = cost_array <= threshold + 1e-12
+            np.fill_diagonal(allowed, False)
+
+            remaining = watch.remaining()
+            deadline = (time.perf_counter() + remaining) if remaining is not None else None
+            search = SubgraphMonomorphismSearch(
+                graph, instance_ids, allowed, deadline=deadline,
+                max_backtracks=self.max_backtracks_per_iteration,
+                matching_check_interval=self.matching_check_interval,
+            )
+            outcome = search.find()
+            iterations += 1
+
+            if outcome.plan is not None:
+                best_plan = outcome.plan
+                best_clustered_cost = deployment_cost(best_plan, graph, clustered,
+                                                      objective)
+                best_true_cost = deployment_cost(best_plan, graph, costs, objective)
+                trace.record(watch.elapsed(), best_true_cost)
+                if budget.target_cost is not None and best_true_cost <= budget.target_cost:
+                    break
+                continue
+            if outcome.proven_infeasible:
+                # No deployment below the current threshold exists: the
+                # incumbent is optimal with respect to the clustered costs.
+                proven_optimal = True
+                break
+            # Timed out inside the satisfaction search.
+            break
+
+        return SolverResult(
+            plan=best_plan,
+            cost=best_true_cost,
+            objective=objective,
+            solver_name=self.name,
+            solve_time_s=watch.elapsed(),
+            iterations=iterations,
+            optimal=proven_optimal and self.k_clusters is None,
+            trace=trace.as_tuples(),
+        )

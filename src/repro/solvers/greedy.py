@@ -1,0 +1,209 @@
+"""Greedy deployment construction: Algorithms 1 (G1) and 2 (G2) of the paper.
+
+Both algorithms grow a partial deployment one application node at a time,
+always picking the cheapest instance link available:
+
+* **G1** only looks at the *explicit* cost of the link it is about to add.
+  Its weakness, noted in Sect. 4.3.2, is that mapping a node to an instance
+  also fixes the cost of every other communication edge between that node
+  and already-mapped neighbors ("implicit links"), which can be expensive.
+* **G2** repairs this by charging each candidate the maximum over the
+  explicit link cost and all implicit link costs it would introduce.
+
+For the longest-path problem (LPNDP) the paper uses the same greedy
+construction as a heuristic (Sect. 4.5.2): the plan is built with the
+longest-link logic and then evaluated under the longest-path objective.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.communication_graph import CommunicationGraph
+from ..core.cost_matrix import CostMatrix
+from ..core.deployment import DeploymentPlan
+from ..core.errors import SolverError
+from ..core.objectives import Objective, deployment_cost
+from ..core.types import InstanceId, NodeId
+from .base import DeploymentSolver, SearchBudget, SolverResult, Stopwatch
+
+
+class _GreedyState:
+    """Bookkeeping for a growing partial deployment."""
+
+    def __init__(self, graph: CommunicationGraph, costs: CostMatrix):
+        self.graph = graph
+        self.costs = costs
+        self.node_to_instance: Dict[NodeId, InstanceId] = {}
+        self.instance_to_node: Dict[InstanceId, NodeId] = {}
+        self.unmapped_nodes: Set[NodeId] = set(graph.nodes)
+        self.unused_instances: Set[InstanceId] = set(costs.instance_ids)
+
+    def assign(self, node: NodeId, instance: InstanceId) -> None:
+        self.node_to_instance[node] = instance
+        self.instance_to_node[instance] = node
+        self.unmapped_nodes.discard(node)
+        self.unused_instances.discard(instance)
+
+    def unmatched_neighbors(self, node: NodeId) -> List[NodeId]:
+        """Neighbors of ``node`` in the communication graph not yet mapped."""
+        return [n for n in self.graph.neighbors(node) if n in self.unmapped_nodes]
+
+    def frontier_instances(self) -> List[InstanceId]:
+        """Instances hosting a node that still has unmatched neighbors."""
+        return [
+            instance
+            for instance, node in self.instance_to_node.items()
+            if self.unmatched_neighbors(node)
+        ]
+
+    def finished(self) -> bool:
+        return not self.unmapped_nodes
+
+    def plan(self) -> DeploymentPlan:
+        return DeploymentPlan(self.node_to_instance)
+
+
+def _cheapest_link(costs: CostMatrix,
+                   sources: List[InstanceId],
+                   destinations: Set[InstanceId]) -> Optional[Tuple[InstanceId, InstanceId, float]]:
+    """Cheapest directed link from ``sources`` into ``destinations``."""
+    best: Optional[Tuple[InstanceId, InstanceId, float]] = None
+    for u in sources:
+        for v in destinations:
+            if u == v:
+                continue
+            cost = costs.cost(u, v)
+            if best is None or cost < best[2]:
+                best = (u, v, cost)
+    return best
+
+
+def _seed_state(state: _GreedyState) -> None:
+    """Place the first edge of a (new) connected component.
+
+    Following lines 1–3 of Algorithms 1 and 2: find the globally cheapest
+    available instance link and map an arbitrary unmapped communication edge
+    onto it.  When only isolated nodes remain, they are placed one by one on
+    arbitrary free instances (their placement cannot affect the objective).
+    """
+    graph, costs = state.graph, state.costs
+    unmapped_edges = [
+        (x, y) for x, y in graph.edges
+        if x in state.unmapped_nodes and y in state.unmapped_nodes
+    ]
+    free = sorted(state.unused_instances)
+    if not unmapped_edges:
+        # Only isolated (or already partially covered) nodes remain.
+        node = min(state.unmapped_nodes)
+        state.assign(node, free[0])
+        return
+    best = _cheapest_link(costs, free, set(free))
+    if best is None:
+        raise SolverError("not enough free instances to seed the deployment")
+    u0, v0, _ = best
+    x, y = unmapped_edges[0]
+    state.assign(x, u0)
+    state.assign(y, v0)
+
+
+class GreedyG1(DeploymentSolver):
+    """Algorithm 1: greedy expansion by cheapest explicit link."""
+
+    name = "G1"
+
+    def solve(self, graph: CommunicationGraph, costs: CostMatrix,
+              objective: Objective = Objective.LONGEST_LINK,
+              budget: SearchBudget | None = None,
+              initial_plan: DeploymentPlan | None = None) -> SolverResult:
+        budget = budget or SearchBudget.unlimited()
+        self.check_problem(graph, costs, objective)
+        watch = Stopwatch(budget)
+        state = _GreedyState(graph, costs)
+        _seed_state(state)
+        iterations = 0
+
+        while not state.finished():
+            iterations += 1
+            frontier = state.frontier_instances()
+            best = _cheapest_link(costs, frontier, state.unused_instances)
+            if best is None:
+                # Disconnected remainder: start a new component.
+                _seed_state(state)
+                continue
+            u_min, v_min, _ = best
+            anchor_node = state.instance_to_node[u_min]
+            w = state.unmatched_neighbors(anchor_node)[0]
+            state.assign(w, v_min)
+
+        plan = state.plan()
+        cost = deployment_cost(plan, graph, costs, objective)
+        return SolverResult(
+            plan=plan, cost=cost, objective=objective, solver_name=self.name,
+            solve_time_s=watch.elapsed(), iterations=iterations, optimal=False,
+            trace=((watch.elapsed(), cost),),
+        )
+
+
+class GreedyG2(DeploymentSolver):
+    """Algorithm 2: greedy expansion accounting for implicit link costs."""
+
+    name = "G2"
+
+    def solve(self, graph: CommunicationGraph, costs: CostMatrix,
+              objective: Objective = Objective.LONGEST_LINK,
+              budget: SearchBudget | None = None,
+              initial_plan: DeploymentPlan | None = None) -> SolverResult:
+        budget = budget or SearchBudget.unlimited()
+        self.check_problem(graph, costs, objective)
+        watch = Stopwatch(budget)
+        state = _GreedyState(graph, costs)
+        _seed_state(state)
+        iterations = 0
+
+        while not state.finished():
+            iterations += 1
+            choice = self._best_candidate(state)
+            if choice is None:
+                _seed_state(state)
+                continue
+            w_min, v_min = choice
+            state.assign(w_min, v_min)
+
+        plan = state.plan()
+        cost = deployment_cost(plan, graph, costs, objective)
+        return SolverResult(
+            plan=plan, cost=cost, objective=objective, solver_name=self.name,
+            solve_time_s=watch.elapsed(), iterations=iterations, optimal=False,
+            trace=((watch.elapsed(), cost),),
+        )
+
+    def _best_candidate(self, state: _GreedyState) -> Optional[Tuple[NodeId, InstanceId]]:
+        """Pick the (node, instance) addition minimising explicit + implicit cost.
+
+        For a candidate that maps node ``w`` (an unmatched neighbor of an
+        already-mapped node hosted on instance ``u``) onto free instance
+        ``v``, the charged cost is the maximum of ``CL(u, v)`` and the cost
+        of every communication edge between ``w`` and any already-mapped
+        node ``x`` evaluated in the direction the edge specifies.
+        """
+        graph, costs = state.graph, state.costs
+        best_cost = float("inf")
+        best: Optional[Tuple[NodeId, InstanceId]] = None
+        for u in state.frontier_instances():
+            anchor = state.instance_to_node[u]
+            for w in state.unmatched_neighbors(anchor):
+                for v in state.unused_instances:
+                    candidate_cost = costs.cost(u, v)
+                    for x in graph.successors(w):
+                        mapped = state.node_to_instance.get(x)
+                        if mapped is not None:
+                            candidate_cost = max(candidate_cost, costs.cost(v, mapped))
+                    for x in graph.predecessors(w):
+                        mapped = state.node_to_instance.get(x)
+                        if mapped is not None:
+                            candidate_cost = max(candidate_cost, costs.cost(mapped, v))
+                    if candidate_cost < best_cost:
+                        best_cost = candidate_cost
+                        best = (w, v)
+        return best

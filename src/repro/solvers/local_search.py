@@ -1,0 +1,187 @@
+"""Swap-based local search and simulated annealing.
+
+These solvers are not part of the paper's evaluated algorithm set; they are
+the natural "next lightweight step" after R2 and are included as an ablation
+extension (DESIGN.md, experiment A3).  Moves preserve injectivity:
+
+* *swap* — exchange the instances of two mapped nodes;
+* *relocate* — move a node to a currently unused (over-allocated) instance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from ..core.communication_graph import CommunicationGraph
+from ..core.cost_matrix import CostMatrix
+from ..core.deployment import DeploymentPlan
+from ..core.objectives import Objective, deployment_cost
+from ..core.types import make_rng
+from .base import (
+    ConvergenceTrace,
+    DeploymentSolver,
+    SearchBudget,
+    SolverResult,
+    Stopwatch,
+    best_random_plan,
+)
+
+
+class SwapLocalSearch(DeploymentSolver):
+    """First-improvement hill climbing over swap and relocate moves.
+
+    Args:
+        restarts: how many random restarts to perform when time allows.
+        seed: RNG seed.
+        max_moves_without_improvement: stop a descent after this many
+            consecutive non-improving proposals.
+    """
+
+    name = "local-search"
+
+    def __init__(self, restarts: int = 3, seed: int | None = None,
+                 max_moves_without_improvement: int = 2000):
+        if restarts < 1:
+            raise ValueError("restarts must be >= 1")
+        self.restarts = restarts
+        self.max_moves_without_improvement = max_moves_without_improvement
+        self._seed = seed
+
+    def solve(self, graph: CommunicationGraph, costs: CostMatrix,
+              objective: Objective = Objective.LONGEST_LINK,
+              budget: SearchBudget | None = None,
+              initial_plan: DeploymentPlan | None = None) -> SolverResult:
+        budget = budget or SearchBudget.seconds(2.0)
+        self.check_problem(graph, costs, objective)
+        rng = make_rng(self._seed)
+        watch = Stopwatch(budget)
+        trace = ConvergenceTrace()
+        instances = list(costs.instance_ids)
+        nodes = list(graph.nodes)
+
+        best_plan: Optional[DeploymentPlan] = initial_plan
+        best_cost = (
+            deployment_cost(initial_plan, graph, costs, objective)
+            if initial_plan is not None else float("inf")
+        )
+        iterations = 0
+
+        for restart in range(self.restarts):
+            if watch.expired():
+                break
+            if restart == 0 and initial_plan is not None:
+                plan, cost = initial_plan, best_cost
+            else:
+                plan, cost = best_random_plan(graph, costs, objective, 10, rng)
+            trace.record(watch.elapsed(), min(cost, best_cost if best_plan else cost))
+
+            stall = 0
+            while stall < self.max_moves_without_improvement and not watch.expired():
+                iterations += 1
+                candidate = self._propose(plan, nodes, instances, rng)
+                candidate_cost = deployment_cost(candidate, graph, costs, objective)
+                if candidate_cost < cost:
+                    plan, cost = candidate, candidate_cost
+                    stall = 0
+                    if cost < best_cost:
+                        best_plan, best_cost = plan, cost
+                        trace.record(watch.elapsed(), cost)
+                else:
+                    stall += 1
+                if budget.max_iterations is not None and iterations >= budget.max_iterations:
+                    break
+            if cost < best_cost:
+                best_plan, best_cost = plan, cost
+                trace.record(watch.elapsed(), cost)
+            if budget.max_iterations is not None and iterations >= budget.max_iterations:
+                break
+
+        if best_plan is None:
+            best_plan, best_cost = best_random_plan(graph, costs, objective, 1, rng)
+            trace.record(watch.elapsed(), best_cost)
+
+        return SolverResult(
+            plan=best_plan, cost=best_cost, objective=objective,
+            solver_name=self.name, solve_time_s=watch.elapsed(),
+            iterations=iterations, optimal=False, trace=trace.as_tuples(),
+        )
+
+    @staticmethod
+    def _propose(plan: DeploymentPlan, nodes: List[int], instances: List[int],
+                 rng) -> DeploymentPlan:
+        """Random swap or relocation move."""
+        unused = plan.unused_instances(instances)
+        if unused and rng.random() < 0.3:
+            node = nodes[int(rng.integers(len(nodes)))]
+            target = unused[int(rng.integers(len(unused)))]
+            return plan.with_relocation(node, target)
+        a, b = rng.choice(len(nodes), size=2, replace=False)
+        return plan.with_swap(nodes[int(a)], nodes[int(b)])
+
+
+class SimulatedAnnealing(DeploymentSolver):
+    """Simulated annealing over the same move set as :class:`SwapLocalSearch`.
+
+    Args:
+        initial_temperature: starting temperature relative to the initial
+            cost (a fraction; the absolute temperature is ``fraction * cost``).
+        cooling: multiplicative cooling factor applied per accepted move.
+        seed: RNG seed.
+    """
+
+    name = "annealing"
+
+    def __init__(self, initial_temperature: float = 0.3, cooling: float = 0.995,
+                 seed: int | None = None):
+        if not 0.0 < cooling < 1.0:
+            raise ValueError("cooling must be in (0, 1)")
+        if initial_temperature <= 0:
+            raise ValueError("initial_temperature must be positive")
+        self.initial_temperature = initial_temperature
+        self.cooling = cooling
+        self._seed = seed
+
+    def solve(self, graph: CommunicationGraph, costs: CostMatrix,
+              objective: Objective = Objective.LONGEST_LINK,
+              budget: SearchBudget | None = None,
+              initial_plan: DeploymentPlan | None = None) -> SolverResult:
+        budget = budget or SearchBudget.seconds(2.0)
+        self.check_problem(graph, costs, objective)
+        rng = make_rng(self._seed)
+        watch = Stopwatch(budget)
+        trace = ConvergenceTrace()
+        instances = list(costs.instance_ids)
+        nodes = list(graph.nodes)
+
+        if initial_plan is not None:
+            plan = initial_plan
+            cost = deployment_cost(plan, graph, costs, objective)
+        else:
+            plan, cost = best_random_plan(graph, costs, objective, 10, rng)
+        best_plan, best_cost = plan, cost
+        trace.record(watch.elapsed(), best_cost)
+
+        temperature = self.initial_temperature * max(cost, 1e-9)
+        iterations = 0
+        while not watch.expired():
+            if budget.max_iterations is not None and iterations >= budget.max_iterations:
+                break
+            iterations += 1
+            candidate = SwapLocalSearch._propose(plan, nodes, instances, rng)
+            candidate_cost = deployment_cost(candidate, graph, costs, objective)
+            delta = candidate_cost - cost
+            if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-12)):
+                plan, cost = candidate, candidate_cost
+                temperature *= self.cooling
+                if cost < best_cost:
+                    best_plan, best_cost = plan, cost
+                    trace.record(watch.elapsed(), best_cost)
+            if budget.target_cost is not None and best_cost <= budget.target_cost:
+                break
+
+        return SolverResult(
+            plan=best_plan, cost=best_cost, objective=objective,
+            solver_name=self.name, solve_time_s=watch.elapsed(),
+            iterations=iterations, optimal=False, trace=trace.as_tuples(),
+        )

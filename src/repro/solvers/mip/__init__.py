@@ -1,0 +1,22 @@
+"""Mixed-integer programming formulations and solvers."""
+
+from .branch_and_bound import BranchAndBound, BranchAndBoundResult
+from .llndp_mip import LLNDPEncoding, MIPLongestLinkSolver
+from .lpndp_mip import LPNDPEncoding, MIPLongestPathSolver
+from .model import LinearConstraintRow, MipModel, MipSolution, Variable
+from .scipy_backend import solve_lp_relaxation, solve_milp
+
+__all__ = [
+    "BranchAndBound",
+    "BranchAndBoundResult",
+    "LLNDPEncoding",
+    "LPNDPEncoding",
+    "LinearConstraintRow",
+    "MIPLongestLinkSolver",
+    "MIPLongestPathSolver",
+    "MipModel",
+    "MipSolution",
+    "Variable",
+    "solve_lp_relaxation",
+    "solve_milp",
+]

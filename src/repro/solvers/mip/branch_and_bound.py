@@ -1,0 +1,197 @@
+"""Pure-Python best-first branch and bound over LP relaxations.
+
+This solver plays the role of the commercial MIP solver in the paper.  It
+keeps a best-first frontier of subproblems ordered by their LP-relaxation
+bound, branches on the most fractional integer variable, and — crucially for
+the deployment MIPs, whose LP relaxations are notoriously weak (Sect. 6.3.2)
+— lets the caller provide a *rounding callback* that turns a fractional LP
+solution into a feasible incumbent, so useful deployments appear early even
+when proving optimality is hopeless.  Incumbent improvements are recorded
+with timestamps, which is what the convergence figures (Figs. 7 and 9) plot.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .model import MipModel, MipSolution
+from .scipy_backend import solve_lp_relaxation
+
+#: Turns a (possibly fractional) solution vector into a feasible integer
+#: solution vector, or returns ``None`` when it cannot.
+RoundingCallback = Callable[[np.ndarray], Optional[np.ndarray]]
+
+
+@dataclass(order=True)
+class _Node:
+    """A branch-and-bound node, ordered by its LP bound."""
+
+    bound: float
+    sequence: int
+    extra_bounds: Dict[int, Tuple[float, float]] = field(compare=False)
+    lp_values: Optional[np.ndarray] = field(compare=False, default=None)
+
+
+@dataclass
+class BranchAndBoundResult:
+    """Outcome of a branch-and-bound run."""
+
+    solution: MipSolution
+    incumbent_trace: Tuple[Tuple[float, float], ...]
+    nodes_explored: int
+    proven_optimal: bool
+
+
+class BranchAndBound:
+    """Best-first branch and bound with LP bounding.
+
+    Args:
+        model: the mixed-integer model to minimise.
+        rounding_callback: optional primal heuristic applied to every LP
+            solution encountered.
+        integrality_tolerance: threshold below which a value counts as integral.
+    """
+
+    def __init__(self, model: MipModel,
+                 rounding_callback: RoundingCallback | None = None,
+                 integrality_tolerance: float = 1e-6):
+        self.model = model
+        self.rounding_callback = rounding_callback
+        self.integrality_tolerance = integrality_tolerance
+
+    # ------------------------------------------------------------------ #
+
+    def solve(self, time_limit_s: float | None = None,
+              node_limit: int | None = None) -> BranchAndBoundResult:
+        """Run the search until optimality, the time limit or the node limit."""
+        start = time.perf_counter()
+        deadline = None if time_limit_s is None else start + time_limit_s
+        counter = itertools.count()
+        trace: List[Tuple[float, float]] = []
+
+        best_values: Optional[np.ndarray] = None
+        best_objective = np.inf
+
+        def consider_incumbent(values: np.ndarray) -> None:
+            nonlocal best_values, best_objective
+            if not self.model.is_feasible(values):
+                return
+            objective = self.model.evaluate_objective(values)
+            if objective < best_objective - 1e-12:
+                best_values = values.copy()
+                best_objective = objective
+                trace.append((time.perf_counter() - start, objective))
+
+        root_lp = solve_lp_relaxation(self.model)
+        nodes_explored = 0
+        proven_optimal = False
+
+        if root_lp.status == "infeasible":
+            solution = MipSolution(status="infeasible", objective_value=None,
+                                   values=None, optimal=False,
+                                   solve_time_s=time.perf_counter() - start)
+            return BranchAndBoundResult(solution=solution, incumbent_trace=(),
+                                        nodes_explored=0, proven_optimal=True)
+
+        heap: List[_Node] = []
+        if root_lp.values is not None:
+            self._try_round(root_lp.values, consider_incumbent)
+            heapq.heappush(heap, _Node(bound=root_lp.objective_value or -np.inf,
+                                       sequence=next(counter), extra_bounds={},
+                                       lp_values=root_lp.values))
+
+        while heap:
+            if deadline is not None and time.perf_counter() > deadline:
+                break
+            if node_limit is not None and nodes_explored >= node_limit:
+                break
+            node = heapq.heappop(heap)
+            nodes_explored += 1
+            if node.bound >= best_objective - 1e-9:
+                # Bound can no longer improve on the incumbent; since the heap
+                # is ordered by bound, nothing later can either.
+                proven_optimal = True
+                break
+
+            lp_values = node.lp_values
+            if lp_values is None:
+                lp = solve_lp_relaxation(self.model, extra_bounds=node.extra_bounds)
+                if lp.status != "optimal" or lp.values is None:
+                    continue
+                if lp.objective_value is not None and lp.objective_value >= best_objective - 1e-9:
+                    continue
+                lp_values = lp.values
+                self._try_round(lp_values, consider_incumbent)
+
+            branch_variable = self._most_fractional(lp_values)
+            if branch_variable is None:
+                consider_incumbent(np.round(lp_values))
+                continue
+
+            value = lp_values[branch_variable]
+            for low, high in ((np.floor(value) + 1, np.inf), (-np.inf, np.floor(value))):
+                child_bounds = dict(node.extra_bounds)
+                previous = child_bounds.get(branch_variable, (-np.inf, np.inf))
+                child_bounds[branch_variable] = (
+                    max(previous[0], low), min(previous[1], high)
+                )
+                lp = solve_lp_relaxation(self.model, extra_bounds=child_bounds)
+                if lp.status != "optimal" or lp.values is None:
+                    continue
+                if lp.objective_value is not None and lp.objective_value >= best_objective - 1e-9:
+                    continue
+                self._try_round(lp.values, consider_incumbent)
+                heapq.heappush(heap, _Node(
+                    bound=lp.objective_value if lp.objective_value is not None else -np.inf,
+                    sequence=next(counter),
+                    extra_bounds=child_bounds,
+                    lp_values=lp.values,
+                ))
+
+        if not heap and not proven_optimal and best_values is not None:
+            # Search tree exhausted without pruning by bound: optimal.
+            proven_optimal = (deadline is None or time.perf_counter() <= deadline) and \
+                (node_limit is None or nodes_explored < node_limit)
+
+        elapsed = time.perf_counter() - start
+        if best_values is None:
+            solution = MipSolution(status="no-solution", objective_value=None,
+                                   values=None, optimal=False, solve_time_s=elapsed)
+        else:
+            solution = MipSolution(
+                status="optimal" if proven_optimal else "feasible",
+                objective_value=best_objective, values=best_values,
+                optimal=proven_optimal, solve_time_s=elapsed,
+            )
+        return BranchAndBoundResult(solution=solution,
+                                    incumbent_trace=tuple(trace),
+                                    nodes_explored=nodes_explored,
+                                    proven_optimal=proven_optimal)
+
+    # ------------------------------------------------------------------ #
+
+    def _most_fractional(self, values: np.ndarray) -> Optional[int]:
+        """Integer variable whose LP value is farthest from integral."""
+        best_index: Optional[int] = None
+        best_distance = self.integrality_tolerance
+        for index in self.model.integer_indices():
+            distance = abs(values[index] - round(values[index]))
+            if distance > best_distance:
+                best_distance = distance
+                best_index = index
+        return best_index
+
+    def _try_round(self, values: np.ndarray,
+                   consider_incumbent: Callable[[np.ndarray], None]) -> None:
+        """Run the primal rounding heuristic, if any, on an LP solution."""
+        if self.rounding_callback is None:
+            return
+        rounded = self.rounding_callback(values)
+        if rounded is not None:
+            consider_incumbent(rounded)

@@ -1,0 +1,244 @@
+"""MIP encoding and solver for the Longest Path problem (Sect. 4.4).
+
+The encoding introduces, on top of the assignment variables ``x_ij``:
+
+* ``c_{ii'}`` — the realised cost of communication edge ``(i, i')`` under
+  the assignment;
+* ``t_i`` — the cost of the most expensive directed path reaching node ``i``;
+* ``t`` — the overall objective, an upper bound on every ``t_i``.
+
+As the paper notes, this objective interacts poorly with the subgraph
+structure of the problem (it only prunes once most nodes are placed), which
+is why no CP formulation is provided for LPNDP and why randomized search is
+surprisingly competitive (Sect. 6.5.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from ...core.communication_graph import CommunicationGraph, augment_with_dummy_nodes
+from ...core.cost_matrix import CostMatrix
+from ...core.deployment import DeploymentPlan
+from ...core.errors import InvalidGraphError
+from ...core.objectives import Objective, deployment_cost, longest_path_cost
+from ..base import (
+    ConvergenceTrace,
+    DeploymentSolver,
+    SearchBudget,
+    SolverResult,
+    Stopwatch,
+)
+from .branch_and_bound import BranchAndBound
+from .model import MipModel
+from .scipy_backend import solve_milp
+
+
+class LPNDPEncoding:
+    """Builds and decodes the longest-path MIP for one problem instance."""
+
+    def __init__(self, graph: CommunicationGraph, costs: CostMatrix):
+        if not graph.is_dag():
+            raise InvalidGraphError("LPNDP requires an acyclic communication graph")
+        self.graph = graph
+        self.costs = costs
+        self.instance_ids = list(costs.instance_ids)
+        self.cost_array = costs.as_array()
+        self.padded_graph = augment_with_dummy_nodes(graph, costs.num_instances)
+        self.nodes = list(self.padded_graph.nodes)
+        self.num_instances = costs.num_instances
+
+        self.model = MipModel()
+        self.x_index: Dict[Tuple[int, int], int] = {}
+        for node in self.nodes:
+            for j in range(self.num_instances):
+                self.x_index[(node, j)] = self.model.add_binary(f"x[{node},{j}]")
+        self.edge_cost_index: Dict[Tuple[int, int], int] = {
+            edge: self.model.add_variable(f"c[{edge[0]},{edge[1]}]", lower=0.0)
+            for edge in graph.edges
+        }
+        self.path_index: Dict[int, int] = {
+            node: self.model.add_variable(f"t[{node}]", lower=0.0)
+            for node in graph.nodes
+        }
+        self.t_index = self.model.add_variable("t", lower=0.0)
+
+        for node in self.nodes:
+            self.model.add_equality(
+                {self.x_index[(node, j)]: 1.0 for j in range(self.num_instances)}, 1.0
+            )
+        for j in range(self.num_instances):
+            self.model.add_equality(
+                {self.x_index[(node, j)]: 1.0 for node in self.nodes}, 1.0
+            )
+
+        # Edge-cost linking: c_ii' >= CL(j, j') (x_ij + x_i'j' - 1).
+        for (i, i_prime), c_var in self.edge_cost_index.items():
+            for j in range(self.num_instances):
+                for j_prime in range(self.num_instances):
+                    if j == j_prime:
+                        continue
+                    link_cost = float(self.cost_array[j, j_prime])
+                    if link_cost <= 0.0:
+                        continue
+                    self.model.add_constraint(
+                        {
+                            c_var: 1.0,
+                            self.x_index[(i, j)]: -link_cost,
+                            self.x_index[(i_prime, j_prime)]: -link_cost,
+                        },
+                        lower=-link_cost,
+                    )
+
+        # Path propagation: t_i' >= t_i + c_ii' and t >= t_i.
+        for (i, i_prime), c_var in self.edge_cost_index.items():
+            self.model.add_constraint(
+                {
+                    self.path_index[i_prime]: 1.0,
+                    self.path_index[i]: -1.0,
+                    c_var: -1.0,
+                },
+                lower=0.0,
+            )
+        for node in graph.nodes:
+            self.model.add_constraint(
+                {self.t_index: 1.0, self.path_index[node]: -1.0}, lower=0.0
+            )
+
+        self.model.set_objective({self.t_index: 1.0})
+
+    # ------------------------------------------------------------------ #
+
+    def decode(self, values: np.ndarray) -> DeploymentPlan:
+        """Extract an injective deployment plan from a solution vector."""
+        return self._assignment_to_plan(self._extract_assignment(values))
+
+    def rounding_callback(self, values: np.ndarray) -> Optional[np.ndarray]:
+        """Primal heuristic: round a fractional LP solution to a deployment."""
+        assignment = self._extract_assignment(values)
+        return self.solution_vector(assignment)
+
+    def solution_vector(self, assignment: Dict[int, int]) -> np.ndarray:
+        """Full variable vector realising the given node -> instance-index map."""
+        vector = np.zeros(self.model.num_variables)
+        for node, j in assignment.items():
+            vector[self.x_index[(node, j)]] = 1.0
+
+        edge_costs: Dict[Tuple[int, int], float] = {}
+        for (i, i_prime), c_var in self.edge_cost_index.items():
+            cost = float(self.cost_array[assignment[i], assignment[i_prime]])
+            edge_costs[(i, i_prime)] = cost
+            vector[c_var] = cost
+
+        longest_to: Dict[int, float] = {n: 0.0 for n in self.graph.nodes}
+        for node in self.graph.topological_order():
+            for successor in self.graph.successors(node):
+                candidate = longest_to[node] + edge_costs[(node, successor)]
+                if candidate > longest_to[successor]:
+                    longest_to[successor] = candidate
+        for node, t_var in self.path_index.items():
+            vector[t_var] = longest_to[node]
+        vector[self.t_index] = max(longest_to.values()) if longest_to else 0.0
+        return vector
+
+    def _extract_assignment(self, values: np.ndarray) -> Dict[int, int]:
+        weights = np.zeros((len(self.nodes), self.num_instances))
+        for row, node in enumerate(self.nodes):
+            for j in range(self.num_instances):
+                weights[row, j] = values[self.x_index[(node, j)]]
+        rows, cols = linear_sum_assignment(-weights)
+        return {self.nodes[int(r)]: int(c) for r, c in zip(rows, cols)}
+
+    def _assignment_to_plan(self, assignment: Dict[int, int]) -> DeploymentPlan:
+        return DeploymentPlan({
+            node: self.instance_ids[assignment[node]] for node in self.graph.nodes
+        })
+
+
+class MIPLongestPathSolver(DeploymentSolver):
+    """Longest-path solver backed by the MIP encoding of Sect. 4.4.
+
+    Args:
+        backend: ``"bnb"`` (pure-Python branch and bound with incumbent
+            trace) or ``"milp"`` (SciPy HiGHS).
+        k_clusters: optional cost clustering.  The paper finds clustering
+            does *not* help LPNDP because path costs are sums; the default
+            therefore disables it.
+        round_to: rounding grid for clustering.
+        node_limit: branch-and-bound node limit.
+    """
+
+    name = "MIP-LP"
+    supported_objectives = (Objective.LONGEST_PATH,)
+
+    def __init__(self, backend: str = "bnb", k_clusters: Optional[int] = None,
+                 round_to: float | None = 0.01, node_limit: int | None = 5000):
+        if backend not in ("bnb", "milp"):
+            raise ValueError("backend must be 'bnb' or 'milp'")
+        self.backend = backend
+        self.k_clusters = k_clusters
+        self.round_to = round_to
+        self.node_limit = node_limit
+
+    def solve(self, graph: CommunicationGraph, costs: CostMatrix,
+              objective: Objective = Objective.LONGEST_PATH,
+              budget: SearchBudget | None = None,
+              initial_plan: DeploymentPlan | None = None) -> SolverResult:
+        budget = budget or SearchBudget.seconds(30.0)
+        self.check_problem(graph, costs, objective)
+        watch = Stopwatch(budget)
+        trace = ConvergenceTrace()
+
+        clustered = costs.clustered(self.k_clusters, round_to=self.round_to) \
+            if self.k_clusters is not None else costs
+        encoding = LPNDPEncoding(graph, clustered)
+
+        if initial_plan is not None:
+            trace.record(watch.elapsed(),
+                         longest_path_cost(initial_plan, graph, costs))
+
+        if self.backend == "milp":
+            solution = solve_milp(encoding.model, time_limit_s=budget.time_limit_s)
+            optimal = solution.optimal
+            iterations = 1
+            incumbents: Tuple[Tuple[float, float], ...] = ()
+            values = solution.values
+        else:
+            bnb = BranchAndBound(encoding.model,
+                                 rounding_callback=encoding.rounding_callback)
+            result = bnb.solve(time_limit_s=budget.time_limit_s,
+                               node_limit=self.node_limit
+                               if budget.max_iterations is None
+                               else budget.max_iterations)
+            solution = result.solution
+            optimal = result.proven_optimal
+            iterations = result.nodes_explored
+            incumbents = result.incumbent_trace
+            values = solution.values
+
+        if values is None:
+            plan = initial_plan if initial_plan is not None else \
+                DeploymentPlan.identity(graph.nodes,
+                                        costs.instance_ids[: graph.num_nodes])
+            optimal = False
+        else:
+            plan = encoding.decode(values)
+
+        cost = deployment_cost(plan, graph, costs, objective)
+        if initial_plan is not None:
+            warm_cost = deployment_cost(initial_plan, graph, costs, objective)
+            if warm_cost < cost:
+                plan, cost = initial_plan, warm_cost
+        for when, objective_value in incumbents:
+            trace.record(when, objective_value)
+        trace.record(watch.elapsed(), cost)
+
+        return SolverResult(
+            plan=plan, cost=cost, objective=objective, solver_name=self.name,
+            solve_time_s=watch.elapsed(), iterations=iterations,
+            optimal=optimal and self.k_clusters is None,
+            trace=trace.as_tuples(),
+        )

@@ -1,0 +1,122 @@
+"""Solver portfolio: cheap heuristics first, exact search with the rest.
+
+ClouDiA's practical recipe (Sects. 4 and 6.5): greedy and randomized
+solutions are essentially free and give a good incumbent; the exact solver
+(CP for longest link, MIP for longest path) then spends the remaining budget
+trying to improve on it.  The portfolio returns the best plan any member
+produced, together with a merged convergence trace.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.communication_graph import CommunicationGraph
+from ..core.cost_matrix import CostMatrix
+from ..core.deployment import DeploymentPlan
+from ..core.objectives import Objective
+from .base import (
+    ConvergenceTrace,
+    DeploymentSolver,
+    SearchBudget,
+    SolverResult,
+    Stopwatch,
+)
+from .cp.llndp_cp import CPLongestLinkSolver
+from .greedy import GreedyG2
+from .mip.lpndp_mip import MIPLongestPathSolver
+from .random_search import RandomSearch
+
+
+class PortfolioSolver(DeploymentSolver):
+    """Run several solvers in sequence and keep the best deployment.
+
+    Args:
+        solvers: the member solvers, run in order.  When omitted, a default
+            portfolio is chosen per objective at solve time: G2 + a short
+            random search followed by CP (longest link) or the MIP branch
+            and bound (longest path).
+        exact_fraction: fraction of the time budget reserved for the last
+            (exact) member; the earlier members share the remainder.
+    """
+
+    name = "portfolio"
+
+    def __init__(self, solvers: Optional[Sequence[DeploymentSolver]] = None,
+                 exact_fraction: float = 0.8, seed: int | None = None):
+        if not 0.0 < exact_fraction < 1.0:
+            raise ValueError("exact_fraction must be in (0, 1)")
+        self._solvers = list(solvers) if solvers is not None else None
+        self.exact_fraction = exact_fraction
+        self._seed = seed
+
+    def _default_members(self, objective: Objective) -> List[DeploymentSolver]:
+        members: List[DeploymentSolver] = [
+            GreedyG2(),
+            RandomSearch(num_samples=200, seed=self._seed),
+        ]
+        if objective is Objective.LONGEST_LINK:
+            members.append(CPLongestLinkSolver(seed=self._seed))
+        else:
+            members.append(MIPLongestPathSolver(backend="bnb"))
+        return members
+
+    def solve(self, graph: CommunicationGraph, costs: CostMatrix,
+              objective: Objective = Objective.LONGEST_LINK,
+              budget: SearchBudget | None = None,
+              initial_plan: DeploymentPlan | None = None) -> SolverResult:
+        budget = budget or SearchBudget.seconds(10.0)
+        self.check_problem(graph, costs, objective)
+        watch = Stopwatch(budget)
+        members = self._solvers if self._solvers is not None \
+            else self._default_members(objective)
+
+        total = budget.time_limit_s
+        exact_budget = None if total is None else total * self.exact_fraction
+        warm_budget = None if total is None else (total - exact_budget) / max(
+            1, len(members) - 1
+        )
+
+        best: Optional[SolverResult] = None
+        merged = ConvergenceTrace()
+        iterations = 0
+        warm_start = initial_plan
+
+        for position, member in enumerate(members):
+            if watch.expired():
+                break
+            is_last = position == len(members) - 1
+            member_limit = exact_budget if is_last else warm_budget
+            remaining = watch.remaining()
+            if member_limit is not None and remaining is not None:
+                member_limit = min(member_limit, remaining)
+            member_budget = SearchBudget(
+                time_limit_s=member_limit,
+                max_iterations=budget.max_iterations,
+                target_cost=budget.target_cost,
+            )
+            result = member.solve(graph, costs, objective=objective,
+                                  budget=member_budget, initial_plan=warm_start)
+            iterations += result.iterations
+            offset = watch.elapsed() - result.solve_time_s
+            for when, cost in result.trace:
+                merged.record(max(0.0, offset + when), cost)
+            if best is None or result.cost < best.cost:
+                best = result
+            if best is not None:
+                warm_start = best.plan
+            if budget.target_cost is not None and best is not None \
+                    and best.cost <= budget.target_cost:
+                break
+
+        if best is None:
+            fallback = RandomSearch(num_samples=1, seed=self._seed)
+            best = fallback.solve(graph, costs, objective=objective)
+            merged.record(watch.elapsed(), best.cost)
+
+        return SolverResult(
+            plan=best.plan, cost=best.cost, objective=objective,
+            solver_name=self.name, solve_time_s=watch.elapsed(),
+            iterations=iterations, optimal=best.optimal,
+            trace=merged.as_tuples(),
+        )

@@ -1,0 +1,126 @@
+"""Randomized deployment search: the R1 and R2 baselines (Sects. 4.3.1, 4.5.1).
+
+R1 evaluates a fixed number of uniformly random deployment plans and keeps
+the best.  R2 keeps generating random plans until a wall-clock budget runs
+out, which is how the paper gives the randomized approach the same amount of
+time (and, conceptually, hardware) as the CP and MIP solvers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.communication_graph import CommunicationGraph
+from ..core.cost_matrix import CostMatrix
+from ..core.deployment import DeploymentPlan
+from ..core.objectives import Objective, deployment_cost
+from ..core.types import make_rng
+from .base import (
+    ConvergenceTrace,
+    DeploymentSolver,
+    SearchBudget,
+    SolverResult,
+    Stopwatch,
+)
+
+
+class RandomSearch(DeploymentSolver):
+    """Generate random injective deployments and keep the cheapest one.
+
+    Args:
+        num_samples: number of random plans to evaluate.  When ``None`` the
+            solver runs until the budget's time limit (R2 behaviour); when
+            set, it stops after that many samples even if time remains
+            (R1 behaviour).
+        parallel_factor: emulates generating plans on several workers by
+            multiplying the number of samples evaluated per unit of time
+            accounting; only used to document R2 configurations, the search
+            itself is sequential and deterministic.
+        seed: RNG seed.
+    """
+
+    name = "random"
+
+    def __init__(self, num_samples: Optional[int] = 1000,
+                 seed: int | None = None, parallel_factor: int = 1):
+        if num_samples is not None and num_samples <= 0:
+            raise ValueError("num_samples must be positive or None")
+        if parallel_factor < 1:
+            raise ValueError("parallel_factor must be >= 1")
+        self.num_samples = num_samples
+        self.parallel_factor = parallel_factor
+        self._seed = seed
+
+    @classmethod
+    def r1(cls, num_samples: int = 1000, seed: int | None = None) -> "RandomSearch":
+        """The paper's R1 configuration: a fixed number of random plans."""
+        solver = cls(num_samples=num_samples, seed=seed)
+        solver.name = "R1"
+        return solver
+
+    @classmethod
+    def r2(cls, seed: int | None = None, parallel_factor: int = 8) -> "RandomSearch":
+        """The paper's R2 configuration: random search bounded by wall-clock time."""
+        solver = cls(num_samples=None, seed=seed, parallel_factor=parallel_factor)
+        solver.name = "R2"
+        return solver
+
+    def solve(self, graph: CommunicationGraph, costs: CostMatrix,
+              objective: Objective = Objective.LONGEST_LINK,
+              budget: SearchBudget | None = None,
+              initial_plan: DeploymentPlan | None = None) -> SolverResult:
+        budget = budget or SearchBudget.unlimited()
+        self.check_problem(graph, costs, objective)
+        if self.num_samples is None and budget.time_limit_s is None \
+                and budget.max_iterations is None:
+            raise ValueError(
+                "time-bounded random search needs a time or iteration budget"
+            )
+
+        rng = make_rng(self._seed)
+        watch = Stopwatch(budget)
+        trace = ConvergenceTrace()
+        instances = list(costs.instance_ids)
+
+        best_plan = initial_plan
+        best_cost = (
+            deployment_cost(initial_plan, graph, costs, objective)
+            if initial_plan is not None else float("inf")
+        )
+        if best_plan is not None:
+            trace.record(watch.elapsed(), best_cost)
+
+        iterations = 0
+        while True:
+            if self.num_samples is not None and iterations >= self.num_samples:
+                break
+            if budget.max_iterations is not None and iterations >= budget.max_iterations:
+                break
+            if watch.expired():
+                break
+            plan = DeploymentPlan.random(graph.nodes, instances, rng)
+            cost = deployment_cost(plan, graph, costs, objective)
+            iterations += 1
+            if cost < best_cost:
+                best_plan, best_cost = plan, cost
+                trace.record(watch.elapsed(), cost)
+            if budget.target_cost is not None and best_cost <= budget.target_cost:
+                break
+
+        if best_plan is None:
+            # The loop ran zero iterations (e.g. expired budget); fall back to
+            # a single random plan so callers always get a feasible result.
+            best_plan = DeploymentPlan.random(graph.nodes, instances, rng)
+            best_cost = deployment_cost(best_plan, graph, costs, objective)
+            trace.record(watch.elapsed(), best_cost)
+
+        return SolverResult(
+            plan=best_plan,
+            cost=best_cost,
+            objective=objective,
+            solver_name=self.name,
+            solve_time_s=watch.elapsed(),
+            iterations=iterations,
+            optimal=False,
+            trace=trace.as_tuples(),
+        )

@@ -1,0 +1,19 @@
+"""Latency-sensitive application workloads used in the paper's evaluation."""
+
+from .aggregation_query import AggregationQueryWorkload
+from .base import Workload, WorkloadResult, summarise_response_times
+from .behavioral_simulation import BehavioralSimulationWorkload
+from .key_value_store import KeyValueStoreWorkload
+from .runtime import DeploymentComparison, compare_deployments, evaluate_deployment
+
+__all__ = [
+    "AggregationQueryWorkload",
+    "BehavioralSimulationWorkload",
+    "DeploymentComparison",
+    "KeyValueStoreWorkload",
+    "Workload",
+    "WorkloadResult",
+    "compare_deployments",
+    "evaluate_deployment",
+    "summarise_response_times",
+]

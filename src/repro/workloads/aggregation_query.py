@@ -1,0 +1,85 @@
+"""Synthetic aggregation query workload (Sect. 6.1.2): a top-k search tree.
+
+Queries are answered by leaf nodes in parallel; partial aggregates flow up a
+multi-level aggregation tree towards the root.  The response time of a query
+is governed by the leaf-to-root path with the highest total latency — the
+longest-path objective.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..core.communication_graph import CommunicationGraph
+from ..core.deployment import DeploymentPlan
+from ..core.objectives import Objective
+from ..cloud.provider import SimulatedCloud
+from .base import Workload, WorkloadResult, summarise_response_times
+
+
+class AggregationQueryWorkload(Workload):
+    """Multi-level top-k aggregation over a complete tree.
+
+    Args:
+        branching: fan-in of every internal node.
+        depth: number of levels below the root; the paper's 50-node runs use
+            trees of depth at most 4.
+        num_queries: how many queries to replay when evaluating a deployment.
+        compute_ms_per_hop: per-node ranking / merging cost added at every
+            aggregation step (hidden in the paper's experiments).
+        message_bytes: average partial-aggregate size (4 KB in the paper).
+    """
+
+    name = "aggregation-query"
+    objective = Objective.LONGEST_PATH
+    metric = "mean_response_ms"
+
+    def __init__(self, branching: int = 3, depth: int = 3, num_queries: int = 200,
+                 compute_ms_per_hop: float = 0.0, message_bytes: int = 4096):
+        if num_queries < 1:
+            raise ValueError("num_queries must be >= 1")
+        self.branching = branching
+        self.depth = depth
+        self.num_queries = num_queries
+        self.compute_ms_per_hop = compute_ms_per_hop
+        self.message_bytes = message_bytes
+        self._graph = CommunicationGraph.aggregation_tree(branching, depth,
+                                                          leaves_to_root=True)
+        self._topological_order = self._graph.topological_order()
+
+    def communication_graph(self) -> CommunicationGraph:
+        return self._graph
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of tree nodes (root, internal nodes and leaves)."""
+        return self._graph.num_nodes
+
+    def evaluate(self, plan: DeploymentPlan, cloud: SimulatedCloud,
+                 seed: int | None = None) -> WorkloadResult:
+        self._check_plan(plan)
+        sample = self._edge_latency_sampler(plan, cloud, seed)
+        graph = self._graph
+
+        response_times = np.empty(self.num_queries)
+        for query in range(self.num_queries):
+            # Longest-path dynamic program with freshly sampled edge
+            # latencies: arrival[i] is when node i has received every child's
+            # partial aggregate and finished its own merge.
+            arrival: Dict[int, float] = {n: 0.0 for n in graph.nodes}
+            for node in self._topological_order:
+                for parent in graph.successors(node):
+                    transfer = sample(node, parent) + self.compute_ms_per_hop
+                    arrival[parent] = max(arrival[parent], arrival[node] + transfer)
+            response_times[query] = max(arrival.values())
+
+        details = summarise_response_times(response_times)
+        details["queries"] = float(self.num_queries)
+        return WorkloadResult(workload=self.name, metric=self.metric,
+                              value=float(response_times.mean()), details=details)
+
+    def leaves(self) -> List[int]:
+        """Leaf nodes of the aggregation tree (the query executors)."""
+        return [n for n in self._graph.nodes if self._graph.in_degree(n) == 0]

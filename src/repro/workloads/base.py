@@ -1,0 +1,104 @@
+"""Workload interface: how applications experience a deployment.
+
+The paper evaluates ClouDiA on three applications (Sect. 6.1).  In this
+reproduction each application is an *execution-model simulator*: given a
+deployment plan and the simulated cloud, it replays the application's
+communication pattern, sampling per-message latencies from the cloud, and
+reports the performance metric the paper reports (time-to-solution for the
+behavioral simulation, response time for the aggregation query and the
+key-value store).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from ..core.communication_graph import CommunicationGraph
+from ..core.deployment import DeploymentPlan
+from ..core.errors import InvalidDeploymentError
+from ..core.objectives import Objective
+from ..core.types import make_rng
+from ..cloud.provider import SimulatedCloud
+
+
+@dataclass(frozen=True)
+class WorkloadResult:
+    """Performance of one workload run under one deployment.
+
+    Attributes:
+        workload: workload name.
+        metric: name of the performance metric (``time_to_solution_ms`` or
+            ``mean_response_ms``).
+        value: metric value in milliseconds; lower is better.
+        details: auxiliary statistics (percentiles, per-phase breakdowns).
+    """
+
+    workload: str
+    metric: str
+    value: float
+    details: Dict[str, float] = field(default_factory=dict)
+
+
+class Workload(abc.ABC):
+    """A latency-sensitive distributed application."""
+
+    #: Workload name used in results and benchmark output.
+    name: str = "workload"
+
+    #: The deployment cost objective that models this workload best.
+    objective: Objective = Objective.LONGEST_LINK
+
+    #: Performance metric reported by :meth:`evaluate`.
+    metric: str = "time_to_solution_ms"
+
+    #: Message size the application exchanges, used for latency sampling.
+    message_bytes: int = 1024
+
+    @abc.abstractmethod
+    def communication_graph(self) -> CommunicationGraph:
+        """The application's ``talks`` graph (what ClouDiA optimises over)."""
+
+    @abc.abstractmethod
+    def evaluate(self, plan: DeploymentPlan, cloud: SimulatedCloud,
+                 seed: int | None = None) -> WorkloadResult:
+        """Replay the application under ``plan`` and report its performance."""
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers
+    # ------------------------------------------------------------------ #
+
+    def _check_plan(self, plan: DeploymentPlan) -> None:
+        graph = self.communication_graph()
+        if not plan.covers(graph):
+            raise InvalidDeploymentError(
+                f"deployment plan does not cover all {graph.num_nodes} nodes "
+                f"of workload {self.name!r}"
+            )
+
+    def _edge_latency_sampler(self, plan: DeploymentPlan, cloud: SimulatedCloud,
+                              seed: int | None):
+        """Return ``sample(i, j)`` drawing one message latency for edge (i, j)."""
+        rng = make_rng(seed)
+
+        def sample(node_i: int, node_j: int) -> float:
+            return cloud.sample_rtt(
+                plan.instance_for(node_i), plan.instance_for(node_j),
+                message_bytes=self.message_bytes, rng=rng,
+            )
+
+        return sample
+
+
+def summarise_response_times(values: np.ndarray) -> Dict[str, float]:
+    """Common response-time summary statistics attached to workload results."""
+    return {
+        "p50_ms": float(np.percentile(values, 50)),
+        "p90_ms": float(np.percentile(values, 90)),
+        "p99_ms": float(np.percentile(values, 99)),
+        "max_ms": float(values.max()),
+        "min_ms": float(values.min()),
+    }

@@ -1,0 +1,71 @@
+"""Behavioral simulation workload (Sect. 6.1.1): a BSP fish school.
+
+The simulation partitions space over a 2-D mesh of nodes.  Every tick, each
+node exchanges boundary data with its mesh neighbors and then waits at a
+barrier; the tick therefore lasts as long as the slowest neighbor exchange
+(plus local compute).  Summed over many ticks, time-to-solution is dominated
+by the worst link of the deployment — the longest-link objective.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.communication_graph import CommunicationGraph
+from ..core.deployment import DeploymentPlan
+from ..core.objectives import Objective
+from ..cloud.provider import SimulatedCloud
+from .base import Workload, WorkloadResult, summarise_response_times
+
+
+class BehavioralSimulationWorkload(Workload):
+    """Tick-synchronised 2-D mesh simulation (Couzin-style fish school).
+
+    Args:
+        rows, cols: mesh dimensions; the paper's 100-node runs use a 10x10
+            mesh.
+        ticks: number of simulation ticks to replay.  The paper runs 100 K
+            ticks; the default here is smaller so examples finish quickly,
+            and time-to-solution simply scales linearly with it.
+        compute_ms_per_tick: CPU time per tick, hidden in the paper's
+            network-focused experiments (default 0).
+        message_bytes: boundary exchange size per link per tick (1 KB).
+    """
+
+    name = "behavioral-simulation"
+    objective = Objective.LONGEST_LINK
+    metric = "time_to_solution_ms"
+
+    def __init__(self, rows: int = 10, cols: int = 10, ticks: int = 200,
+                 compute_ms_per_tick: float = 0.0, message_bytes: int = 1024):
+        if ticks < 1:
+            raise ValueError("ticks must be >= 1")
+        self.rows = rows
+        self.cols = cols
+        self.ticks = ticks
+        self.compute_ms_per_tick = compute_ms_per_tick
+        self.message_bytes = message_bytes
+        self._graph = CommunicationGraph.mesh_2d(rows, cols)
+
+    def communication_graph(self) -> CommunicationGraph:
+        return self._graph
+
+    def evaluate(self, plan: DeploymentPlan, cloud: SimulatedCloud,
+                 seed: int | None = None) -> WorkloadResult:
+        self._check_plan(plan)
+        sample = self._edge_latency_sampler(plan, cloud, seed)
+        edges = self._graph.edges
+
+        tick_times = np.empty(self.ticks)
+        for tick in range(self.ticks):
+            # The barrier at the end of the tick completes when the slowest
+            # neighbor exchange completes.
+            slowest_exchange = max(sample(i, j) for i, j in edges)
+            tick_times[tick] = slowest_exchange + self.compute_ms_per_tick
+
+        total = float(tick_times.sum())
+        details = summarise_response_times(tick_times)
+        details["mean_tick_ms"] = float(tick_times.mean())
+        details["ticks"] = float(self.ticks)
+        return WorkloadResult(workload=self.name, metric=self.metric,
+                              value=total, details=details)

@@ -1,0 +1,90 @@
+"""Running workloads under competing deployments and comparing them.
+
+The headline experiments of the paper (Figs. 11–13) all have the same shape:
+evaluate a workload under the *default* deployment (instances in provider
+order) and under the ClouDiA-optimised deployment, and report the relative
+reduction in time-to-solution or response time.  This module packages that
+comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.deployment import DeploymentPlan
+from ..cloud.provider import SimulatedCloud
+from .base import Workload, WorkloadResult
+
+
+@dataclass(frozen=True)
+class DeploymentComparison:
+    """Performance of a workload under a baseline and an optimised deployment."""
+
+    workload: str
+    metric: str
+    baseline: WorkloadResult
+    optimized: WorkloadResult
+
+    @property
+    def reduction(self) -> float:
+        """Relative reduction of the metric, e.g. 0.30 for a 30 % improvement.
+
+        Negative values mean the "optimised" deployment was actually worse.
+        """
+        if self.baseline.value <= 0:
+            return 0.0
+        return (self.baseline.value - self.optimized.value) / self.baseline.value
+
+    @property
+    def reduction_percent(self) -> float:
+        """Reduction expressed in percent."""
+        return 100.0 * self.reduction
+
+
+def evaluate_deployment(workload: Workload, plan: DeploymentPlan,
+                        cloud: SimulatedCloud,
+                        seed: int | None = None) -> WorkloadResult:
+    """Run ``workload`` once under ``plan`` and return its performance."""
+    return workload.evaluate(plan, cloud, seed=seed)
+
+
+def compare_deployments(workload: Workload, baseline_plan: DeploymentPlan,
+                        optimized_plan: DeploymentPlan, cloud: SimulatedCloud,
+                        seed: int | None = None,
+                        repetitions: int = 1) -> DeploymentComparison:
+    """Evaluate two deployments of the same workload under identical traffic.
+
+    Args:
+        workload: the application to replay.
+        baseline_plan: typically the default (provider-order) deployment.
+        optimized_plan: typically ClouDiA's plan.
+        cloud: the simulated cloud both plans run on.
+        seed: base seed; both plans see the same sequence of seeds so the
+            comparison is paired.
+        repetitions: number of paired runs to average, reducing run-to-run
+            jitter in the reported reduction.
+    """
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
+
+    baseline_total = 0.0
+    optimized_total = 0.0
+    last_baseline: Optional[WorkloadResult] = None
+    last_optimized: Optional[WorkloadResult] = None
+    for repetition in range(repetitions):
+        run_seed = None if seed is None else seed + repetition
+        last_baseline = workload.evaluate(baseline_plan, cloud, seed=run_seed)
+        last_optimized = workload.evaluate(optimized_plan, cloud, seed=run_seed)
+        baseline_total += last_baseline.value
+        optimized_total += last_optimized.value
+
+    assert last_baseline is not None and last_optimized is not None
+    baseline = WorkloadResult(workload=workload.name, metric=workload.metric,
+                              value=baseline_total / repetitions,
+                              details=last_baseline.details)
+    optimized = WorkloadResult(workload=workload.name, metric=workload.metric,
+                               value=optimized_total / repetitions,
+                               details=last_optimized.details)
+    return DeploymentComparison(workload=workload.name, metric=workload.metric,
+                                baseline=baseline, optimized=optimized)

@@ -1,0 +1,67 @@
+"""Shared fixtures and helpers for the ClouDiA reproduction test suite."""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Tuple
+
+import numpy as np
+import pytest
+
+from repro.cloud import DatacenterTopology, ProviderProfile, SimulatedCloud
+from repro.core import CommunicationGraph, CostMatrix, DeploymentPlan, Objective
+from repro.core.objectives import deployment_cost
+
+
+@pytest.fixture
+def small_cloud() -> SimulatedCloud:
+    """A compact EC2-profile cloud used across integration-style tests."""
+    topology = DatacenterTopology(num_pods=3, racks_per_pod=4, hosts_per_rack=8, seed=11)
+    return SimulatedCloud(profile=ProviderProfile.ec2(), topology=topology, seed=11)
+
+
+@pytest.fixture
+def allocated_ids(small_cloud: SimulatedCloud):
+    """Twelve instances allocated from the small cloud."""
+    return [inst.instance_id for inst in small_cloud.allocate(12)]
+
+
+@pytest.fixture
+def mesh_graph() -> CommunicationGraph:
+    """A 3x3 bidirectional mesh, the smallest interesting HPC-style graph."""
+    return CommunicationGraph.mesh_2d(3, 3)
+
+
+@pytest.fixture
+def tree_graph() -> CommunicationGraph:
+    """A small aggregation tree (binary, depth 2 => 7 nodes)."""
+    return CommunicationGraph.aggregation_tree(branching=2, depth=2)
+
+
+def deterministic_cost_matrix(num_instances: int, seed: int = 0,
+                              low: float = 0.2, high: float = 1.4,
+                              symmetric: bool = True) -> CostMatrix:
+    """A reproducible random cost matrix with EC2-like latency ranges."""
+    rng = np.random.default_rng(seed)
+    matrix = rng.uniform(low, high, size=(num_instances, num_instances))
+    if symmetric:
+        matrix = (matrix + matrix.T) / 2.0
+    np.fill_diagonal(matrix, 0.0)
+    return CostMatrix(list(range(num_instances)), matrix)
+
+
+def brute_force_optimum(graph: CommunicationGraph, costs: CostMatrix,
+                        objective: Objective) -> Tuple[DeploymentPlan, float]:
+    """Exhaustively enumerate all injective deployments (tiny instances only)."""
+    nodes = list(graph.nodes)
+    instances = list(costs.instance_ids)
+    assert len(instances) <= 8, "brute force is only meant for tiny problems"
+    best_plan = None
+    best_cost = float("inf")
+    for assignment in permutations(instances, len(nodes)):
+        plan = DeploymentPlan(dict(zip(nodes, assignment)))
+        cost = deployment_cost(plan, graph, costs, objective)
+        if cost < best_cost:
+            best_plan, best_cost = plan, cost
+    assert best_plan is not None
+    return best_plan, best_cost

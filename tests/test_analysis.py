@@ -1,0 +1,123 @@
+"""Tests for the analysis helpers (CDFs, statistics, reporting)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    banner,
+    cdf_points,
+    confidence_interval,
+    empirical_cdf,
+    format_comparison,
+    format_series,
+    format_table,
+    geometric_mean,
+    improvement_percent,
+    normalized,
+    pearson,
+    relative_errors,
+    rmse,
+    spearman,
+    summary,
+)
+from repro.core.errors import ClouDiAError
+
+
+class TestCDF:
+    def test_basic_properties(self):
+        cdf = empirical_cdf([3.0, 1.0, 2.0, 4.0])
+        assert cdf.at(0.5) == 0.0
+        assert cdf.at(2.0) == 0.5
+        assert cdf.at(10.0) == 1.0
+        assert cdf.quantile(0.5) == pytest.approx(2.5)
+
+    def test_spread(self):
+        cdf = empirical_cdf(np.linspace(1.0, 2.0, 100))
+        assert cdf.spread(0.1, 0.9) == pytest.approx(2.0 / 1.1, rel=0.05)
+
+    def test_quantile_bounds(self):
+        cdf = empirical_cdf([1.0, 2.0])
+        with pytest.raises(ClouDiAError):
+            cdf.quantile(1.5)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ClouDiAError):
+            empirical_cdf([])
+
+    def test_cdf_points_downsampling(self):
+        xs, qs = cdf_points(np.random.default_rng(0).uniform(0, 1, 500), num_points=11)
+        assert len(xs) == len(qs) == 11
+        assert qs[0] == 0.0 and qs[-1] == 1.0
+        assert all(xs[i] <= xs[i + 1] for i in range(len(xs) - 1))
+
+
+class TestStats:
+    def test_rmse(self):
+        assert rmse([1.0, 2.0], [1.0, 2.0]) == 0.0
+        assert rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(np.sqrt(12.5))
+
+    def test_rmse_shape_mismatch(self):
+        with pytest.raises(ClouDiAError):
+            rmse([1.0], [1.0, 2.0])
+
+    def test_normalized(self):
+        assert np.linalg.norm(normalized([3.0, 4.0])) == pytest.approx(1.0)
+        assert list(normalized([0.0, 0.0])) == [0.0, 0.0]
+
+    def test_relative_errors(self):
+        errors = relative_errors([1.1, 2.0], [1.0, 2.0])
+        assert errors[0] == pytest.approx(0.1)
+        assert errors[1] == 0.0
+
+    def test_correlations(self):
+        x = [1.0, 2.0, 3.0, 4.0]
+        y = [2.0, 4.0, 6.0, 8.0]
+        assert pearson(x, y) == pytest.approx(1.0)
+        assert spearman(x, y) == pytest.approx(1.0)
+        assert pearson(x, [-v for v in y]) == pytest.approx(-1.0)
+
+    def test_summary_keys(self):
+        stats = summary([1.0, 2.0, 3.0])
+        assert stats["mean"] == pytest.approx(2.0)
+        assert stats["min"] == 1.0 and stats["max"] == 3.0
+        assert set(stats) >= {"p50", "p90", "p99", "std"}
+
+    def test_improvement_percent(self):
+        assert improvement_percent(2.0, 1.0) == pytest.approx(50.0)
+        assert improvement_percent(0.0, 1.0) == 0.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ClouDiAError):
+            geometric_mean([1.0, 0.0])
+
+    def test_confidence_interval_contains_mean(self):
+        data = np.random.default_rng(0).normal(5.0, 1.0, size=200)
+        low, high = confidence_interval(data)
+        assert low < float(np.mean(data)) < high
+        with pytest.raises(ClouDiAError):
+            confidence_interval([1.0])
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [("a", 1.0), ("long-name", 2.5)],
+                            title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_series(self):
+        text = format_series("curve", [1, 2], [0.1, 0.2], x_label="t", y_label="v")
+        assert "curve" in text
+        assert "0.1" in text and "0.2" in text
+
+    def test_format_comparison_reduction(self):
+        text = format_comparison("cmp", [("case-a", 2.0, 1.0)])
+        assert "50.0%" in text
+
+    def test_banner(self):
+        text = banner("section", width=40)
+        assert "section" in text
+        assert len(text) >= 40 - 1

@@ -1,0 +1,85 @@
+"""Tests for the IP-distance and hop-count network distance proxies."""
+
+import numpy as np
+import pytest
+
+from repro.netmeasure import (
+    group_overlap_fraction,
+    hop_count_matrix,
+    ip_distance_matrix,
+    links_grouped_by_proxy,
+    proxy_quality,
+)
+
+
+@pytest.fixture
+def proxies(small_cloud):
+    ids = [inst.instance_id for inst in small_cloud.allocate(16)]
+    latency = small_cloud.true_cost_matrix(ids)
+    return small_cloud, ids, latency
+
+
+class TestProxyMatrices:
+    def test_ip_distance_matrix_values(self, proxies):
+        cloud, ids, _ = proxies
+        matrix = ip_distance_matrix(cloud, ids)
+        values = matrix.link_costs()
+        assert values.min() >= 1
+        assert values.max() <= 4
+
+    def test_hop_count_matrix_values(self, proxies):
+        cloud, ids, _ = proxies
+        matrix = hop_count_matrix(cloud, ids)
+        values = set(matrix.link_costs())
+        assert values <= {0.0, 1.0, 3.0, 5.0}
+
+    def test_hop_count_matrix_symmetric(self, proxies):
+        cloud, ids, _ = proxies
+        matrix = hop_count_matrix(cloud, ids)
+        array = matrix.as_array()
+        assert np.allclose(array, array.T)
+
+
+class TestProxyQuality:
+    def test_ip_distance_is_a_poor_predictor(self, proxies):
+        """Appendix 2: IP distance does not effectively predict latency."""
+        cloud, ids, latency = proxies
+        quality = proxy_quality(ip_distance_matrix(cloud, ids), latency)
+        assert abs(quality.spearman) < 0.6
+        assert quality.ordering_violations > 0.1
+
+    def test_hop_count_correlates_weakly(self, proxies):
+        """Hop count carries some signal but leaves many inversions."""
+        cloud, ids, latency = proxies
+        quality = proxy_quality(hop_count_matrix(cloud, ids), latency)
+        assert quality.ordering_violations > 0.05
+
+    def test_latency_is_perfect_predictor_of_itself(self, proxies):
+        _, _, latency = proxies
+        quality = proxy_quality(latency, latency)
+        assert quality.spearman == pytest.approx(1.0)
+        assert quality.ordering_violations == 0.0
+
+
+class TestGrouping:
+    def test_groups_partition_all_links(self, proxies):
+        cloud, ids, latency = proxies
+        groups = links_grouped_by_proxy(hop_count_matrix(cloud, ids), latency)
+        total = sum(len(latencies) for latencies in groups.values())
+        assert total == len(ids) * (len(ids) - 1)
+        for latencies in groups.values():
+            assert latencies == sorted(latencies)
+
+    def test_adjacent_groups_overlap(self, proxies):
+        """The latency ranges of different hop-count groups overlap (Fig. 17)."""
+        cloud, ids, latency = proxies
+        groups = links_grouped_by_proxy(hop_count_matrix(cloud, ids), latency)
+        if len(groups) >= 2:
+            assert group_overlap_fraction(groups) > 0.0
+
+    def test_overlap_fraction_zero_for_separated_groups(self):
+        groups = {1.0: [0.1, 0.2], 2.0: [0.5, 0.9]}
+        assert group_overlap_fraction(groups) == 0.0
+
+    def test_overlap_fraction_single_group(self):
+        assert group_overlap_fraction({1.0: [0.3, 0.4]}) == 0.0

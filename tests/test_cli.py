@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_graph, build_parser, build_solver, main
+from repro.core import Objective
+
+
+class TestParserAndBuilders:
+    def test_parser_rejects_missing_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_parser_rejects_unknown_provider(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["advise", "--provider", "unknown-cloud"])
+
+    def test_build_graph_templates(self):
+        parser = build_parser()
+        mesh = build_graph(parser.parse_args(["advise", "--template", "mesh",
+                                              "--rows", "3", "--cols", "4"]))
+        assert mesh.num_nodes == 12
+        tree = build_graph(parser.parse_args(["advise", "--template", "tree",
+                                              "--branching", "2", "--depth", "2"]))
+        assert tree.num_nodes == 7
+        bipartite = build_graph(parser.parse_args(["advise", "--template", "bipartite",
+                                                   "--frontends", "2",
+                                                   "--storage", "3"]))
+        assert bipartite.num_nodes == 5
+        ring = build_graph(parser.parse_args(["advise", "--template", "ring",
+                                              "--nodes", "6"]))
+        assert ring.num_nodes == 6
+        cube = build_graph(parser.parse_args(["advise", "--template", "hypercube",
+                                              "--dimension", "3"]))
+        assert cube.num_nodes == 8
+
+    def test_build_solver_names(self):
+        assert build_solver("auto", Objective.LONGEST_LINK, 0) is None
+        assert build_solver("cp", Objective.LONGEST_LINK, 0).name == "CP"
+        assert build_solver("mip", Objective.LONGEST_PATH, 0).name == "MIP-LP"
+        assert build_solver("greedy", Objective.LONGEST_LINK, 0).name == "G2"
+        assert build_solver("random", Objective.LONGEST_LINK, 0).name == "R2"
+        assert build_solver("portfolio", Objective.LONGEST_LINK, 0).name == "portfolio"
+        with pytest.raises(SystemExit):
+            build_solver("cplex", Objective.LONGEST_LINK, 0)
+
+
+class TestCommands:
+    def test_templates_command(self, capsys):
+        assert main(["templates"]) == 0
+        output = capsys.readouterr().out
+        assert "mesh" in output and "bipartite" in output
+
+    def test_providers_command(self, capsys):
+        assert main(["providers", "--instances", "10", "--seed", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "ec2" in output and "rackspace" in output
+
+    def test_measure_command(self, capsys):
+        assert main(["measure", "--instances", "6", "--samples", "4",
+                     "--seed", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "probes sent" in output
+        assert "p90 / p10 spread" in output
+
+    def test_advise_command_with_greedy_solver(self, capsys):
+        exit_code = main([
+            "advise", "--template", "mesh", "--rows", "3", "--cols", "3",
+            "--solver", "greedy", "--samples", "4", "--time-limit", "1",
+            "--show-plan", "--seed", "3",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "ClouDiA recommendation" in output
+        assert "deployment plan" in output
+        assert "predicted improvement" in output
+
+    def test_advise_command_longest_path_random_solver(self, capsys):
+        exit_code = main([
+            "advise", "--template", "tree", "--branching", "2", "--depth", "2",
+            "--objective", "longest_path", "--solver", "random",
+            "--samples", "4", "--time-limit", "1", "--seed", "4",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "longest_path" in output

@@ -1,0 +1,183 @@
+"""Tests for the simulated cloud provider and allocation policies."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import (
+    ContiguousAllocation,
+    DatacenterTopology,
+    ProviderProfile,
+    ScatteredAllocation,
+    SimulatedCloud,
+    UniformRandomAllocation,
+    ip_distance,
+)
+from repro.cloud.traces import collect_latency_trace, representative_links
+from repro.core import LatencyMetric
+from repro.core.errors import AllocationError
+
+
+class TestAllocationPolicies:
+    @pytest.fixture
+    def topology(self):
+        return DatacenterTopology(num_pods=2, racks_per_pod=4, hosts_per_rack=4, seed=0)
+
+    def test_scattered_spreads_over_racks(self, topology):
+        rng = np.random.default_rng(0)
+        free = [h.host_id for h in topology.hosts()]
+        hosts = ScatteredAllocation().choose_hosts(topology, free, 8, rng)
+        racks = {topology.host(h).rack_id for h in hosts}
+        assert len(hosts) == len(set(hosts)) == 8
+        assert len(racks) >= 3
+
+    def test_contiguous_fills_racks_in_order(self, topology):
+        rng = np.random.default_rng(0)
+        free = [h.host_id for h in topology.hosts()]
+        hosts = ContiguousAllocation().choose_hosts(topology, free, 6, rng)
+        racks = [topology.host(h).rack_id for h in hosts]
+        assert racks == sorted(racks)
+        assert len(set(racks)) <= 2
+
+    def test_uniform_random_allocates_requested_count(self, topology):
+        rng = np.random.default_rng(0)
+        free = [h.host_id for h in topology.hosts()]
+        hosts = UniformRandomAllocation().choose_hosts(topology, free, 10, rng)
+        assert len(hosts) == len(set(hosts)) == 10
+
+    def test_over_capacity_rejected(self, topology):
+        rng = np.random.default_rng(0)
+        free = [h.host_id for h in topology.hosts()]
+        with pytest.raises(AllocationError):
+            ScatteredAllocation().choose_hosts(topology, free, len(free) + 1, rng)
+
+    def test_nonpositive_count_rejected(self, topology):
+        rng = np.random.default_rng(0)
+        free = [h.host_id for h in topology.hosts()]
+        with pytest.raises(AllocationError):
+            UniformRandomAllocation().choose_hosts(topology, free, 0, rng)
+
+    def test_invalid_bias_rejected(self):
+        with pytest.raises(AllocationError):
+            ScatteredAllocation(same_rack_bias=2.0)
+
+
+class TestSimulatedCloud:
+    def test_allocation_and_termination(self, small_cloud):
+        instances = small_cloud.allocate(6)
+        assert len(instances) == 6
+        assert len(small_cloud.active_instances()) == 6
+        small_cloud.terminate([instances[0].instance_id, instances[1].instance_id])
+        assert len(small_cloud.active_instances()) == 4
+        # Terminating again is idempotent.
+        small_cloud.terminate([instances[0].instance_id])
+        assert len(small_cloud.active_instances()) == 4
+
+    def test_instances_land_on_distinct_hosts(self, small_cloud):
+        instances = small_cloud.allocate(10)
+        hosts = [inst.host_id for inst in instances]
+        assert len(set(hosts)) == 10
+
+    def test_unknown_instance_rejected(self, small_cloud):
+        with pytest.raises(AllocationError):
+            small_cloud.mean_latency(0, 999)
+
+    def test_mean_latency_positive_and_stable(self, small_cloud, allocated_ids):
+        a, b = allocated_ids[0], allocated_ids[1]
+        first = small_cloud.mean_latency(a, b)
+        second = small_cloud.mean_latency(a, b)
+        assert first == second > 0
+
+    def test_sample_rtt_scatters_around_mean(self, small_cloud, allocated_ids):
+        a, b = allocated_ids[0], allocated_ids[2]
+        rng = np.random.default_rng(0)
+        samples = [small_cloud.sample_rtt(a, b, rng=rng) for _ in range(2000)]
+        assert np.mean(samples) == pytest.approx(small_cloud.mean_latency(a, b),
+                                                 rel=0.2)
+
+    def test_true_cost_matrix_mean_is_exact(self, small_cloud, allocated_ids):
+        costs = small_cloud.true_cost_matrix(allocated_ids)
+        a, b = allocated_ids[3], allocated_ids[5]
+        assert costs.cost(a, b) == pytest.approx(small_cloud.mean_latency(a, b))
+
+    def test_true_cost_matrix_jitter_metrics(self, small_cloud, allocated_ids):
+        subset = allocated_ids[:5]
+        mean_matrix = small_cloud.true_cost_matrix(subset, metric=LatencyMetric.MEAN)
+        p99_matrix = small_cloud.true_cost_matrix(subset, metric=LatencyMetric.P99,
+                                                  num_samples=64)
+        # The 99th percentile is never below the mean for any link.
+        for a in subset:
+            for b in subset:
+                if a != b:
+                    assert p99_matrix.cost(a, b) >= mean_matrix.cost(a, b) * 0.8
+
+    def test_latency_heterogeneity_present(self, small_cloud):
+        """Best and worst links differ substantially (the premise of the paper)."""
+        ids = [inst.instance_id for inst in small_cloud.allocate(14)]
+        costs = small_cloud.true_cost_matrix(ids)
+        assert costs.max_cost() / costs.min_cost() > 1.5
+
+    def test_hop_count_and_ip(self, small_cloud, allocated_ids):
+        a, b = allocated_ids[0], allocated_ids[1]
+        assert small_cloud.hop_count(a, b) in (0, 1, 3, 5)
+        ip = small_cloud.private_ip(a)
+        assert ip.startswith("10.")
+
+    def test_clock_advance(self, small_cloud):
+        small_cloud.advance_time(5.0)
+        assert small_cloud.clock_hours == 5.0
+        with pytest.raises(AllocationError):
+            small_cloud.advance_time(-1.0)
+
+    def test_determinism_across_clouds(self):
+        a = SimulatedCloud(seed=42)
+        b = SimulatedCloud(seed=42)
+        ids_a = [inst.instance_id for inst in a.allocate(8)]
+        ids_b = [inst.instance_id for inst in b.allocate(8)]
+        assert ids_a == ids_b
+        assert a.mean_latency(ids_a[0], ids_a[5]) == b.mean_latency(ids_b[0], ids_b[5])
+
+    def test_pairwise_mean_latencies_complete(self, small_cloud, allocated_ids):
+        pairs = small_cloud.pairwise_mean_latencies(allocated_ids[:4])
+        assert len(pairs) == 4 * 3
+
+
+class TestIpDistance:
+    def test_identical_addresses(self):
+        assert ip_distance("10.1.2.3", "10.1.2.3") == 0
+
+    def test_octet_distances(self):
+        assert ip_distance("10.1.2.3", "10.1.2.9") == 1
+        assert ip_distance("10.1.2.3", "10.1.9.3") == 2
+        assert ip_distance("10.1.2.3", "10.9.2.3") == 3
+        assert ip_distance("10.1.2.3", "11.1.2.3") == 4
+
+    def test_group_bits_granularity(self):
+        assert ip_distance("10.1.2.3", "10.1.2.9", group_bits=4) >= 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            ip_distance("10.1.2", "10.1.2.3")
+        with pytest.raises(ValueError):
+            ip_distance("10.1.2.3", "10.1.2.999")
+        with pytest.raises(ValueError):
+            ip_distance("10.1.2.3", "10.1.2.4", group_bits=0)
+
+
+class TestTraces:
+    def test_trace_shape_and_stability(self, small_cloud):
+        ids = [inst.instance_id for inst in small_cloud.allocate(6)]
+        links = representative_links(small_cloud, count=3, instance_ids=ids)
+        assert len(links) == 3
+        trace = collect_latency_trace(small_cloud, links, duration_hours=20,
+                                      window_hours=5, samples_per_window=100, seed=0)
+        assert trace.means_ms.shape == (3, 4)
+        # Mean latencies are stable: coefficient of variation below 15 %.
+        for link in links:
+            assert trace.stability(link) < 0.15
+
+    def test_representative_links_span_latency_range(self, small_cloud):
+        ids = [inst.instance_id for inst in small_cloud.allocate(10)]
+        links = representative_links(small_cloud, count=4, instance_ids=ids)
+        latencies = [small_cloud.mean_latency(a, b) for a, b in links]
+        assert latencies == sorted(latencies)
+        assert latencies[-1] > latencies[0]

@@ -1,0 +1,93 @@
+"""Tests for the simulated datacenter topology."""
+
+import pytest
+
+from repro.cloud import DatacenterTopology
+from repro.core.errors import AllocationError
+
+
+class TestTopology:
+    def test_host_count(self):
+        topology = DatacenterTopology(num_pods=2, racks_per_pod=3, hosts_per_rack=4)
+        assert topology.num_hosts == 24
+        assert topology.num_racks == 6
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(AllocationError):
+            DatacenterTopology(num_pods=0)
+
+    def test_invalid_ip_assignment(self):
+        with pytest.raises(AllocationError):
+            DatacenterTopology(ip_assignment="nonsense")
+
+    def test_host_lookup(self):
+        topology = DatacenterTopology(num_pods=2, racks_per_pod=2, hosts_per_rack=2)
+        host = topology.host(5)
+        assert host.host_id == 5
+        with pytest.raises(AllocationError):
+            topology.host(999)
+
+    def test_rack_and_pod_structure(self):
+        topology = DatacenterTopology(num_pods=2, racks_per_pod=2, hosts_per_rack=3)
+        # Hosts 0..2 are rack 0 / pod 0; hosts 6..8 are rack 2 / pod 1.
+        assert topology.host(0).rack_id == 0 and topology.host(0).pod_id == 0
+        assert topology.host(7).rack_id == 2 and topology.host(7).pod_id == 1
+
+    def test_locality_classes(self):
+        topology = DatacenterTopology(num_pods=2, racks_per_pod=2, hosts_per_rack=2)
+        assert topology.locality(0, 0) == "same_host"
+        assert topology.locality(0, 1) == "same_rack"
+        assert topology.locality(0, 2) == "same_pod"
+        assert topology.locality(0, 4) == "cross_pod"
+
+    def test_hop_counts_monotone_in_locality(self):
+        topology = DatacenterTopology(num_pods=2, racks_per_pod=2, hosts_per_rack=2)
+        assert topology.hop_count(0, 0) == 0
+        assert topology.hop_count(0, 1) < topology.hop_count(0, 2)
+        assert topology.hop_count(0, 2) < topology.hop_count(0, 4)
+
+    def test_hop_count_symmetric(self):
+        topology = DatacenterTopology(num_pods=2, racks_per_pod=3, hosts_per_rack=4)
+        for a, b in [(0, 5), (3, 20), (1, 23)]:
+            assert topology.hop_count(a, b) == topology.hop_count(b, a)
+
+    def test_private_ips_unique_and_valid(self):
+        topology = DatacenterTopology(num_pods=2, racks_per_pod=2, hosts_per_rack=8,
+                                      seed=1)
+        ips = [topology.private_ip(h.host_id) for h in topology.hosts()]
+        assert len(set(ips)) == len(ips)
+        for ip in ips:
+            octets = [int(part) for part in ip.split(".")]
+            assert len(octets) == 4
+            assert octets[0] == 10
+            assert all(0 <= octet <= 255 for octet in octets)
+
+    def test_scattered_ips_decouple_from_racks(self):
+        """With scattered assignment, same-rack hosts rarely share a /24."""
+        topology = DatacenterTopology(num_pods=4, racks_per_pod=4, hosts_per_rack=8,
+                                      ip_assignment="scattered", seed=3)
+        same_rack_same_24 = 0
+        same_rack_pairs = 0
+        for a in topology.hosts():
+            for b in topology.hosts():
+                if a.host_id < b.host_id and a.rack_id == b.rack_id:
+                    same_rack_pairs += 1
+                    prefix_a = topology.private_ip(a.host_id).rsplit(".", 1)[0]
+                    prefix_b = topology.private_ip(b.host_id).rsplit(".", 1)[0]
+                    if prefix_a == prefix_b:
+                        same_rack_same_24 += 1
+        assert same_rack_same_24 / same_rack_pairs < 0.2
+
+    def test_topological_ips_follow_racks(self):
+        topology = DatacenterTopology(num_pods=2, racks_per_pod=2, hosts_per_rack=4,
+                                      ip_assignment="topological")
+        # Hosts in the same rack share their /24 prefix.
+        prefix_0 = topology.private_ip(0).rsplit(".", 1)[0]
+        prefix_1 = topology.private_ip(1).rsplit(".", 1)[0]
+        assert prefix_0 == prefix_1
+
+    def test_deterministic_given_seed(self):
+        a = DatacenterTopology(seed=5)
+        b = DatacenterTopology(seed=5)
+        assert [a.private_ip(h.host_id) for h in a.hosts()] == \
+            [b.private_ip(h.host_id) for h in b.hosts()]

@@ -1,0 +1,92 @@
+"""Tests for the exact 1-D k-means used for cost clustering."""
+
+import numpy as np
+import pytest
+
+from repro.core import ClouDiAError, cluster_costs, kmeans_1d
+
+
+class TestKMeans1D:
+    def test_two_obvious_clusters(self):
+        values = [0.1, 0.11, 0.12, 5.0, 5.1, 5.2]
+        result = kmeans_1d(values, 2)
+        assert result.num_clusters == 2
+        assert result.centers[0] == pytest.approx(0.11, abs=1e-9)
+        assert result.centers[1] == pytest.approx(5.1, abs=1e-9)
+        # First three values in cluster 0, last three in cluster 1.
+        assert list(result.labels) == [0, 0, 0, 1, 1, 1]
+
+    def test_more_clusters_than_distinct_values(self):
+        values = [1.0, 2.0, 1.0]
+        result = kmeans_1d(values, 10)
+        assert result.num_clusters == 2
+        assert result.cost == pytest.approx(0.0)
+
+    def test_single_cluster_center_is_mean(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        result = kmeans_1d(values, 1)
+        assert result.centers[0] == pytest.approx(2.5)
+
+    def test_cost_decreases_with_more_clusters(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0, 1, size=50)
+        costs = [kmeans_1d(values, k).cost for k in (1, 2, 4, 8)]
+        assert all(costs[i] >= costs[i + 1] - 1e-12 for i in range(len(costs) - 1))
+
+    def test_optimality_against_brute_force(self):
+        # For a tiny input we can enumerate all contiguous 2-partitions of the
+        # sorted values and verify the DP finds the best one.
+        values = np.array([0.0, 0.4, 1.0, 1.1, 3.0])
+        result = kmeans_1d(values, 2)
+        ordered = np.sort(values)
+
+        def sse(segment):
+            return float(((segment - segment.mean()) ** 2).sum())
+
+        best = min(
+            sse(ordered[:cut]) + sse(ordered[cut:]) for cut in range(1, len(ordered))
+        )
+        assert result.cost == pytest.approx(best)
+
+    def test_mapped_values_shape_and_membership(self):
+        values = [0.3, 0.31, 0.9, 0.92]
+        result = kmeans_1d(values, 2)
+        mapped = result.mapped_values()
+        assert mapped.shape == (4,)
+        assert set(np.round(mapped, 6)) <= set(np.round(result.centers, 6))
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ClouDiAError):
+            kmeans_1d([], 3)
+
+    def test_nonpositive_k_rejected(self):
+        with pytest.raises(ClouDiAError):
+            kmeans_1d([1.0], 0)
+
+    def test_labels_monotone_in_value(self):
+        rng = np.random.default_rng(1)
+        values = rng.uniform(0, 2, size=40)
+        result = kmeans_1d(values, 5)
+        # Sorting the values must sort the labels: clusters are intervals.
+        order = np.argsort(values)
+        sorted_labels = result.labels[order]
+        assert all(sorted_labels[i] <= sorted_labels[i + 1]
+                   for i in range(len(sorted_labels) - 1))
+
+
+class TestClusterCosts:
+    def test_none_k_returns_values(self):
+        values = [0.5, 0.7]
+        assert list(cluster_costs(values, None, round_to=None)) == values
+
+    def test_rounding_applied(self):
+        values = [0.101, 0.109]
+        rounded = cluster_costs(values, None, round_to=0.01)
+        assert rounded[0] == pytest.approx(0.10)
+        assert rounded[1] == pytest.approx(0.11)
+
+    def test_clustering_reduces_distinct_values(self):
+        rng = np.random.default_rng(2)
+        values = rng.uniform(0.2, 1.4, size=200)
+        clustered = cluster_costs(values, 10, round_to=None)
+        assert len(np.unique(clustered)) <= 10

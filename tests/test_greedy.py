@@ -1,0 +1,113 @@
+"""Tests for the greedy deployment algorithms G1 and G2."""
+
+import numpy as np
+import pytest
+
+from repro.core import CommunicationGraph, CostMatrix, Objective
+from repro.core.objectives import deployment_cost, longest_link_cost
+from repro.solvers import GreedyG1, GreedyG2, RandomSearch
+
+from conftest import deterministic_cost_matrix
+
+
+@pytest.fixture
+def clustered_costs():
+    """Cost matrix with a clearly cheap subset of instances.
+
+    Instances 0..8 form a 'good rack' with cheap pairwise links; instances
+    9..13 are far away.  A sensible greedy algorithm should confine a 9-node
+    graph to the cheap subset.
+    """
+    n = 14
+    matrix = np.full((n, n), 5.0)
+    cheap = range(9)
+    for a in cheap:
+        for b in cheap:
+            matrix[a, b] = 0.5
+    rng = np.random.default_rng(0)
+    matrix += rng.uniform(0.0, 0.05, size=(n, n))
+    matrix = (matrix + matrix.T) / 2
+    np.fill_diagonal(matrix, 0.0)
+    return CostMatrix(list(range(n)), matrix)
+
+
+class TestGreedyG1:
+    def test_produces_valid_plan(self, mesh_graph):
+        costs = deterministic_cost_matrix(11, seed=1)
+        result = GreedyG1().solve(mesh_graph, costs)
+        assert result.plan.covers(mesh_graph)
+        assert result.cost == pytest.approx(
+            longest_link_cost(result.plan, mesh_graph, costs)
+        )
+
+    def test_avoids_expensive_cluster(self, mesh_graph, clustered_costs):
+        result = GreedyG1().solve(mesh_graph, clustered_costs)
+        # G1 should keep the whole mesh inside the cheap subset.
+        assert set(result.plan.used_instances()) <= set(range(9))
+        assert result.cost < 1.0
+
+    def test_handles_disconnected_graph(self):
+        graph = CommunicationGraph([0, 1, 2, 3], [(0, 1), (1, 0), (2, 3), (3, 2)])
+        costs = deterministic_cost_matrix(6, seed=2)
+        result = GreedyG1().solve(graph, costs)
+        assert result.plan.covers(graph)
+
+    def test_handles_isolated_nodes(self):
+        graph = CommunicationGraph([0, 1, 2], [(0, 1), (1, 0)])
+        costs = deterministic_cost_matrix(5, seed=3)
+        result = GreedyG1().solve(graph, costs)
+        assert result.plan.covers(graph)
+
+    def test_single_edge_graph_picks_cheapest_link(self):
+        graph = CommunicationGraph([0, 1], [(0, 1), (1, 0)])
+        costs = deterministic_cost_matrix(6, seed=4)
+        result = GreedyG1().solve(graph, costs)
+        cheapest = min(
+            max(costs.cost(a, b), costs.cost(b, a))
+            for a in costs.instance_ids for b in costs.instance_ids if a != b
+        )
+        assert result.cost == pytest.approx(cheapest, rel=0.5)
+
+
+class TestGreedyG2:
+    def test_produces_valid_plan(self, mesh_graph):
+        costs = deterministic_cost_matrix(11, seed=1)
+        result = GreedyG2().solve(mesh_graph, costs)
+        assert result.plan.covers(mesh_graph)
+        assert result.cost == pytest.approx(
+            longest_link_cost(result.plan, mesh_graph, costs)
+        )
+
+    def test_not_worse_than_g1_on_average(self, mesh_graph):
+        """G2 accounts for implicit links, so on average it beats G1 (Fig. 14)."""
+        g1_costs, g2_costs = [], []
+        for seed in range(8):
+            costs = deterministic_cost_matrix(12, seed=seed)
+            g1_costs.append(GreedyG1().solve(mesh_graph, costs).cost)
+            g2_costs.append(GreedyG2().solve(mesh_graph, costs).cost)
+        assert np.mean(g2_costs) <= np.mean(g1_costs)
+
+    def test_avoids_expensive_cluster(self, mesh_graph, clustered_costs):
+        result = GreedyG2().solve(mesh_graph, clustered_costs)
+        assert set(result.plan.used_instances()) <= set(range(9))
+
+    def test_longest_path_heuristic_use(self):
+        """Sect. 4.5.2: the greedy LL construction is reused for LPNDP."""
+        tree = CommunicationGraph.aggregation_tree(2, 2)
+        costs = deterministic_cost_matrix(9, seed=6)
+        result = GreedyG2().solve(tree, costs, objective=Objective.LONGEST_PATH)
+        assert result.plan.covers(tree)
+        assert result.cost == pytest.approx(
+            deployment_cost(result.plan, tree, costs, Objective.LONGEST_PATH)
+        )
+
+    def test_comparable_to_random_baseline(self, mesh_graph):
+        """G2 should be in the same ballpark as a 1000-plan random search."""
+        wins = 0
+        for seed in range(5):
+            costs = deterministic_cost_matrix(12, seed=10 + seed)
+            g2 = GreedyG2().solve(mesh_graph, costs).cost
+            r1 = RandomSearch(num_samples=1000, seed=seed).solve(mesh_graph, costs).cost
+            if g2 <= r1 * 1.5:
+                wins += 1
+        assert wins >= 3

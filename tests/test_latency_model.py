@@ -1,0 +1,105 @@
+"""Tests for provider profiles and the latency model."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import DatacenterTopology, LatencyModel, ProviderProfile
+
+
+@pytest.fixture
+def topology():
+    return DatacenterTopology(num_pods=3, racks_per_pod=3, hosts_per_rack=6, seed=0)
+
+
+@pytest.fixture
+def model(topology):
+    return LatencyModel(topology, ProviderProfile.ec2(), seed=0)
+
+
+class TestProviderProfile:
+    def test_builtin_profiles(self):
+        for name in ("ec2", "gce", "rackspace"):
+            profile = ProviderProfile.by_name(name)
+            assert profile.name == name
+            assert profile.same_rack_ms[0] < profile.cross_pod_ms[1]
+
+    def test_unknown_profile(self):
+        with pytest.raises(ValueError):
+            ProviderProfile.by_name("azure-classic")
+
+    def test_ec2_wider_spread_than_gce(self):
+        """The paper observes more heterogeneity in EC2 than in GCE."""
+        ec2 = ProviderProfile.ec2()
+        gce = ProviderProfile.gce()
+        ec2_spread = ec2.cross_pod_ms[1] / ec2.same_rack_ms[0]
+        gce_spread = gce.cross_pod_ms[1] / gce.same_rack_ms[0]
+        assert ec2_spread > gce_spread
+
+
+class TestLatencyModel:
+    def test_self_latency_zero(self, model):
+        assert model.base_mean_latency(0, 0) == 0.0
+        assert model.mean_latency(0, 0) == 0.0
+
+    def test_base_latency_symmetric_and_stable(self, model):
+        a, b = 0, 20
+        first = model.base_mean_latency(a, b)
+        second = model.base_mean_latency(b, a)
+        third = model.base_mean_latency(a, b)
+        assert first == second == third
+        assert first > 0
+
+    def test_same_model_seed_reproducible(self, topology):
+        a = LatencyModel(topology, ProviderProfile.ec2(), seed=7)
+        b = LatencyModel(topology, ProviderProfile.ec2(), seed=7)
+        assert a.base_mean_latency(1, 30) == b.base_mean_latency(1, 30)
+
+    def test_different_seed_changes_latencies(self, topology):
+        a = LatencyModel(topology, ProviderProfile.ec2(), seed=1)
+        b = LatencyModel(topology, ProviderProfile.ec2(), seed=2)
+        values_a = [a.base_mean_latency(0, h) for h in range(1, 20)]
+        values_b = [b.base_mean_latency(0, h) for h in range(1, 20)]
+        assert values_a != values_b
+
+    def test_locality_orders_average_latency(self, model, topology):
+        """Same-rack pairs are cheaper than cross-pod pairs on average."""
+        same_rack, cross_pod = [], []
+        for a in range(topology.num_hosts):
+            for b in range(a + 1, topology.num_hosts):
+                locality = topology.locality(a, b)
+                if locality == "same_rack":
+                    same_rack.append(model.base_mean_latency(a, b))
+                elif locality == "cross_pod":
+                    cross_pod.append(model.base_mean_latency(a, b))
+        assert np.mean(same_rack) < np.mean(cross_pod)
+
+    def test_drift_is_small(self, model):
+        """Mean latency drifts by at most ~2x the configured amplitude."""
+        base = model.mean_latency(0, 30, at_hours=0.0)
+        drifted = [model.mean_latency(0, 30, at_hours=t) for t in range(0, 200, 10)]
+        max_deviation = max(abs(value - base) / base for value in drifted)
+        assert max_deviation < 3 * model.profile.drift_amplitude
+
+    def test_sample_mean_converges_to_model_mean(self, model):
+        rng = np.random.default_rng(0)
+        a, b = 0, 40
+        target = model.mean_latency(a, b, at_hours=0.0)
+        samples = [model.sample_rtt(a, b, rng, message_bytes=0) for _ in range(4000)]
+        # Jitter has unit mean, spikes add a small positive bias; 15 % slack.
+        assert np.mean(samples) == pytest.approx(target, rel=0.15)
+
+    def test_samples_are_positive_and_jittery(self, model):
+        rng = np.random.default_rng(1)
+        samples = [model.sample_rtt(0, 50, rng) for _ in range(100)]
+        assert all(value > 0 for value in samples)
+        assert np.std(samples) > 0
+
+    def test_message_size_increases_latency(self, model):
+        small = model.message_size_term(1024)
+        large = model.message_size_term(64 * 1024)
+        assert large > small > 0
+
+    def test_host_factor_known_for_all_hosts(self, model, topology):
+        factors = [model.host_factor(h.host_id) for h in topology.hosts()]
+        assert all(factor > 0.9 for factor in factors)
+        assert max(factors) <= 2.1

@@ -1,0 +1,198 @@
+"""Tests for interference, probing and the three measurement schemes."""
+
+import numpy as np
+import pytest
+
+from repro.core import LatencyMetric
+from repro.core.errors import MeasurementError
+from repro.netmeasure import (
+    NO_INTERFERENCE,
+    InterferenceModel,
+    MeasurementResult,
+    ProbeEngine,
+    StagedMeasurement,
+    TokenPassingMeasurement,
+    UncoordinatedMeasurement,
+    all_ordered_pairs,
+    relative_error_cdf_input,
+    rmse_convergence,
+    round_robin_pairings,
+)
+
+
+class TestInterferenceModel:
+    def test_no_interference_for_disjoint_probes(self):
+        model = InterferenceModel(per_flow_penalty_ms=0.5)
+        probes = [(0, 1), (2, 3)]
+        load = model.endpoint_load(probes)
+        assert model.observed_rtt((0, 1), 1.0, load) == pytest.approx(1.0)
+
+    def test_shared_destination_inflates(self):
+        model = InterferenceModel(per_flow_penalty_ms=0.5, self_collision_factor=1.0)
+        probes = [(0, 2), (1, 2)]
+        load = model.endpoint_load(probes)
+        assert model.observed_rtt((0, 2), 1.0, load) == pytest.approx(1.5)
+
+    def test_sender_also_receiving_inflates(self):
+        model = InterferenceModel(per_flow_penalty_ms=0.5, self_collision_factor=1.0)
+        probes = [(0, 1), (1, 0)]
+        load = model.endpoint_load(probes)
+        # Each endpoint carries two flows: +0.5 at each end of the probe.
+        assert model.observed_rtt((0, 1), 1.0, load) == pytest.approx(2.0)
+
+    def test_no_interference_model_is_identity(self):
+        probes = [(0, 1), (1, 0), (2, 1)]
+        load = NO_INTERFERENCE.endpoint_load(probes)
+        assert NO_INTERFERENCE.observed_rtt((0, 1), 0.7, load) == pytest.approx(0.7)
+
+    def test_batch_observations_length(self):
+        model = InterferenceModel()
+        batch = [((0, 1), 1.0), ((2, 3), 0.5)]
+        assert len(model.batch_observations(batch)) == 2
+
+
+class TestPairingHelpers:
+    def test_all_ordered_pairs(self):
+        pairs = all_ordered_pairs([1, 2, 3])
+        assert len(pairs) == 6
+        assert (1, 2) in pairs and (2, 1) in pairs
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 8, 9])
+    def test_round_robin_covers_all_unordered_pairs(self, n):
+        ids = list(range(n))
+        rounds = round_robin_pairings(ids)
+        seen = set()
+        for stage in rounds:
+            endpoints = [x for pair in stage for x in pair]
+            # No instance appears twice within a stage.
+            assert len(endpoints) == len(set(endpoints))
+            for a, b in stage:
+                seen.add(frozenset((a, b)))
+        expected = {frozenset((a, b)) for a in ids for b in ids if a < b}
+        assert seen == expected
+
+
+class TestProbeEngine:
+    def test_records_samples_and_advances_clock(self, small_cloud):
+        ids = [inst.instance_id for inst in small_cloud.allocate(4)]
+        result = MeasurementResult(scheme="test", instance_ids=tuple(ids))
+        engine = ProbeEngine(small_cloud, result, rng=0)
+        engine.run_batch([(ids[0], ids[1]), (ids[2], ids[3])], repetitions=3)
+        assert result.num_probes == 6
+        assert result.sample_count((ids[0], ids[1])) == 3
+        assert engine.clock_ms > 0
+        assert result.elapsed_ms == engine.clock_ms
+
+    def test_invalid_repetitions(self, small_cloud):
+        ids = [inst.instance_id for inst in small_cloud.allocate(2)]
+        result = MeasurementResult(scheme="test", instance_ids=tuple(ids))
+        engine = ProbeEngine(small_cloud, result, rng=0)
+        with pytest.raises(MeasurementError):
+            engine.run_batch([(ids[0], ids[1])], repetitions=0)
+
+    def test_advance_rejects_negative(self, small_cloud):
+        ids = [inst.instance_id for inst in small_cloud.allocate(2)]
+        result = MeasurementResult(scheme="test", instance_ids=tuple(ids))
+        engine = ProbeEngine(small_cloud, result, rng=0)
+        with pytest.raises(MeasurementError):
+            engine.advance(-1.0)
+
+
+@pytest.fixture
+def measured_cloud(small_cloud):
+    ids = [inst.instance_id for inst in small_cloud.allocate(10)]
+    return small_cloud, ids
+
+
+class TestSchemes:
+    def test_token_passing_covers_all_links(self, measured_cloud):
+        cloud, ids = measured_cloud
+        result = TokenPassingMeasurement(seed=0).measure(cloud, ids,
+                                                         target_samples_per_link=3)
+        assert result.min_samples_per_link() >= 3
+        assert result.scheme == "token-passing"
+
+    def test_staged_covers_all_links_faster_than_token(self, measured_cloud):
+        cloud, ids = measured_cloud
+        token = TokenPassingMeasurement(seed=0).measure(cloud, ids,
+                                                        target_samples_per_link=5)
+        staged = StagedMeasurement(seed=0).measure(cloud, ids,
+                                                   target_samples_per_link=5)
+        assert staged.min_samples_per_link() >= 5
+        # Parallelism: the staged scheme needs far less simulated time.
+        assert staged.elapsed_ms < token.elapsed_ms / 2
+
+    def test_uncoordinated_is_parallel_but_noisier(self, measured_cloud):
+        cloud, ids = measured_cloud
+        truth = cloud.true_cost_matrix(ids)
+        staged = StagedMeasurement(seed=1).measure(cloud, ids,
+                                                   target_samples_per_link=12)
+        uncoordinated = UncoordinatedMeasurement(seed=1).measure(
+            cloud, ids, target_samples_per_link=12
+        )
+        staged_error = np.median(
+            relative_error_cdf_input(staged.to_cost_matrix(), truth)
+        )
+        uncoordinated_error = np.median(
+            relative_error_cdf_input(uncoordinated.to_cost_matrix(), truth)
+        )
+        assert staged_error < uncoordinated_error
+
+    def test_duration_cap_respected(self, measured_cloud):
+        cloud, ids = measured_cloud
+        result = StagedMeasurement(seed=0).measure(cloud, ids,
+                                                   target_samples_per_link=50,
+                                                   max_duration_ms=50.0)
+        assert result.elapsed_ms <= 200.0
+
+    def test_minimum_two_instances(self, measured_cloud):
+        cloud, ids = measured_cloud
+        with pytest.raises(MeasurementError):
+            StagedMeasurement().measure(cloud, ids[:1])
+
+    def test_duplicate_instances_rejected(self, measured_cloud):
+        cloud, ids = measured_cloud
+        with pytest.raises(MeasurementError):
+            TokenPassingMeasurement().measure(cloud, [ids[0], ids[0]])
+
+    def test_invalid_ks(self):
+        with pytest.raises(ValueError):
+            StagedMeasurement(samples_per_stage=0)
+
+
+class TestEstimator:
+    def test_cost_matrix_from_measurement(self, measured_cloud):
+        cloud, ids = measured_cloud
+        result = StagedMeasurement(seed=2).measure(cloud, ids,
+                                                   target_samples_per_link=8)
+        matrix = result.to_cost_matrix(LatencyMetric.MEAN)
+        truth = cloud.true_cost_matrix(ids)
+        errors = relative_error_cdf_input(matrix, truth)
+        # Most links should be estimated within ~40 % after a few samples.
+        assert np.median(errors) < 0.4
+
+    def test_partial_matrix_requires_coverage(self, measured_cloud):
+        cloud, ids = measured_cloud
+        result = StagedMeasurement(seed=0).measure(cloud, ids,
+                                                   target_samples_per_link=5)
+        with pytest.raises(MeasurementError):
+            result.to_cost_matrix(until_ms=1e-6)
+
+    def test_rmse_convergence_decreases(self, measured_cloud):
+        cloud, ids = measured_cloud
+        result = StagedMeasurement(seed=3).measure(cloud, ids,
+                                                   target_samples_per_link=40)
+        reference = result.to_cost_matrix()
+        checkpoints = np.linspace(result.elapsed_ms * 0.2, result.elapsed_ms, 5)
+        curve = rmse_convergence(result, reference, checkpoints)
+        assert len(curve) >= 3
+        assert curve[-1][1] <= curve[0][1]
+        assert curve[-1][1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_record_and_counts(self):
+        result = MeasurementResult(scheme="x", instance_ids=(0, 1))
+        result.record((0, 1), 1.0, 0.5)
+        result.record((0, 1), 2.0, 0.6)
+        assert result.sample_count((0, 1)) == 2
+        assert result.rtt_values((0, 1), until_ms=1.5) == [0.5]
+        assert result.min_samples_per_link() == 0  # link (1, 0) never observed

@@ -1,0 +1,122 @@
+"""Tests for the longest-link and longest-path deployment cost functions."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CommunicationGraph,
+    CostMatrix,
+    DeploymentPlan,
+    InvalidDeploymentError,
+    InvalidGraphError,
+    Objective,
+    critical_path,
+    deployment_cost,
+    improvement_ratio,
+    longest_link_cost,
+    longest_path_cost,
+    worst_link,
+)
+
+
+def matrix_from(rows):
+    rows = np.asarray(rows, dtype=float)
+    return CostMatrix(list(range(rows.shape[0])), rows)
+
+
+@pytest.fixture
+def line_graph():
+    return CommunicationGraph([0, 1, 2], [(0, 1), (1, 2)])
+
+
+@pytest.fixture
+def simple_costs():
+    # Instances 0..2 with asymmetric costs.
+    return matrix_from([
+        [0.0, 1.0, 5.0],
+        [2.0, 0.0, 3.0],
+        [4.0, 6.0, 0.0],
+    ])
+
+
+class TestLongestLink:
+    def test_longest_link_value(self, line_graph, simple_costs):
+        plan = DeploymentPlan({0: 0, 1: 1, 2: 2})
+        # Edges: (0,1) -> cost(0,1)=1, (1,2) -> cost(1,2)=3.
+        assert longest_link_cost(plan, line_graph, simple_costs) == 3.0
+
+    def test_longest_link_uses_direction(self, line_graph, simple_costs):
+        plan = DeploymentPlan({0: 2, 1: 1, 2: 0})
+        # Edges: (0,1) -> cost(2,1)=6, (1,2) -> cost(1,0)=2.
+        assert longest_link_cost(plan, line_graph, simple_costs) == 6.0
+
+    def test_worst_link_identifies_edge(self, line_graph, simple_costs):
+        plan = DeploymentPlan({0: 0, 1: 1, 2: 2})
+        element = worst_link(plan, line_graph, simple_costs)
+        assert element.cost == 3.0
+        assert element.edges == ((1, 2),)
+
+    def test_edgeless_graph_costs_zero(self, simple_costs):
+        graph = CommunicationGraph([0, 1], [])
+        plan = DeploymentPlan({0: 0, 1: 1})
+        assert longest_link_cost(plan, graph, simple_costs) == 0.0
+        assert worst_link(plan, graph, simple_costs).edges == ()
+
+    def test_uncovered_plan_rejected(self, line_graph, simple_costs):
+        plan = DeploymentPlan({0: 0, 1: 1})
+        with pytest.raises(InvalidDeploymentError):
+            longest_link_cost(plan, line_graph, simple_costs)
+
+
+class TestLongestPath:
+    def test_path_cost_sums_edges(self, line_graph, simple_costs):
+        plan = DeploymentPlan({0: 0, 1: 1, 2: 2})
+        # Path 0 -> 1 -> 2 costs 1 + 3.
+        assert longest_path_cost(plan, line_graph, simple_costs) == 4.0
+
+    def test_critical_path_edges(self, simple_costs):
+        graph = CommunicationGraph([0, 1, 2], [(0, 2), (1, 2)])
+        plan = DeploymentPlan({0: 0, 1: 1, 2: 2})
+        element = critical_path(plan, graph, simple_costs)
+        # cost(0,2)=5 beats cost(1,2)=3.
+        assert element.cost == 5.0
+        assert element.edges == ((0, 2),)
+
+    def test_diamond_takes_heavier_branch(self):
+        graph = CommunicationGraph([0, 1, 2, 3], [(0, 1), (0, 2), (1, 3), (2, 3)])
+        costs = matrix_from([
+            [0.0, 1.0, 4.0, 9.0],
+            [1.0, 0.0, 1.0, 1.0],
+            [4.0, 1.0, 0.0, 2.0],
+            [9.0, 1.0, 2.0, 0.0],
+        ])
+        plan = DeploymentPlan({0: 0, 1: 1, 2: 2, 3: 3})
+        # Branch through node 2 costs 4 + 2 = 6; through node 1 costs 1 + 1 = 2.
+        assert longest_path_cost(plan, graph, costs) == 6.0
+
+    def test_cyclic_graph_rejected(self, simple_costs):
+        graph = CommunicationGraph([0, 1], [(0, 1), (1, 0)])
+        plan = DeploymentPlan({0: 0, 1: 1})
+        with pytest.raises(InvalidGraphError):
+            longest_path_cost(plan, graph, simple_costs)
+
+    def test_path_at_least_longest_link(self, line_graph, simple_costs):
+        plan = DeploymentPlan({0: 1, 1: 2, 2: 0})
+        link = longest_link_cost(plan, line_graph, simple_costs)
+        path = longest_path_cost(plan, line_graph, simple_costs)
+        assert path >= link
+
+
+class TestDispatchAndRatios:
+    def test_deployment_cost_dispatch(self, line_graph, simple_costs):
+        plan = DeploymentPlan({0: 0, 1: 1, 2: 2})
+        assert deployment_cost(plan, line_graph, simple_costs,
+                               Objective.LONGEST_LINK) == 3.0
+        assert deployment_cost(plan, line_graph, simple_costs,
+                               Objective.LONGEST_PATH) == 4.0
+
+    def test_improvement_ratio(self):
+        assert improvement_ratio(2.0, 1.0) == pytest.approx(0.5)
+        assert improvement_ratio(0.0, 1.0) == 0.0
+        # A worse "optimised" cost never reports negative improvement.
+        assert improvement_ratio(1.0, 2.0) == 0.0

@@ -1,0 +1,106 @@
+"""Tests for the shared solver interfaces and helpers."""
+
+import time
+
+import pytest
+
+from repro.core import CommunicationGraph, Objective
+from repro.core.errors import InfeasibleProblemError, SolverError
+from repro.core.objectives import deployment_cost
+from repro.solvers import RandomSearch, SearchBudget
+from repro.solvers.base import (
+    ConvergenceTrace,
+    Stopwatch,
+    best_random_plan,
+    default_plan,
+    random_plans,
+)
+
+from conftest import deterministic_cost_matrix
+
+
+class TestSearchBudget:
+    def test_unlimited(self):
+        budget = SearchBudget.unlimited()
+        assert budget.time_limit_s is None
+        assert budget.max_iterations is None
+
+    def test_seconds_constructor(self):
+        assert SearchBudget.seconds(2.5).time_limit_s == 2.5
+
+
+class TestStopwatch:
+    def test_elapsed_increases(self):
+        watch = Stopwatch(SearchBudget.unlimited())
+        first = watch.elapsed()
+        second = watch.elapsed()
+        assert second >= first >= 0.0
+
+    def test_unlimited_never_expires(self):
+        watch = Stopwatch(SearchBudget.unlimited())
+        assert watch.remaining() is None
+        assert not watch.expired()
+
+    def test_tiny_budget_expires(self):
+        watch = Stopwatch(SearchBudget.seconds(0.0))
+        time.sleep(0.001)
+        assert watch.expired()
+
+
+class TestConvergenceTrace:
+    def test_only_improvements_recorded(self):
+        trace = ConvergenceTrace()
+        trace.record(0.0, 5.0)
+        trace.record(1.0, 6.0)  # not an improvement, dropped
+        trace.record(2.0, 3.0)
+        assert trace.as_tuples() == ((0.0, 5.0), (2.0, 3.0))
+        assert trace.best_cost() == 3.0
+
+    def test_cost_at_time(self):
+        trace = ConvergenceTrace()
+        trace.record(0.0, 5.0)
+        trace.record(2.0, 3.0)
+        assert trace.cost_at(1.0) == 5.0
+        assert trace.cost_at(2.5) == 3.0
+        assert ConvergenceTrace().cost_at(1.0) is None
+
+
+class TestHelpers:
+    def test_default_plan_uses_first_instances(self, mesh_graph):
+        costs = deterministic_cost_matrix(12)
+        plan = default_plan(mesh_graph, costs)
+        assert plan.used_instances() == tuple(range(9))
+
+    def test_random_plans_count_and_validity(self, mesh_graph):
+        costs = deterministic_cost_matrix(12)
+        plans = random_plans(mesh_graph, costs, 5, rng=0)
+        assert len(plans) == 5
+        for plan in plans:
+            assert plan.covers(mesh_graph)
+
+    def test_best_random_plan_is_best_of_batch(self, mesh_graph):
+        costs = deterministic_cost_matrix(12, seed=3)
+        plan, cost = best_random_plan(mesh_graph, costs, Objective.LONGEST_LINK,
+                                      20, rng=1)
+        assert cost == pytest.approx(
+            deployment_cost(plan, mesh_graph, costs, Objective.LONGEST_LINK)
+        )
+        # It should not be worse than a single random draw with the same seed.
+        single, single_cost = best_random_plan(mesh_graph, costs,
+                                               Objective.LONGEST_LINK, 1, rng=1)
+        assert cost <= single_cost
+
+    def test_infeasible_problem_detected(self):
+        graph = CommunicationGraph.mesh_2d(3, 3)
+        costs = deterministic_cost_matrix(4)
+        solver = RandomSearch(num_samples=5, seed=0)
+        with pytest.raises(InfeasibleProblemError):
+            solver.solve(graph, costs)
+
+    def test_unsupported_objective_rejected(self, mesh_graph):
+        from repro.solvers import CPLongestLinkSolver
+
+        costs = deterministic_cost_matrix(10)
+        with pytest.raises(SolverError):
+            CPLongestLinkSolver().solve(mesh_graph, costs,
+                                        objective=Objective.LONGEST_PATH)

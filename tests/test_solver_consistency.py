@@ -1,0 +1,97 @@
+"""Cross-solver consistency: every solver agrees on tiny, brute-forceable instances."""
+
+import pytest
+
+from repro.core import CommunicationGraph, Objective
+from repro.core.objectives import deployment_cost
+from repro.solvers import (
+    CPLongestLinkSolver,
+    GreedyG1,
+    GreedyG2,
+    MIPLongestLinkSolver,
+    MIPLongestPathSolver,
+    PortfolioSolver,
+    RandomSearch,
+    SearchBudget,
+    SimulatedAnnealing,
+    SwapLocalSearch,
+)
+
+from conftest import brute_force_optimum, deterministic_cost_matrix
+
+
+@pytest.fixture(scope="module")
+def tiny_ll():
+    graph = CommunicationGraph.ring(4)
+    costs = deterministic_cost_matrix(6, seed=31)
+    _, optimum = brute_force_optimum(graph, costs, Objective.LONGEST_LINK)
+    return graph, costs, optimum
+
+
+@pytest.fixture(scope="module")
+def tiny_lp():
+    graph = CommunicationGraph.aggregation_tree(2, 1)  # 3 nodes
+    costs = deterministic_cost_matrix(5, seed=32)
+    _, optimum = brute_force_optimum(graph, costs, Objective.LONGEST_PATH)
+    return graph, costs, optimum
+
+
+class TestLongestLinkConsistency:
+    def test_exact_solvers_reach_optimum(self, tiny_ll):
+        graph, costs, optimum = tiny_ll
+        cp = CPLongestLinkSolver(k_clusters=None, seed=0).solve(
+            graph, costs, budget=SearchBudget.seconds(10)
+        )
+        mip = MIPLongestLinkSolver(backend="milp").solve(
+            graph, costs, budget=SearchBudget.seconds(30)
+        )
+        assert cp.cost == pytest.approx(optimum, abs=1e-9)
+        assert mip.cost == pytest.approx(optimum, abs=1e-6)
+
+    def test_heuristics_never_beat_optimum(self, tiny_ll):
+        graph, costs, optimum = tiny_ll
+        solvers = [
+            GreedyG1(),
+            GreedyG2(),
+            RandomSearch(num_samples=300, seed=0),
+            SwapLocalSearch(seed=0),
+            SimulatedAnnealing(seed=0),
+            PortfolioSolver(seed=0),
+        ]
+        for solver in solvers:
+            result = solver.solve(graph, costs, budget=SearchBudget.seconds(1))
+            assert result.cost >= optimum - 1e-9
+            # All returned costs are consistent with their own plan.
+            assert result.cost == pytest.approx(
+                deployment_cost(result.plan, graph, costs, Objective.LONGEST_LINK)
+            )
+
+    def test_exhaustive_random_search_reaches_optimum(self, tiny_ll):
+        """With 6 instances and 4 nodes there are only 360 plans."""
+        graph, costs, optimum = tiny_ll
+        result = RandomSearch(num_samples=5000, seed=1).solve(graph, costs)
+        assert result.cost == pytest.approx(optimum, abs=1e-9)
+
+
+class TestLongestPathConsistency:
+    def test_mip_reaches_optimum(self, tiny_lp):
+        graph, costs, optimum = tiny_lp
+        result = MIPLongestPathSolver(backend="milp").solve(
+            graph, costs, budget=SearchBudget.seconds(30)
+        )
+        assert result.cost == pytest.approx(optimum, abs=1e-6)
+
+    def test_bnb_not_worse_than_random_baseline(self, tiny_lp):
+        graph, costs, optimum = tiny_lp
+        bnb = MIPLongestPathSolver(backend="bnb").solve(
+            graph, costs, budget=SearchBudget.seconds(10)
+        )
+        assert bnb.cost >= optimum - 1e-9
+
+    def test_heuristics_never_beat_optimum(self, tiny_lp):
+        graph, costs, optimum = tiny_lp
+        for solver in (GreedyG2(), RandomSearch(num_samples=200, seed=2),
+                       SwapLocalSearch(seed=1)):
+            result = solver.solve(graph, costs, objective=Objective.LONGEST_PATH,
+                                  budget=SearchBudget.seconds(1))
+            assert result.cost >= optimum - 1e-9
