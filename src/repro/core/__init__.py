@@ -4,6 +4,12 @@ from .clustering import ClusteringResult, cluster_costs, kmeans_1d
 from .communication_graph import CommunicationGraph, augment_with_dummy_nodes
 from .cost_matrix import CostMatrix, LatencyMetric
 from .deployment import DeploymentPlan
+from .evaluation import (
+    CompiledProblem,
+    DeltaEvaluator,
+    IndexedPlan,
+    compile_problem,
+)
 from .errors import (
     AllocationError,
     BudgetExhaustedError,
@@ -32,9 +38,12 @@ __all__ = [
     "ClouDiAError",
     "ClusteringResult",
     "CommunicationGraph",
+    "CompiledProblem",
     "CostMatrix",
     "CriticalElement",
+    "DeltaEvaluator",
     "DeploymentPlan",
+    "IndexedPlan",
     "InfeasibleProblemError",
     "InvalidCostMatrixError",
     "InvalidDeploymentError",
@@ -45,6 +54,7 @@ __all__ = [
     "SolverError",
     "augment_with_dummy_nodes",
     "cluster_costs",
+    "compile_problem",
     "critical_path",
     "deployment_cost",
     "improvement_ratio",

@@ -101,6 +101,18 @@ class DeploymentPlan:
         """The node hosted on ``instance``, or ``None`` if the instance is unused."""
         return self._inverse.get(instance)
 
+    def instances_for(self, nodes: Sequence[NodeId]) -> List[InstanceId]:
+        """The instances hosting ``nodes``, in the given order.
+
+        Bulk counterpart of :meth:`instance_for`; the evaluation engine uses
+        it to lower whole plans without a Python-level call per node.
+        """
+        mapping = self._mapping
+        try:
+            return [mapping[node] for node in nodes]
+        except KeyError as exc:
+            raise InvalidDeploymentError(f"node {exc.args[0]} is not mapped") from exc
+
     def used_instances(self) -> Tuple[InstanceId, ...]:
         """Instances that host an application node."""
         return tuple(self._mapping.values())

@@ -21,7 +21,8 @@ from ..core.communication_graph import CommunicationGraph
 from ..core.cost_matrix import CostMatrix
 from ..core.deployment import DeploymentPlan
 from ..core.errors import InfeasibleProblemError, SolverError
-from ..core.objectives import Objective, deployment_cost
+from ..core.evaluation import CompiledProblem, compile_problem
+from ..core.objectives import Objective
 from ..core.types import make_rng
 
 
@@ -149,6 +150,16 @@ class DeploymentSolver(abc.ABC):
                 f"{costs.num_instances} instances"
             )
 
+    def compiled(self, graph: CommunicationGraph,
+                 costs: CostMatrix) -> CompiledProblem:
+        """The vectorized evaluation engine for a problem instance.
+
+        Compilations are shared process-wide (see
+        :func:`repro.core.evaluation.compile_problem`), so portfolio members
+        solving the same instance reuse one lowering.
+        """
+        return compile_problem(graph, costs)
+
     @abc.abstractmethod
     def solve(self, graph: CommunicationGraph, costs: CostMatrix,
               objective: Objective = Objective.LONGEST_LINK,
@@ -186,18 +197,18 @@ def best_random_plan(graph: CommunicationGraph, costs: CostMatrix,
     """Best of ``count`` random plans; used to bootstrap exact solvers.
 
     The paper seeds its solvers with the best of 10 random deployments
-    (Sect. 6.3.1).
+    (Sect. 6.3.1).  Plans are drawn one by one (keeping the RNG stream
+    identical to older releases) but scored in a single batch through the
+    vectorized evaluation engine; ties keep the earliest plan, matching the
+    previous strict-improvement loop.
     """
     generator = make_rng(rng)
-    best_plan: Optional[DeploymentPlan] = None
-    best_cost = float("inf")
-    for plan in random_plans(graph, costs, count, generator):
-        cost = deployment_cost(plan, graph, costs, objective)
-        if cost < best_cost:
-            best_plan, best_cost = plan, cost
-    if best_plan is None:
+    plans = random_plans(graph, costs, count, generator)
+    if not plans:
         raise SolverError("count must be positive to draw a random plan")
-    return best_plan, best_cost
+    plan_costs = compile_problem(graph, costs).evaluate_plans(plans, objective)
+    best_index = int(np.argmin(plan_costs))
+    return plans[best_index], float(plan_costs[best_index])
 
 
 def default_plan(graph: CommunicationGraph, costs: CostMatrix) -> DeploymentPlan:

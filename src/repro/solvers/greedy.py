@@ -13,17 +13,25 @@ always picking the cheapest instance link available:
 For the longest-path problem (LPNDP) the paper uses the same greedy
 construction as a heuristic (Sect. 4.5.2): the plan is built with the
 longest-link logic and then evaluated under the longest-path objective.
+
+Candidate scans run on the dense cost array of the compiled problem
+(:mod:`repro.core.evaluation`); ``np.argmin`` returns the first occurrence
+of the minimum, which reproduces the historical first-strict-improvement
+tie-breaking of the Python loops exactly.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
+import numpy as np
+
 from ..core.communication_graph import CommunicationGraph
 from ..core.cost_matrix import CostMatrix
 from ..core.deployment import DeploymentPlan
 from ..core.errors import SolverError
-from ..core.objectives import Objective, deployment_cost
+from ..core.evaluation import CompiledProblem, compile_problem
+from ..core.objectives import Objective
 from ..core.types import InstanceId, NodeId
 from .base import DeploymentSolver, SearchBudget, SolverResult, Stopwatch
 
@@ -31,9 +39,11 @@ from .base import DeploymentSolver, SearchBudget, SolverResult, Stopwatch
 class _GreedyState:
     """Bookkeeping for a growing partial deployment."""
 
-    def __init__(self, graph: CommunicationGraph, costs: CostMatrix):
+    def __init__(self, graph: CommunicationGraph, costs: CostMatrix,
+                 problem: CompiledProblem | None = None):
         self.graph = graph
         self.costs = costs
+        self.problem = problem if problem is not None else compile_problem(graph, costs)
         self.node_to_instance: Dict[NodeId, InstanceId] = {}
         self.instance_to_node: Dict[InstanceId, NodeId] = {}
         self.unmapped_nodes: Set[NodeId] = set(graph.nodes)
@@ -64,19 +74,32 @@ class _GreedyState:
         return DeploymentPlan(self.node_to_instance)
 
 
-def _cheapest_link(costs: CostMatrix,
+def _cheapest_link(problem: CompiledProblem,
                    sources: List[InstanceId],
                    destinations: Set[InstanceId]) -> Optional[Tuple[InstanceId, InstanceId, float]]:
-    """Cheapest directed link from ``sources`` into ``destinations``."""
-    best: Optional[Tuple[InstanceId, InstanceId, float]] = None
-    for u in sources:
-        for v in destinations:
-            if u == v:
-                continue
-            cost = costs.cost(u, v)
-            if best is None or cost < best[2]:
-                best = (u, v, cost)
-    return best
+    """Cheapest directed link from ``sources`` into ``destinations``.
+
+    Scans the dense cost array in one vectorized pass.  The flattened
+    ``argmin`` walks sources in their given order and destinations in their
+    iteration order, so ties resolve identically to the original nested
+    loop with a strict-improvement comparison.
+    """
+    if not sources or not destinations:
+        return None
+    dest_list = list(destinations)
+    src_idx = np.fromiter((problem.instance_idx(u) for u in sources),
+                          dtype=np.intp, count=len(sources))
+    dst_idx = np.fromiter((problem.instance_idx(v) for v in dest_list),
+                          dtype=np.intp, count=len(dest_list))
+    sub = problem.cost_array[np.ix_(src_idx, dst_idx)].copy()
+    sub[src_idx[:, None] == dst_idx[None, :]] = np.inf
+    flat = int(np.argmin(sub))
+    best_cost = float(sub.ravel()[flat])
+    if not np.isfinite(best_cost):
+        return None
+    u = sources[flat // len(dest_list)]
+    v = dest_list[flat % len(dest_list)]
+    return (u, v, best_cost)
 
 
 def _seed_state(state: _GreedyState) -> None:
@@ -87,7 +110,7 @@ def _seed_state(state: _GreedyState) -> None:
     onto it.  When only isolated nodes remain, they are placed one by one on
     arbitrary free instances (their placement cannot affect the objective).
     """
-    graph, costs = state.graph, state.costs
+    graph = state.graph
     unmapped_edges = [
         (x, y) for x, y in graph.edges
         if x in state.unmapped_nodes and y in state.unmapped_nodes
@@ -98,7 +121,7 @@ def _seed_state(state: _GreedyState) -> None:
         node = min(state.unmapped_nodes)
         state.assign(node, free[0])
         return
-    best = _cheapest_link(costs, free, set(free))
+    best = _cheapest_link(state.problem, free, set(free))
     if best is None:
         raise SolverError("not enough free instances to seed the deployment")
     u0, v0, _ = best
@@ -119,14 +142,15 @@ class GreedyG1(DeploymentSolver):
         budget = budget or SearchBudget.unlimited()
         self.check_problem(graph, costs, objective)
         watch = Stopwatch(budget)
-        state = _GreedyState(graph, costs)
+        problem = self.compiled(graph, costs)
+        state = _GreedyState(graph, costs, problem)
         _seed_state(state)
         iterations = 0
 
         while not state.finished():
             iterations += 1
             frontier = state.frontier_instances()
-            best = _cheapest_link(costs, frontier, state.unused_instances)
+            best = _cheapest_link(problem, frontier, state.unused_instances)
             if best is None:
                 # Disconnected remainder: start a new component.
                 _seed_state(state)
@@ -137,7 +161,7 @@ class GreedyG1(DeploymentSolver):
             state.assign(w, v_min)
 
         plan = state.plan()
-        cost = deployment_cost(plan, graph, costs, objective)
+        cost = problem.evaluate_plan(plan, objective)
         return SolverResult(
             plan=plan, cost=cost, objective=objective, solver_name=self.name,
             solve_time_s=watch.elapsed(), iterations=iterations, optimal=False,
@@ -157,7 +181,8 @@ class GreedyG2(DeploymentSolver):
         budget = budget or SearchBudget.unlimited()
         self.check_problem(graph, costs, objective)
         watch = Stopwatch(budget)
-        state = _GreedyState(graph, costs)
+        problem = self.compiled(graph, costs)
+        state = _GreedyState(graph, costs, problem)
         _seed_state(state)
         iterations = 0
 
@@ -171,7 +196,7 @@ class GreedyG2(DeploymentSolver):
             state.assign(w_min, v_min)
 
         plan = state.plan()
-        cost = deployment_cost(plan, graph, costs, objective)
+        cost = problem.evaluate_plan(plan, objective)
         return SolverResult(
             plan=plan, cost=cost, objective=objective, solver_name=self.name,
             solve_time_s=watch.elapsed(), iterations=iterations, optimal=False,
@@ -185,25 +210,40 @@ class GreedyG2(DeploymentSolver):
         already-mapped node hosted on instance ``u``) onto free instance
         ``v``, the charged cost is the maximum of ``CL(u, v)`` and the cost
         of every communication edge between ``w`` and any already-mapped
-        node ``x`` evaluated in the direction the edge specifies.
+        node ``x`` evaluated in the direction the edge specifies.  The scan
+        over free instances is a vectorized max over cost-array rows and
+        columns; the per-``(u, w)`` ``argmin`` keeps first-occurrence
+        tie-breaking, so the construction matches the historical triple
+        loop move for move.
         """
-        graph, costs = state.graph, state.costs
+        graph, problem = state.graph, state.problem
+        cost_array = problem.cost_array
+        free_list = list(state.unused_instances)
+        if not free_list:
+            return None
+        free_idx = np.fromiter((problem.instance_idx(v) for v in free_list),
+                               dtype=np.intp, count=len(free_list))
         best_cost = float("inf")
         best: Optional[Tuple[NodeId, InstanceId]] = None
         for u in state.frontier_instances():
+            u_idx = problem.instance_idx(u)
             anchor = state.instance_to_node[u]
             for w in state.unmatched_neighbors(anchor):
-                for v in state.unused_instances:
-                    candidate_cost = costs.cost(u, v)
-                    for x in graph.successors(w):
-                        mapped = state.node_to_instance.get(x)
-                        if mapped is not None:
-                            candidate_cost = max(candidate_cost, costs.cost(v, mapped))
-                    for x in graph.predecessors(w):
-                        mapped = state.node_to_instance.get(x)
-                        if mapped is not None:
-                            candidate_cost = max(candidate_cost, costs.cost(mapped, v))
-                    if candidate_cost < best_cost:
-                        best_cost = candidate_cost
-                        best = (w, v)
+                candidate = cost_array[u_idx, free_idx].copy()
+                for x in graph.successors(w):
+                    mapped = state.node_to_instance.get(x)
+                    if mapped is not None:
+                        np.maximum(candidate,
+                                   cost_array[free_idx, problem.instance_idx(mapped)],
+                                   out=candidate)
+                for x in graph.predecessors(w):
+                    mapped = state.node_to_instance.get(x)
+                    if mapped is not None:
+                        np.maximum(candidate,
+                                   cost_array[problem.instance_idx(mapped), free_idx],
+                                   out=candidate)
+                k = int(np.argmin(candidate))
+                if candidate[k] < best_cost:
+                    best_cost = float(candidate[k])
+                    best = (w, free_list[k])
         return best

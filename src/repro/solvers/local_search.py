@@ -6,17 +6,25 @@ extension (DESIGN.md, experiment A3).  Moves preserve injectivity:
 
 * *swap* — exchange the instances of two mapped nodes;
 * *relocate* — move a node to a currently unused (over-allocated) instance.
+
+Candidate moves are scored through the incremental
+:class:`~repro.core.evaluation.DeltaEvaluator`: a longest-link candidate
+only touches the edges incident to the moved nodes, so proposals cost
+O(degree) instead of a full O(|E|) re-evaluation.  The move-sampling code
+consumes the RNG exactly as the original implementation did, so results are
+reproducible seed for seed across the rewrite.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import Optional, Tuple
 
 from ..core.communication_graph import CommunicationGraph
 from ..core.cost_matrix import CostMatrix
 from ..core.deployment import DeploymentPlan
-from ..core.objectives import Objective, deployment_cost
+from ..core.evaluation import DeltaEvaluator
+from ..core.objectives import Objective
 from ..core.types import make_rng
 from .base import (
     ConvergenceTrace,
@@ -26,6 +34,43 @@ from .base import (
     Stopwatch,
     best_random_plan,
 )
+
+#: A proposed move in engine coordinates: ``("swap", node_idx, node_idx)``
+#: or ``("relocate", node_idx, instance_idx)``.
+Move = Tuple[str, int, int]
+
+
+def _propose_move(evaluator: DeltaEvaluator, rng) -> Move:
+    """Sample a random swap or relocation move.
+
+    The RNG consumption pattern is part of the solvers' reproducibility
+    contract (it must keep producing the pre-engine move sequences): the
+    relocate branch draws ``rng.random()`` only when a free instance
+    exists, node and target picks use ``rng.integers``, and swaps use
+    ``rng.choice(n, size=2, replace=False)`` — in exactly this order.
+    """
+    n_nodes = evaluator.problem.num_nodes
+    free = evaluator.free_instance_indices()
+    if free.size and rng.random() < 0.3:
+        node = int(rng.integers(n_nodes))
+        target = int(free[int(rng.integers(free.size))])
+        return ("relocate", node, target)
+    a, b = rng.choice(n_nodes, size=2, replace=False)
+    return ("swap", int(a), int(b))
+
+
+def _peek_move(evaluator: DeltaEvaluator, move: Move) -> float:
+    kind, first, second = move
+    if kind == "swap":
+        return evaluator.swap_cost(first, second)
+    return evaluator.relocate_cost(first, second)
+
+
+def _apply_move(evaluator: DeltaEvaluator, move: Move) -> float:
+    kind, first, second = move
+    if kind == "swap":
+        return evaluator.apply_swap(first, second)
+    return evaluator.apply_relocate(first, second)
 
 
 class SwapLocalSearch(DeploymentSolver):
@@ -57,12 +102,11 @@ class SwapLocalSearch(DeploymentSolver):
         rng = make_rng(self._seed)
         watch = Stopwatch(budget)
         trace = ConvergenceTrace()
-        instances = list(costs.instance_ids)
-        nodes = list(graph.nodes)
+        problem = self.compiled(graph, costs)
 
         best_plan: Optional[DeploymentPlan] = initial_plan
         best_cost = (
-            deployment_cost(initial_plan, graph, costs, objective)
+            problem.evaluate_plan(initial_plan, objective)
             if initial_plan is not None else float("inf")
         )
         iterations = 0
@@ -75,24 +119,26 @@ class SwapLocalSearch(DeploymentSolver):
             else:
                 plan, cost = best_random_plan(graph, costs, objective, 10, rng)
             trace.record(watch.elapsed(), min(cost, best_cost if best_plan else cost))
+            evaluator = problem.delta_evaluator(plan, objective)
 
             stall = 0
             while stall < self.max_moves_without_improvement and not watch.expired():
                 iterations += 1
-                candidate = self._propose(plan, nodes, instances, rng)
-                candidate_cost = deployment_cost(candidate, graph, costs, objective)
+                move = _propose_move(evaluator, rng)
+                candidate_cost = _peek_move(evaluator, move)
                 if candidate_cost < cost:
-                    plan, cost = candidate, candidate_cost
+                    _apply_move(evaluator, move)
+                    cost = candidate_cost
                     stall = 0
                     if cost < best_cost:
-                        best_plan, best_cost = plan, cost
+                        best_plan, best_cost = evaluator.plan(), cost
                         trace.record(watch.elapsed(), cost)
                 else:
                     stall += 1
                 if budget.max_iterations is not None and iterations >= budget.max_iterations:
                     break
             if cost < best_cost:
-                best_plan, best_cost = plan, cost
+                best_plan, best_cost = evaluator.plan(), cost
                 trace.record(watch.elapsed(), cost)
             if budget.max_iterations is not None and iterations >= budget.max_iterations:
                 break
@@ -106,19 +152,6 @@ class SwapLocalSearch(DeploymentSolver):
             solver_name=self.name, solve_time_s=watch.elapsed(),
             iterations=iterations, optimal=False, trace=trace.as_tuples(),
         )
-
-    @staticmethod
-    def _propose(plan: DeploymentPlan, nodes: List[int], instances: List[int],
-                 rng) -> DeploymentPlan:
-        """Random swap or relocation move."""
-        unused = plan.unused_instances(instances)
-        if unused and rng.random() < 0.3:
-            node = nodes[int(rng.integers(len(nodes)))]
-            target = unused[int(rng.integers(len(unused)))]
-            return plan.with_relocation(node, target)
-        a, b = rng.choice(len(nodes), size=2, replace=False)
-        return plan.with_swap(nodes[int(a)], nodes[int(b)])
-
 
 class SimulatedAnnealing(DeploymentSolver):
     """Simulated annealing over the same move set as :class:`SwapLocalSearch`.
@@ -151,14 +184,14 @@ class SimulatedAnnealing(DeploymentSolver):
         rng = make_rng(self._seed)
         watch = Stopwatch(budget)
         trace = ConvergenceTrace()
-        instances = list(costs.instance_ids)
-        nodes = list(graph.nodes)
+        problem = self.compiled(graph, costs)
 
         if initial_plan is not None:
             plan = initial_plan
-            cost = deployment_cost(plan, graph, costs, objective)
+            cost = problem.evaluate_plan(plan, objective)
         else:
             plan, cost = best_random_plan(graph, costs, objective, 10, rng)
+        evaluator = problem.delta_evaluator(plan, objective)
         best_plan, best_cost = plan, cost
         trace.record(watch.elapsed(), best_cost)
 
@@ -168,14 +201,15 @@ class SimulatedAnnealing(DeploymentSolver):
             if budget.max_iterations is not None and iterations >= budget.max_iterations:
                 break
             iterations += 1
-            candidate = SwapLocalSearch._propose(plan, nodes, instances, rng)
-            candidate_cost = deployment_cost(candidate, graph, costs, objective)
+            move = _propose_move(evaluator, rng)
+            candidate_cost = _peek_move(evaluator, move)
             delta = candidate_cost - cost
             if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-12)):
-                plan, cost = candidate, candidate_cost
+                _apply_move(evaluator, move)
+                cost = candidate_cost
                 temperature *= self.cooling
                 if cost < best_cost:
-                    best_plan, best_cost = plan, cost
+                    best_plan, best_cost = evaluator.plan(), cost
                     trace.record(watch.elapsed(), best_cost)
             if budget.target_cost is not None and best_cost <= budget.target_cost:
                 break

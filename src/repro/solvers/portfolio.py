@@ -67,6 +67,10 @@ class PortfolioSolver(DeploymentSolver):
               initial_plan: DeploymentPlan | None = None) -> SolverResult:
         budget = budget or SearchBudget.seconds(10.0)
         self.check_problem(graph, costs, objective)
+        # Lower the instance once before starting the clock on members: the
+        # compilation is cached process-wide, so every engine-backed member
+        # (greedy, random search, local search) reuses this single lowering.
+        self.compiled(graph, costs)
         watch = Stopwatch(budget)
         members = self._solvers if self._solvers is not None \
             else self._default_members(objective)

@@ -1,0 +1,49 @@
+"""Deterministic problem generators and reference helpers for tests.
+
+These used to live in ``tests/conftest.py``, which made them importable only
+through pytest's fragile ``conftest`` module name (and broke entirely when a
+second conftest — the benchmarks' — shadowed it during collection).  They
+are part of the library now: tests, benchmarks and downstream experiments
+import them as ``repro.testing`` regardless of how the process was started.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Tuple
+
+import numpy as np
+
+from .core.communication_graph import CommunicationGraph
+from .core.cost_matrix import CostMatrix
+from .core.deployment import DeploymentPlan
+from .core.objectives import Objective, deployment_cost
+
+
+def deterministic_cost_matrix(num_instances: int, seed: int = 0,
+                              low: float = 0.2, high: float = 1.4,
+                              symmetric: bool = True) -> CostMatrix:
+    """A reproducible random cost matrix with EC2-like latency ranges."""
+    rng = np.random.default_rng(seed)
+    matrix = rng.uniform(low, high, size=(num_instances, num_instances))
+    if symmetric:
+        matrix = (matrix + matrix.T) / 2.0
+    np.fill_diagonal(matrix, 0.0)
+    return CostMatrix(list(range(num_instances)), matrix)
+
+
+def brute_force_optimum(graph: CommunicationGraph, costs: CostMatrix,
+                        objective: Objective) -> Tuple[DeploymentPlan, float]:
+    """Exhaustively enumerate all injective deployments (tiny instances only)."""
+    nodes = list(graph.nodes)
+    instances = list(costs.instance_ids)
+    assert len(instances) <= 8, "brute force is only meant for tiny problems"
+    best_plan = None
+    best_cost = float("inf")
+    for assignment in permutations(instances, len(nodes)):
+        plan = DeploymentPlan(dict(zip(nodes, assignment)))
+        cost = deployment_cost(plan, graph, costs, objective)
+        if cost < best_cost:
+            best_plan, best_cost = plan, cost
+    assert best_plan is not None
+    return best_plan, best_cost

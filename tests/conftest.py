@@ -2,15 +2,31 @@
 
 from __future__ import annotations
 
-from itertools import permutations
-from typing import Tuple
-
-import numpy as np
 import pytest
 
 from repro.cloud import DatacenterTopology, ProviderProfile, SimulatedCloud
-from repro.core import CommunicationGraph, CostMatrix, DeploymentPlan, Objective
-from repro.core.objectives import deployment_cost
+from repro.core import CommunicationGraph
+# Re-exported so legacy `from conftest import ...` keeps working; new code
+# should import these from repro.testing directly.
+from repro.testing import brute_force_optimum, deterministic_cost_matrix
+
+__all__ = ["brute_force_optimum", "deterministic_cost_matrix"]
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-bench", action="store_true", default=False,
+        help="also run tests marked slow (benchmark smoke tests)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--run-bench"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow test: pass --run-bench to run")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 
 
 @pytest.fixture
@@ -36,32 +52,3 @@ def mesh_graph() -> CommunicationGraph:
 def tree_graph() -> CommunicationGraph:
     """A small aggregation tree (binary, depth 2 => 7 nodes)."""
     return CommunicationGraph.aggregation_tree(branching=2, depth=2)
-
-
-def deterministic_cost_matrix(num_instances: int, seed: int = 0,
-                              low: float = 0.2, high: float = 1.4,
-                              symmetric: bool = True) -> CostMatrix:
-    """A reproducible random cost matrix with EC2-like latency ranges."""
-    rng = np.random.default_rng(seed)
-    matrix = rng.uniform(low, high, size=(num_instances, num_instances))
-    if symmetric:
-        matrix = (matrix + matrix.T) / 2.0
-    np.fill_diagonal(matrix, 0.0)
-    return CostMatrix(list(range(num_instances)), matrix)
-
-
-def brute_force_optimum(graph: CommunicationGraph, costs: CostMatrix,
-                        objective: Objective) -> Tuple[DeploymentPlan, float]:
-    """Exhaustively enumerate all injective deployments (tiny instances only)."""
-    nodes = list(graph.nodes)
-    instances = list(costs.instance_ids)
-    assert len(instances) <= 8, "brute force is only meant for tiny problems"
-    best_plan = None
-    best_cost = float("inf")
-    for assignment in permutations(instances, len(nodes)):
-        plan = DeploymentPlan(dict(zip(nodes, assignment)))
-        cost = deployment_cost(plan, graph, costs, objective)
-        if cost < best_cost:
-            best_plan, best_cost = plan, cost
-    assert best_plan is not None
-    return best_plan, best_cost

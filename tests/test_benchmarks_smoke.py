@@ -1,0 +1,66 @@
+"""Import smoke tests for the figure benchmarks.
+
+``benchmarks/`` is deliberately excluded from tier-1 collection (see
+``testpaths`` in pyproject.toml), which means plain API drift would only
+surface when someone regenerates the figures.  These tests import every
+``bench_*.py`` module — without running any benchmark — so bit-rot is
+caught by ``pytest --run-bench`` (they are skipped by default because the
+imports pull in the full advisor stack).
+
+The benchmark modules do ``from conftest import ...`` expecting pytest to
+have loaded *their* conftest; importing them from the tests context needs
+that name temporarily rebound to ``benchmarks/conftest.py``.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+BENCH_DIR = pathlib.Path(__file__).parent.parent / "benchmarks"
+BENCH_MODULES = sorted(BENCH_DIR.glob("bench_*.py"))
+
+
+def _load_module(path: pathlib.Path, name: str):
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(name, None)
+    return module
+
+
+@pytest.fixture
+def benchmarks_conftest():
+    """Bind ``conftest`` to benchmarks/conftest.py for the test's duration."""
+    previous = sys.modules.get("conftest")
+    spec = importlib.util.spec_from_file_location("conftest",
+                                                  BENCH_DIR / "conftest.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["conftest"] = module
+    spec.loader.exec_module(module)
+    try:
+        yield module
+    finally:
+        if previous is not None:
+            sys.modules["conftest"] = previous
+        else:
+            sys.modules.pop("conftest", None)
+
+
+def test_bench_modules_exist():
+    """The benchmark directory is present and non-trivial (fast, tier-1)."""
+    assert len(BENCH_MODULES) >= 10
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("path", BENCH_MODULES, ids=lambda p: p.stem)
+def test_bench_module_imports(path, benchmarks_conftest):
+    module = _load_module(path, f"_bench_smoke_{path.stem}")
+    # Every benchmark exposes at least one pytest-collectable test function.
+    assert any(name.startswith("test_") for name in dir(module)), (
+        f"{path.name} defines no test function"
+    )

@@ -4,8 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import CostMatrix, InvalidCostMatrixError, LatencyMetric
-
-from conftest import deterministic_cost_matrix
+from repro.testing import deterministic_cost_matrix
 
 
 class TestLatencyMetric:

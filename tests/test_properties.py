@@ -9,6 +9,7 @@ from repro.core import (
     CostMatrix,
     DeploymentPlan,
     Objective,
+    compile_problem,
     deployment_cost,
     kmeans_1d,
     longest_link_cost,
@@ -179,6 +180,43 @@ def test_clustered_cost_error_bounded_by_cluster_width(costs, k, seed):
     # Bound: the largest absolute difference between a cost and its cluster mean.
     max_shift = float(np.abs(clustered.as_array() - costs.as_array()).max())
     assert abs(original - approximated) <= max_shift + 1e-9
+
+
+# --------------------------------------------------------------------------- #
+# Vectorized evaluation engine vs. the pure-Python oracle
+# --------------------------------------------------------------------------- #
+
+@given(graph=dags(), costs=cost_matrices(min_size=6, max_size=8),
+       seed=st.integers(0, 500))
+@settings(max_examples=60)
+def test_vectorized_engine_agrees_with_oracle_on_dags(graph, costs, seed):
+    """Single and batch evaluation equal the oracle for both objectives."""
+    problem = compile_problem(graph, costs)
+    rng = np.random.default_rng(seed)
+    plans = [DeploymentPlan.random(graph.nodes, costs.instance_ids, rng)
+             for _ in range(4)]
+    for objective in (Objective.LONGEST_LINK, Objective.LONGEST_PATH):
+        oracle = [deployment_cost(p, graph, costs, objective) for p in plans]
+        assert [problem.evaluate_plan(p, objective) for p in plans] == oracle
+        assert list(problem.evaluate_plans(plans, objective)) == oracle
+
+
+@given(costs=cost_matrices(min_size=5, max_size=8), seed=st.integers(0, 500),
+       moves=st.lists(st.tuples(st.integers(0, 30), st.integers(0, 30)),
+                      min_size=1, max_size=8))
+@settings(max_examples=60)
+def test_delta_evaluator_tracks_oracle_through_swaps(costs, seed, moves):
+    """A chain of swap deltas never drifts from full re-evaluation."""
+    n = min(costs.num_instances - 1, 4)
+    graph = CommunicationGraph(range(n), [(i, i + 1) for i in range(n - 1)])
+    plan = DeploymentPlan.random(graph.nodes, costs.instance_ids, rng=seed)
+    evaluator = compile_problem(graph, costs).delta_evaluator(
+        plan, Objective.LONGEST_LINK
+    )
+    for a, b in moves:
+        a, b = a % n, b % n
+        plan = plan.with_swap(a, b)
+        assert evaluator.apply_swap(a, b) == longest_link_cost(plan, graph, costs)
 
 
 # --------------------------------------------------------------------------- #

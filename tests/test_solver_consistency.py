@@ -1,8 +1,9 @@
 """Cross-solver consistency: every solver agrees on tiny, brute-forceable instances."""
 
+import numpy as np
 import pytest
 
-from repro.core import CommunicationGraph, Objective
+from repro.core import CommunicationGraph, DeploymentPlan, Objective, compile_problem
 from repro.core.objectives import deployment_cost
 from repro.solvers import (
     CPLongestLinkSolver,
@@ -17,7 +18,7 @@ from repro.solvers import (
     SwapLocalSearch,
 )
 
-from conftest import brute_force_optimum, deterministic_cost_matrix
+from repro.testing import brute_force_optimum, deterministic_cost_matrix
 
 
 @pytest.fixture(scope="module")
@@ -95,3 +96,88 @@ class TestLongestPathConsistency:
             result = solver.solve(graph, costs, objective=Objective.LONGEST_PATH,
                                   budget=SearchBudget.seconds(1))
             assert result.cost >= optimum - 1e-9
+
+
+class TestDeltaEvaluatorConsistency:
+    """Every incremental move delta equals a full re-evaluation of the move."""
+
+    CASES = [
+        # (graph, num_instances): from single-edge up to meshes with slack.
+        (CommunicationGraph.from_edges([(0, 1)]), 2),
+        (CommunicationGraph.from_edges([(0, 1)]), 5),
+        (CommunicationGraph.ring(5), 5),
+        (CommunicationGraph.mesh_2d(2, 3), 9),
+        (CommunicationGraph.aggregation_tree(2, 2), 10),
+        (CommunicationGraph.star(4), 8),
+    ]
+
+    def _walk(self, graph, costs, objective, seed, moves=60):
+        """Random move walk asserting peek == apply == oracle at every step."""
+        problem = compile_problem(graph, costs)
+        rng = np.random.default_rng(seed)
+        plan = DeploymentPlan.random(graph.nodes, costs.instance_ids, rng)
+        evaluator = problem.delta_evaluator(plan, objective)
+        assert evaluator.current_cost == deployment_cost(plan, graph, costs, objective)
+
+        nodes = list(graph.nodes)
+        for _ in range(moves):
+            free = evaluator.free_instance_indices()
+            if free.size and rng.random() < 0.5:
+                node_idx = int(rng.integers(len(nodes)))
+                inst_idx = int(free[int(rng.integers(free.size))])
+                peeked = evaluator.relocate_cost(node_idx, inst_idx)
+                plan = plan.with_relocation(nodes[node_idx],
+                                            costs.instance_ids[inst_idx])
+                applied = evaluator.apply_relocate(node_idx, inst_idx)
+            else:
+                a, b = rng.choice(len(nodes), size=2, replace=False)
+                peeked = evaluator.swap_cost(int(a), int(b))
+                plan = plan.with_swap(nodes[int(a)], nodes[int(b)])
+                applied = evaluator.apply_swap(int(a), int(b))
+            expected = deployment_cost(plan, graph, costs, objective)
+            assert peeked == expected
+            assert applied == expected
+            assert evaluator.current_cost == expected
+            assert evaluator.plan() == plan
+
+    @pytest.mark.parametrize("case", range(len(CASES)))
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_longest_link_deltas_match_full_reeval(self, case, seed):
+        graph, m = self.CASES[case]
+        costs = deterministic_cost_matrix(m, seed=40 + seed, symmetric=False)
+        self._walk(graph, costs, Objective.LONGEST_LINK, seed)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_longest_path_deltas_match_full_reeval(self, seed):
+        for graph, m in [
+            (CommunicationGraph.from_edges([(0, 1)]), 4),
+            (CommunicationGraph.aggregation_tree(2, 2), 10),
+            (CommunicationGraph.random_dag(6, 0.5, seed=seed), 8),
+        ]:
+            costs = deterministic_cost_matrix(m, seed=50 + seed, symmetric=False)
+            self._walk(graph, costs, Objective.LONGEST_PATH, seed, moves=40)
+
+    def test_relocate_to_used_instance_rejected(self):
+        graph = CommunicationGraph.ring(3)
+        costs = deterministic_cost_matrix(5, seed=60)
+        problem = compile_problem(graph, costs)
+        plan = DeploymentPlan.identity(graph.nodes, costs.instance_ids)
+        evaluator = problem.delta_evaluator(plan, Objective.LONGEST_LINK)
+        from repro.core import InvalidDeploymentError
+        with pytest.raises(InvalidDeploymentError):
+            evaluator.relocate_cost(0, problem.instance_idx(plan.instance_for(1)))
+
+    def test_relocate_to_unused_instance_single_edge(self):
+        """Relocate on a single-edge graph: the whole cost is one link."""
+        graph = CommunicationGraph.from_edges([(0, 1)])
+        costs = deterministic_cost_matrix(4, seed=61, symmetric=False)
+        problem = compile_problem(graph, costs)
+        plan = DeploymentPlan({0: 0, 1: 1})
+        evaluator = problem.delta_evaluator(plan, Objective.LONGEST_LINK)
+        assert evaluator.current_cost == costs.cost(0, 1)
+        # Move node 1 onto each free instance in turn and check the delta.
+        for target in (2, 3):
+            assert evaluator.relocate_cost(1, target) == costs.cost(0, target)
+        evaluator.apply_relocate(1, 3)
+        assert evaluator.current_cost == costs.cost(0, 3)
+        assert evaluator.plan() == DeploymentPlan({0: 0, 1: 3})
