@@ -11,7 +11,7 @@ import numpy as np
 
 from repro.core import CommunicationGraph
 from repro.analysis import format_table
-from repro.core.objectives import longest_link_cost, worst_link
+from repro.core.objectives import worst_link
 from repro.solvers import GreedyG1, GreedyG2
 
 from conftest import allocate_ids, make_cloud

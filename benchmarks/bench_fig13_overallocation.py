@@ -8,7 +8,7 @@ improvement, with diminishing returns beyond.  The benchmark reproduces the
 sweep with a 25-node mesh and up to 50 % over-allocation.
 """
 
-from repro.core import CommunicationGraph, Objective
+from repro.core import Objective
 from repro.analysis import format_table
 from repro.solvers import CPLongestLinkSolver, SearchBudget, default_plan
 from repro.workloads import BehavioralSimulationWorkload, compare_deployments

@@ -44,7 +44,7 @@ def test_fig18_21_other_providers(benchmark, emit, profile_name, seed, title):
     cdf = empirical_cdf(latencies)
     xs, qs = cdf_points(latencies, num_points=15)
     cdf_table = format_series(f"{title}: CDF of mean pairwise latency "
-                              f"(50 instances)", xs, qs,
+                              "(50 instances)", xs, qs,
                               x_label="mean latency [ms]", y_label="CDF")
     stability_rows = [
         (f"link {index + 1}", float(trace.series(link).mean()),

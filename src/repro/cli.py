@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from .analysis import empirical_cdf, format_table
 from .cloud import ProviderProfile, SimulatedCloud

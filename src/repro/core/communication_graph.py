@@ -11,7 +11,7 @@ examples and benchmarks.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Set, Tuple
 
 import networkx as nx
 

@@ -138,6 +138,10 @@ class CompiledProblem:
         )
 
         self._levels: Optional[Tuple[_LevelGroup, ...]] = None
+        self._degrees: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        self._profiles: Optional[np.ndarray] = None
+        self._sorted_link_costs: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._assignment_lb: Optional[np.ndarray] = None
 
     @property
     def costs(self) -> Optional[CostMatrix]:
@@ -223,6 +227,121 @@ class CompiledProblem:
                 groups.append(_LevelGroup(self.edge_src[sel], self.edge_dst[sel]))
             self._levels = tuple(groups)
         return self._levels
+
+    # ------------------------------------------------------------------ #
+    # Bound helpers for the exact solvers (CP labeling, MIP bounding)
+    # ------------------------------------------------------------------ #
+
+    def node_degrees(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-node ``(out, in, undirected)`` degree arrays in node-index order.
+
+        The undirected degree counts distinct neighbours (an edge present in
+        both directions contributes one neighbour), matching
+        :meth:`CommunicationGraph.degree`.
+        """
+        if self._degrees is None:
+            out_deg = np.bincount(self.edge_src, minlength=self.num_nodes)
+            in_deg = np.bincount(self.edge_dst, minlength=self.num_nodes)
+            undirected = np.fromiter(
+                (self.graph.degree(node) for node in self.node_ids),
+                dtype=np.int64, count=self.num_nodes,
+            )
+            self._degrees = (
+                out_deg.astype(np.int64), in_deg.astype(np.int64), undirected
+            )
+        return self._degrees
+
+    def neighbor_degree_profiles(self) -> np.ndarray:
+        """Descending sorted neighbour degrees per node, padded with ``-inf``.
+
+        Row ``i`` lists the undirected degrees of node ``i``'s neighbours in
+        descending order; entries beyond the node's degree are ``-inf`` so a
+        padded element never constrains a domination check.
+        """
+        if self._profiles is None:
+            _, _, undirected = self.node_degrees()
+            width = int(undirected.max()) if self.num_nodes else 0
+            profiles = np.full((self.num_nodes, max(width, 1)), -np.inf)
+            for i, node in enumerate(self.node_ids):
+                neighbor_degrees = sorted(
+                    (self.graph.degree(m) for m in self.graph.neighbors(node)),
+                    reverse=True,
+                )
+                profiles[i, : len(neighbor_degrees)] = neighbor_degrees
+            self._profiles = profiles
+        return self._profiles
+
+    def sorted_link_costs(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Ascending off-diagonal link costs per instance: ``(outgoing, incoming)``.
+
+        Row ``s`` of the first array holds the ``m - 1`` outgoing link costs
+        of instance ``s`` sorted ascending (the diagonal self-link excluded);
+        the second array does the same for incoming links.  These are the
+        order statistics behind the per-assignment cost lower bounds: an
+        instance hosting a node with ``k`` out-edges must use ``k`` distinct
+        outgoing links, so it pays at least the ``k``-th cheapest one.
+        """
+        if self._sorted_link_costs is None:
+            m = self.num_instances
+            off_diagonal = ~np.eye(m, dtype=bool)
+            outgoing = np.sort(
+                self.cost_array[off_diagonal].reshape(m, m - 1), axis=1
+            )
+            incoming = np.sort(
+                self.cost_array.T[off_diagonal].reshape(m, m - 1), axis=1
+            )
+            self._sorted_link_costs = (outgoing, incoming)
+        return self._sorted_link_costs
+
+    def assignment_cost_lower_bounds(self) -> np.ndarray:
+        """``(n, m)`` lower bounds on the longest-link cost per assignment.
+
+        Entry ``[i, s]`` bounds from below the longest-link cost of *any*
+        deployment that places node ``i`` on instance ``s``: the node's
+        ``out_degree(i)`` out-edges must map to distinct outgoing links of
+        ``s``, so the most expensive one costs at least the
+        ``out_degree(i)``-th cheapest outgoing link of ``s`` (and dually for
+        in-edges).  Nodes without edges get a bound of 0.0.
+        """
+        if self._assignment_lb is None:
+            out_deg, in_deg, _ = self.node_degrees()
+            outgoing, incoming = self.sorted_link_costs()
+            lb = np.zeros((self.num_nodes, self.num_instances))
+            has_out = out_deg > 0
+            has_in = in_deg > 0
+            if has_out.any():
+                # kth cheapest outgoing cost, gathered per (node, instance).
+                lb[has_out] = outgoing[:, out_deg[has_out] - 1].T
+            if has_in.any():
+                lb[has_in] = np.maximum(
+                    lb[has_in], incoming[:, in_deg[has_in] - 1].T
+                )
+            self._assignment_lb = lb
+        return self._assignment_lb
+
+    def longest_link_lower_bound(self) -> float:
+        """A proven lower bound on the optimal longest-link deployment cost.
+
+        Every node must be placed somewhere, so the optimum is at least
+        ``max_i min_s lb[i, s]`` over the per-assignment bounds.  The CP
+        solver stops lowering its threshold once the incumbent reaches this
+        value (no cheaper deployment can exist).
+        """
+        if self.num_nodes == 0:
+            return 0.0
+        return float(self.assignment_cost_lower_bounds().min(axis=1).max())
+
+    def threshold_adjacency(self, threshold: float,
+                            tolerance: float = 1e-12) -> np.ndarray:
+        """Boolean matrix of instance links usable at a cost threshold.
+
+        ``[a, b]`` is ``True`` when the directed link ``a -> b`` costs at
+        most ``threshold + tolerance``; the diagonal is always ``False``
+        (two application nodes never share an instance).
+        """
+        allowed = self.cost_array <= threshold + tolerance
+        np.fill_diagonal(allowed, False)
+        return allowed
 
     # ------------------------------------------------------------------ #
     # Single-plan evaluation

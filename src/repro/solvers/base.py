@@ -117,6 +117,9 @@ class SolverResult:
     iterations: int
     optimal: bool
     trace: Tuple[Tuple[float, float], ...] = ()
+    #: Proven lower bound on the optimal cost, when the solver derives one
+    #: (the CP solver's degree-based bound, a MIP's best LP bound).
+    lower_bound: Optional[float] = None
 
     def improvement_over(self, baseline_cost: float) -> float:
         """Relative improvement of this result over a baseline cost."""

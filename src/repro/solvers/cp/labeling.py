@@ -6,15 +6,26 @@ application nodes and instances in the threshold graph ``G_c``: an
 application node can only be mapped to an instance whose in/out degree is at
 least as large, and whose neighborhood degree profile dominates the node's.
 This module computes those initial domains for a given threshold graph.
+
+Two implementations coexist.  The default entry points
+(:func:`compatibility_domains`, :func:`quick_infeasibility_check`) are
+vectorized over NumPy arrays — node degrees and neighbour-degree profiles
+come from :class:`~repro.core.evaluation.CompiledProblem` index arrays when
+one is supplied — because at paper scale (100+ nodes, 110+ instances) the
+per-(node, instance) Python loop dominates each threshold iteration of the
+CP solver.  The original dict-walking versions are kept as the reference
+oracle (``*_reference``) and the tests assert both produce identical
+domains on random instances.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
 from ...core.communication_graph import CommunicationGraph
+from ...core.evaluation import CompiledProblem
 from ...core.types import NodeId
 
 
@@ -41,8 +52,39 @@ def _dominates(sorted_larger: List[int], sorted_smaller: List[int]) -> bool:
     )
 
 
+def _node_degree_arrays(graph: CommunicationGraph,
+                        problem: Optional[CompiledProblem]
+                        ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(out, in, undirected)`` node degrees in ``graph.nodes`` order."""
+    if problem is not None:
+        return problem.node_degrees()
+    out_deg = np.fromiter((graph.out_degree(n) for n in graph.nodes),
+                          dtype=np.int64, count=graph.num_nodes)
+    in_deg = np.fromiter((graph.in_degree(n) for n in graph.nodes),
+                         dtype=np.int64, count=graph.num_nodes)
+    undirected = np.fromiter((graph.degree(n) for n in graph.nodes),
+                             dtype=np.int64, count=graph.num_nodes)
+    return out_deg, in_deg, undirected
+
+
+def _node_profile_matrix(graph: CommunicationGraph,
+                         problem: Optional[CompiledProblem]) -> np.ndarray:
+    """Descending neighbour-degree profiles per node, padded with ``-inf``."""
+    if problem is not None:
+        return problem.neighbor_degree_profiles()
+    width = max((graph.degree(n) for n in graph.nodes), default=0)
+    profiles = np.full((graph.num_nodes, max(width, 1)), -np.inf)
+    for i, node in enumerate(graph.nodes):
+        neighbor_degrees = sorted(
+            (graph.degree(m) for m in graph.neighbors(node)), reverse=True
+        )
+        profiles[i, : len(neighbor_degrees)] = neighbor_degrees
+    return profiles
+
+
 def compatibility_domains(graph: CommunicationGraph, allowed: np.ndarray,
-                          refine_neighborhood: bool = True
+                          refine_neighborhood: bool = True,
+                          problem: Optional[CompiledProblem] = None
                           ) -> Dict[NodeId, Set[int]]:
     """Initial CP domains: which instance indices each node may map to.
 
@@ -55,8 +97,54 @@ def compatibility_domains(graph: CommunicationGraph, allowed: np.ndarray,
        communication-graph neighbors of ``i``.
 
     Both checks are necessary conditions for a monomorphism to exist, so the
-    filtering never removes feasible values.
+    filtering never removes feasible values.  The whole computation runs as
+    a few broadcasted comparisons; ``problem`` (the compiled evaluation
+    engine for the instance) supplies cached node degrees and profiles.
     """
+    degrees = threshold_degrees(allowed)
+    node_out, node_in, _ = _node_degree_arrays(graph, problem)
+
+    # (n, m): degree compatibility of every (node, instance) pair at once.
+    ok = (degrees["out"][None, :] >= node_out[:, None]) \
+        & (degrees["in"][None, :] >= node_in[:, None])
+
+    if refine_neighborhood:
+        node_profiles = _node_profile_matrix(graph, problem)
+        width = node_profiles.shape[1]
+        undirected_allowed = allowed | allowed.T
+        # Neighbour degrees of every instance, non-neighbours masked to -inf,
+        # sorted descending and truncated to the widest node profile.
+        instance_profiles = np.where(
+            undirected_allowed, degrees["undirected"][None, :].astype(float),
+            -np.inf,
+        )
+        instance_profiles = -np.sort(-instance_profiles, axis=1)[:, :width]
+        if instance_profiles.shape[1] < width:
+            instance_profiles = np.pad(
+                instance_profiles,
+                ((0, 0), (0, width - instance_profiles.shape[1])),
+                constant_values=-np.inf,
+            )
+        # dominate[i, s]: instance s's profile covers node i's entry-wise;
+        # -inf padding makes missing node entries vacuous and missing
+        # instance neighbours (profile exhausted) fail, encoding the length
+        # check of the reference implementation.
+        dominate = np.all(
+            instance_profiles[None, :, :] >= node_profiles[:, None, :], axis=2
+        )
+        ok &= dominate
+
+    return {
+        node: set(np.flatnonzero(ok[i]).tolist())
+        for i, node in enumerate(graph.nodes)
+    }
+
+
+def compatibility_domains_reference(graph: CommunicationGraph,
+                                    allowed: np.ndarray,
+                                    refine_neighborhood: bool = True
+                                    ) -> Dict[NodeId, Set[int]]:
+    """Dict-walking oracle for :func:`compatibility_domains` (kept for tests)."""
     num_instances = allowed.shape[0]
     degrees = threshold_degrees(allowed)
     undirected_allowed = allowed | allowed.T
@@ -94,14 +182,35 @@ def compatibility_domains(graph: CommunicationGraph, allowed: np.ndarray,
     return domains
 
 
-def quick_infeasibility_check(graph: CommunicationGraph, allowed: np.ndarray) -> bool:
+def quick_infeasibility_check(graph: CommunicationGraph,
+                              allowed: np.ndarray) -> bool:
     """Cheap necessary conditions for a monomorphism to exist.
 
     Returns ``True`` when the threshold graph *might* contain the
     communication graph (the CP search still has to confirm), ``False`` when
     it provably cannot — e.g. not enough instances, not enough edges, or the
-    degree profiles cannot be matched.
+    degree profiles cannot be matched.  Vectorized; agrees exactly with
+    :func:`quick_infeasibility_check_reference`.
     """
+    num_instances = allowed.shape[0]
+    if num_instances < graph.num_nodes:
+        return False
+    if int(allowed.sum()) < graph.num_edges:
+        return False
+    degrees = threshold_degrees(allowed)
+    node_out, node_in, _ = _node_degree_arrays(graph, None)
+    instance_out = -np.sort(-degrees["out"].astype(np.int64))[: graph.num_nodes]
+    instance_in = -np.sort(-degrees["in"].astype(np.int64))[: graph.num_nodes]
+    if (instance_out < -np.sort(-node_out)).any():
+        return False
+    if (instance_in < -np.sort(-node_in)).any():
+        return False
+    return True
+
+
+def quick_infeasibility_check_reference(graph: CommunicationGraph,
+                                        allowed: np.ndarray) -> bool:
+    """Dict-walking oracle for :func:`quick_infeasibility_check`."""
     num_instances = allowed.shape[0]
     if num_instances < graph.num_nodes:
         return False
@@ -117,3 +226,47 @@ def quick_infeasibility_check(graph: CommunicationGraph, allowed: np.ndarray) ->
     if not _dominates(instance_in, node_in):
         return False
     return True
+
+
+def assignment_cost_lower_bounds_reference(
+        graph: CommunicationGraph, cost_array: np.ndarray
+) -> Dict[NodeId, Tuple[float, ...]]:
+    """Dict-walking oracle for per-assignment longest-link lower bounds.
+
+    Mirrors :meth:`CompiledProblem.assignment_cost_lower_bounds`: placing a
+    node with ``k`` out-edges on instance ``s`` costs at least the ``k``-th
+    cheapest outgoing link of ``s`` (dually for in-edges).  Returns, for
+    each node, the per-instance bounds as a tuple.
+    """
+    num_instances = cost_array.shape[0]
+    sorted_out = [
+        sorted(float(cost_array[s, t]) for t in range(num_instances) if t != s)
+        for s in range(num_instances)
+    ]
+    sorted_in = [
+        sorted(float(cost_array[t, s]) for t in range(num_instances) if t != s)
+        for s in range(num_instances)
+    ]
+    bounds: Dict[NodeId, Tuple[float, ...]] = {}
+    for node in graph.nodes:
+        out_deg = graph.out_degree(node)
+        in_deg = graph.in_degree(node)
+        per_instance = []
+        for s in range(num_instances):
+            bound = 0.0
+            if out_deg > 0:
+                bound = sorted_out[s][out_deg - 1]
+            if in_deg > 0:
+                bound = max(bound, sorted_in[s][in_deg - 1])
+            per_instance.append(bound)
+        bounds[node] = tuple(per_instance)
+    return bounds
+
+
+def longest_link_lower_bound_reference(graph: CommunicationGraph,
+                                       cost_array: np.ndarray) -> float:
+    """Dict-walking oracle for :meth:`CompiledProblem.longest_link_lower_bound`."""
+    if graph.num_nodes == 0:
+        return 0.0
+    bounds = assignment_cost_lower_bounds_reference(graph, cost_array)
+    return max(min(per_instance) for per_instance in bounds.values())

@@ -10,6 +10,15 @@ found (the incumbent is then optimal) or the budget runs out.
 
 Cost clustering (Sect. 6.3) reduces the number of distinct values — and thus
 iterations — at the price of approximating the objective.
+
+All plan scoring and bound computation runs through the compiled evaluation
+engine (:func:`repro.core.evaluation.compile_problem`): incumbents are
+scored with ``evaluate_plan``, threshold graphs come from
+``threshold_adjacency`` over the compiled cost array, and the per-assignment
+degree bounds yield a proven lower bound that terminates the threshold loop
+early once the incumbent provably cannot improve.  ``use_engine=False``
+keeps the original dict-walking oracle path; the agreement tests assert both
+paths return bit-identical plans, costs and bounds seed for seed.
 """
 
 from __future__ import annotations
@@ -22,6 +31,7 @@ import numpy as np
 from ...core.communication_graph import CommunicationGraph
 from ...core.cost_matrix import CostMatrix
 from ...core.deployment import DeploymentPlan
+from ...core.evaluation import compile_problem
 from ...core.objectives import Objective, deployment_cost
 from ...core.types import make_rng
 from ..base import (
@@ -32,6 +42,7 @@ from ..base import (
     Stopwatch,
     best_random_plan,
 )
+from .labeling import longest_link_lower_bound_reference
 from .subgraph import SubgraphMonomorphismSearch
 
 
@@ -48,6 +59,9 @@ class CPLongestLinkSolver(DeploymentSolver):
         max_backtracks_per_iteration: optional cap on backtracks within one
             satisfaction search, to bound worst-case behaviour.
         seed: RNG seed for the initial random plans.
+        use_engine: score plans and compute bounds through the compiled
+            evaluation engine (default); ``False`` uses the pure-Python
+            oracle in :mod:`repro.core.objectives`, kept as the reference.
     """
 
     name = "CP"
@@ -57,7 +71,8 @@ class CPLongestLinkSolver(DeploymentSolver):
                  initial_random_plans: int = 10,
                  max_backtracks_per_iteration: int | None = 200_000,
                  matching_check_interval: int = 8,
-                 seed: int | None = None):
+                 seed: int | None = None,
+                 use_engine: bool = True):
         if k_clusters is not None and k_clusters < 2:
             raise ValueError("k_clusters must be at least 2 (or None)")
         self.k_clusters = k_clusters
@@ -66,6 +81,7 @@ class CPLongestLinkSolver(DeploymentSolver):
         self.max_backtracks_per_iteration = max_backtracks_per_iteration
         self.matching_check_interval = matching_check_interval
         self._seed = seed
+        self.use_engine = use_engine
 
     def solve(self, graph: CommunicationGraph, costs: CostMatrix,
               objective: Objective = Objective.LONGEST_LINK,
@@ -81,17 +97,49 @@ class CPLongestLinkSolver(DeploymentSolver):
         cost_array = clustered.as_array()
         instance_ids = list(clustered.instance_ids)
 
+        if self.use_engine:
+            engine = compile_problem(graph, costs)
+            clustered_engine = compile_problem(graph, clustered)
+
+            def true_cost(plan: DeploymentPlan) -> float:
+                return engine.evaluate_plan(plan, objective)
+
+            def clustered_cost(plan: DeploymentPlan) -> float:
+                return clustered_engine.evaluate_plan(plan, objective)
+
+            # Two bounds: the clustered one gates the threshold loop (it
+            # lives in the same value space as the thresholds), while the
+            # reported lower bound comes from the true costs so it is a
+            # proven bound on the actual optimum (clustering can round a
+            # cost upward past it).
+            clustered_lower_bound = clustered_engine.longest_link_lower_bound()
+            lower_bound = engine.longest_link_lower_bound()
+        else:
+            clustered_engine = None
+
+            def true_cost(plan: DeploymentPlan) -> float:
+                return deployment_cost(plan, graph, costs, objective)
+
+            def clustered_cost(plan: DeploymentPlan) -> float:
+                return deployment_cost(plan, graph, clustered, objective)
+
+            clustered_lower_bound = longest_link_lower_bound_reference(
+                graph, cost_array
+            )
+            lower_bound = longest_link_lower_bound_reference(
+                graph, costs.as_array()
+            )
+
         # Seed the incumbent with the best of a few random plans (and the
         # caller-provided warm start when available).
         plan, _ = best_random_plan(graph, costs, objective,
                                    self.initial_random_plans, rng)
         if initial_plan is not None:
-            if deployment_cost(initial_plan, graph, costs, objective) < \
-                    deployment_cost(plan, graph, costs, objective):
+            if true_cost(initial_plan) < true_cost(plan):
                 plan = initial_plan
         best_plan = plan
-        best_true_cost = deployment_cost(best_plan, graph, costs, objective)
-        best_clustered_cost = deployment_cost(best_plan, graph, clustered, objective)
+        best_true_cost = true_cost(best_plan)
+        best_clustered_cost = clustered_cost(best_plan)
         trace.record(watch.elapsed(), best_true_cost)
 
         distinct = clustered.distinct_costs()
@@ -103,9 +151,17 @@ class CPLongestLinkSolver(DeploymentSolver):
             if lower_values.size == 0:
                 proven_optimal = True
                 break
+            if best_clustered_cost <= clustered_lower_bound + 1e-12:
+                # The degree-based bound proves every remaining threshold
+                # infeasible; the incumbent is optimal without more searches.
+                proven_optimal = True
+                break
             threshold = float(lower_values.max())
-            allowed = cost_array <= threshold + 1e-12
-            np.fill_diagonal(allowed, False)
+            if self.use_engine:
+                allowed = clustered_engine.threshold_adjacency(threshold)
+            else:
+                allowed = cost_array <= threshold + 1e-12
+                np.fill_diagonal(allowed, False)
 
             remaining = watch.remaining()
             deadline = (time.perf_counter() + remaining) if remaining is not None else None
@@ -113,15 +169,15 @@ class CPLongestLinkSolver(DeploymentSolver):
                 graph, instance_ids, allowed, deadline=deadline,
                 max_backtracks=self.max_backtracks_per_iteration,
                 matching_check_interval=self.matching_check_interval,
+                problem=clustered_engine, use_engine=self.use_engine,
             )
             outcome = search.find()
             iterations += 1
 
             if outcome.plan is not None:
                 best_plan = outcome.plan
-                best_clustered_cost = deployment_cost(best_plan, graph, clustered,
-                                                      objective)
-                best_true_cost = deployment_cost(best_plan, graph, costs, objective)
+                best_clustered_cost = clustered_cost(best_plan)
+                best_true_cost = true_cost(best_plan)
                 trace.record(watch.elapsed(), best_true_cost)
                 if budget.target_cost is not None and best_true_cost <= budget.target_cost:
                     break
@@ -143,4 +199,5 @@ class CPLongestLinkSolver(DeploymentSolver):
             iterations=iterations,
             optimal=proven_optimal and self.k_clusters is None,
             trace=trace.as_tuples(),
+            lower_bound=lower_bound,
         )

@@ -21,10 +21,16 @@ import numpy as np
 
 from ...core.communication_graph import CommunicationGraph
 from ...core.deployment import DeploymentPlan
+from ...core.evaluation import CompiledProblem
 from ...core.types import InstanceId, NodeId
 from .alldifferent import matching_feasible, propagate_assignment
 from .domains import DomainStore
-from .labeling import compatibility_domains, quick_infeasibility_check
+from .labeling import (
+    compatibility_domains,
+    compatibility_domains_reference,
+    quick_infeasibility_check,
+    quick_infeasibility_check_reference,
+)
 
 
 @dataclass(frozen=True)
@@ -58,12 +64,28 @@ class SubgraphMonomorphismSearch:
         max_backtracks: backtrack limit (``None`` = unlimited).
         matching_check_interval: run the bipartite matching feasibility check
             every this many assignments (0 disables the check).
+        problem: optional compiled evaluation engine for the instance; its
+            cached degree arrays and profiles feed the vectorized labeling.
+        use_engine: route the labeling bounds through the vectorized
+            implementations (default); ``False`` keeps the dict-walking
+            oracle path, which the agreement tests compare against.
+
+    Note on cost bounds: the search deliberately carries no per-assignment
+    cost bounds.  Every value that survives the root compatibility filter
+    already costs at most the threshold (the degree filter is equivalent to
+    the k-th order-statistic bound of
+    :meth:`CompiledProblem.assignment_cost_lower_bounds`), so a live
+    completion bound can never prune a branch of this satisfaction search —
+    the CP solver applies the degree bound once, globally, to cut its
+    threshold loop instead.
     """
 
     def __init__(self, graph: CommunicationGraph, instance_ids: Sequence[InstanceId],
                  allowed: np.ndarray, deadline: float | None = None,
                  max_backtracks: int | None = None,
-                 matching_check_interval: int = 8):
+                 matching_check_interval: int = 8,
+                 problem: Optional[CompiledProblem] = None,
+                 use_engine: bool = True):
         self.graph = graph
         self.instance_ids = list(instance_ids)
         self.allowed = allowed.astype(bool)
@@ -71,6 +93,8 @@ class SubgraphMonomorphismSearch:
         self.deadline = deadline
         self.max_backtracks = max_backtracks
         self.matching_check_interval = matching_check_interval
+        self.problem = problem
+        self.use_engine = use_engine
 
         self._undirected_allowed = self.allowed | self.allowed.T
         self._instance_degree = self._undirected_allowed.sum(axis=1)
@@ -86,11 +110,19 @@ class SubgraphMonomorphismSearch:
         self._nodes_explored = 0
         self._timed_out = False
 
-        if not quick_infeasibility_check(self.graph, self.allowed):
+        if self.use_engine:
+            feasible = quick_infeasibility_check(self.graph, self.allowed)
+        else:
+            feasible = quick_infeasibility_check_reference(self.graph, self.allowed)
+        if not feasible:
             return SearchOutcome(plan=None, proven_infeasible=True, timed_out=False,
                                  backtracks=0, nodes_explored=0)
 
-        domains = compatibility_domains(self.graph, self.allowed)
+        if self.use_engine:
+            domains = compatibility_domains(self.graph, self.allowed,
+                                            problem=self.problem)
+        else:
+            domains = compatibility_domains_reference(self.graph, self.allowed)
         if any(not values for values in domains.values()):
             return SearchOutcome(plan=None, proven_infeasible=True, timed_out=False,
                                  backtracks=0, nodes_explored=0)

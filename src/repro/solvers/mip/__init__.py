@@ -1,6 +1,6 @@
 """Mixed-integer programming formulations and solvers."""
 
-from .branch_and_bound import BranchAndBound, BranchAndBoundResult
+from .branch_and_bound import BranchAndBound, BranchAndBoundResult, DeploymentRounder
 from .llndp_mip import LLNDPEncoding, MIPLongestLinkSolver
 from .lpndp_mip import LPNDPEncoding, MIPLongestPathSolver
 from .model import LinearConstraintRow, MipModel, MipSolution, Variable
@@ -9,6 +9,7 @@ from .scipy_backend import solve_lp_relaxation, solve_milp
 __all__ = [
     "BranchAndBound",
     "BranchAndBoundResult",
+    "DeploymentRounder",
     "LLNDPEncoding",
     "LPNDPEncoding",
     "LinearConstraintRow",

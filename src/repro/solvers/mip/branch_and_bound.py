@@ -8,6 +8,16 @@ the deployment MIPs, whose LP relaxations are notoriously weak (Sect. 6.3.2)
 solution into a feasible incumbent, so useful deployments appear early even
 when proving optimality is hopeless.  Incumbent improvements are recorded
 with timestamps, which is what the convergence figures (Figs. 7 and 9) plot.
+
+Two rounding interfaces are supported.  The scalar ``rounding_callback``
+builds one full solution vector per LP solution and scores it through the
+model (kept as the reference oracle).  A :class:`DeploymentRounder` instead
+batches the LP candidates of each branch-and-bound node, scores the rounded
+deployments in one ``evaluate_batch`` call on the compiled evaluation
+engine, and only materialises the full solution vector for candidates that
+actually improve the incumbent.  The decision sequence (filters, incumbent
+updates, pushes) replays the scalar path exactly, so both produce
+bit-identical incumbents, traces and node sequences.
 """
 
 from __future__ import annotations
@@ -16,7 +26,7 @@ import heapq
 import itertools
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -26,6 +36,54 @@ from .scipy_backend import solve_lp_relaxation
 #: Turns a (possibly fractional) solution vector into a feasible integer
 #: solution vector, or returns ``None`` when it cannot.
 RoundingCallback = Callable[[np.ndarray], Optional[np.ndarray]]
+
+
+class DeploymentRounder:
+    """Batch primal heuristic over a deployment encoding.
+
+    Rounds LP solution vectors to injective deployments (through the
+    encoding's Hungarian extraction), scores the whole batch with the
+    compiled evaluation engine, and rebuilds the full MIP solution vector
+    only for a candidate that is about to become the incumbent.  For the
+    deployment encodings every rounded candidate is feasible by
+    construction (perfect matching plus exactly-propagated auxiliaries), so
+    the per-candidate model feasibility check of the scalar path is skipped
+    without changing any outcome.
+
+    Args:
+        encoding: an ``LLNDPEncoding`` / ``LPNDPEncoding`` style object
+            exposing ``_extract_assignment`` and ``solution_vector``.
+        problem: compiled evaluation engine for (graph, costs) of the
+            encoding.
+        objective: which deployment objective the encoding minimises.
+    """
+
+    def __init__(self, encoding, problem, objective):
+        self.encoding = encoding
+        self.problem = problem
+        self.objective = objective
+
+    def round_batch(self, batch: Sequence[np.ndarray]
+                    ) -> Tuple[np.ndarray, List[Dict[int, int]]]:
+        """Objective values and assignments of the rounded candidates.
+
+        Returns a ``(k,)`` cost array (bit-identical to what the scalar
+        path's ``model.evaluate_objective`` would report for the same
+        candidates) and the node -> instance-index assignments realising
+        them.
+        """
+        assignments = [self.encoding._extract_assignment(v) for v in batch]
+        rows = np.array(
+            [[assignment[node] for node in self.problem.node_ids]
+             for assignment in assignments],
+            dtype=np.intp,
+        ).reshape(len(assignments), self.problem.num_nodes)
+        costs = self.problem.evaluate_batch(rows, self.objective)
+        return costs, assignments
+
+    def realize(self, assignment: Dict[int, int]) -> np.ndarray:
+        """Full MIP solution vector for one rounded assignment."""
+        return self.encoding.solution_vector(assignment)
 
 
 @dataclass(order=True)
@@ -46,6 +104,10 @@ class BranchAndBoundResult:
     incumbent_trace: Tuple[Tuple[float, float], ...]
     nodes_explored: int
     proven_optimal: bool
+    #: ``(bound, sequence)`` of every node popped from the frontier, in
+    #: order, when the search ran with ``record_nodes=True`` (used by the
+    #: engine-vs-oracle agreement tests); empty otherwise.
+    node_sequence: Tuple[Tuple[float, int], ...] = ()
 
 
 class BranchAndBound:
@@ -53,17 +115,25 @@ class BranchAndBound:
 
     Args:
         model: the mixed-integer model to minimise.
-        rounding_callback: optional primal heuristic applied to every LP
-            solution encountered.
+        rounding_callback: optional scalar primal heuristic applied to every
+            LP solution encountered (the reference oracle path).
+        batch_rounder: optional :class:`DeploymentRounder`; when given it
+            replaces ``rounding_callback`` and scores each node's LP
+            candidates in one engine batch.
         integrality_tolerance: threshold below which a value counts as integral.
+        record_nodes: record the popped node sequence in the result.
     """
 
     def __init__(self, model: MipModel,
                  rounding_callback: RoundingCallback | None = None,
-                 integrality_tolerance: float = 1e-6):
+                 batch_rounder: DeploymentRounder | None = None,
+                 integrality_tolerance: float = 1e-6,
+                 record_nodes: bool = False):
         self.model = model
         self.rounding_callback = rounding_callback
+        self.batch_rounder = batch_rounder
         self.integrality_tolerance = integrality_tolerance
+        self.record_nodes = record_nodes
 
     # ------------------------------------------------------------------ #
 
@@ -74,6 +144,7 @@ class BranchAndBound:
         deadline = None if time_limit_s is None else start + time_limit_s
         counter = itertools.count()
         trace: List[Tuple[float, float]] = []
+        node_log: List[Tuple[float, int]] = []
 
         best_values: Optional[np.ndarray] = None
         best_objective = np.inf
@@ -88,6 +159,25 @@ class BranchAndBound:
                 best_objective = objective
                 trace.append((time.perf_counter() - start, objective))
 
+        def consider_rounded(cost: float, assignment: Dict[int, int]) -> None:
+            # Engine-path twin of rounding + consider_incumbent: same
+            # improvement threshold on the same float, but the full vector
+            # is only built for an actual improvement (rounded deployments
+            # are feasible by construction).
+            nonlocal best_values, best_objective
+            if cost < best_objective - 1e-12:
+                best_values = self.batch_rounder.realize(assignment)
+                best_objective = cost
+                trace.append((time.perf_counter() - start, cost))
+
+        def round_lp(values: np.ndarray) -> None:
+            """Primal heuristic on a single LP solution (either path)."""
+            if self.batch_rounder is not None:
+                costs, assignments = self.batch_rounder.round_batch([values])
+                consider_rounded(float(costs[0]), assignments[0])
+            else:
+                self._try_round(values, consider_incumbent)
+
         root_lp = solve_lp_relaxation(self.model)
         nodes_explored = 0
         proven_optimal = False
@@ -101,7 +191,7 @@ class BranchAndBound:
 
         heap: List[_Node] = []
         if root_lp.values is not None:
-            self._try_round(root_lp.values, consider_incumbent)
+            round_lp(root_lp.values)
             heapq.heappush(heap, _Node(bound=root_lp.objective_value or -np.inf,
                                        sequence=next(counter), extra_bounds={},
                                        lp_values=root_lp.values))
@@ -113,6 +203,8 @@ class BranchAndBound:
                 break
             node = heapq.heappop(heap)
             nodes_explored += 1
+            if self.record_nodes:
+                node_log.append((node.bound, node.sequence))
             if node.bound >= best_objective - 1e-9:
                 # Bound can no longer improve on the incumbent; since the heap
                 # is ordered by bound, nothing later can either.
@@ -127,7 +219,7 @@ class BranchAndBound:
                 if lp.objective_value is not None and lp.objective_value >= best_objective - 1e-9:
                     continue
                 lp_values = lp.values
-                self._try_round(lp_values, consider_incumbent)
+                round_lp(lp_values)
 
             branch_variable = self._most_fractional(lp_values)
             if branch_variable is None:
@@ -135,6 +227,7 @@ class BranchAndBound:
                 continue
 
             value = lp_values[branch_variable]
+            children = []
             for low, high in ((np.floor(value) + 1, np.inf), (-np.inf, np.floor(value))):
                 child_bounds = dict(node.extra_bounds)
                 previous = child_bounds.get(branch_variable, (-np.inf, np.inf))
@@ -144,9 +237,38 @@ class BranchAndBound:
                 lp = solve_lp_relaxation(self.model, extra_bounds=child_bounds)
                 if lp.status != "optimal" or lp.values is None:
                     continue
+                children.append((child_bounds, lp))
+
+            rounded: Dict[int, Tuple[float, Dict[int, int]]] = {}
+            if self.batch_rounder is not None and children:
+                # One engine batch scores the children's roundings; rounding
+                # a child does not depend on the incumbent, so precomputing
+                # the costs and replaying the scalar path's filter/update
+                # order below keeps every decision identical.  Children the
+                # current incumbent already bound-prunes are excluded up
+                # front — the incumbent only improves during the replay, so
+                # a pre-pruned child can never pass the replay filter and
+                # its Hungarian rounding would be wasted work.
+                survivors = [
+                    index for index, (_, lp) in enumerate(children)
+                    if lp.objective_value is None
+                    or lp.objective_value < best_objective - 1e-9
+                ]
+                if survivors:
+                    child_costs, child_assignments = self.batch_rounder.round_batch(
+                        [children[index][1].values for index in survivors]
+                    )
+                    rounded = {
+                        index: (float(child_costs[k]), child_assignments[k])
+                        for k, index in enumerate(survivors)
+                    }
+            for index, (child_bounds, lp) in enumerate(children):
                 if lp.objective_value is not None and lp.objective_value >= best_objective - 1e-9:
                     continue
-                self._try_round(lp.values, consider_incumbent)
+                if self.batch_rounder is not None:
+                    consider_rounded(*rounded[index])
+                else:
+                    self._try_round(lp.values, consider_incumbent)
                 heapq.heappush(heap, _Node(
                     bound=lp.objective_value if lp.objective_value is not None else -np.inf,
                     sequence=next(counter),
@@ -172,24 +294,26 @@ class BranchAndBound:
         return BranchAndBoundResult(solution=solution,
                                     incumbent_trace=tuple(trace),
                                     nodes_explored=nodes_explored,
-                                    proven_optimal=proven_optimal)
+                                    proven_optimal=proven_optimal,
+                                    node_sequence=tuple(node_log))
 
     # ------------------------------------------------------------------ #
 
     def _most_fractional(self, values: np.ndarray) -> Optional[int]:
         """Integer variable whose LP value is farthest from integral."""
-        best_index: Optional[int] = None
-        best_distance = self.integrality_tolerance
-        for index in self.model.integer_indices():
-            distance = abs(values[index] - round(values[index]))
-            if distance > best_distance:
-                best_distance = distance
-                best_index = index
-        return best_index
+        integers = self.model.integer_indices()
+        if not integers:
+            return None
+        integer_values = values[integers]
+        distances = np.abs(integer_values - np.round(integer_values))
+        best = int(np.argmax(distances))
+        if distances[best] > self.integrality_tolerance:
+            return integers[best]
+        return None
 
     def _try_round(self, values: np.ndarray,
                    consider_incumbent: Callable[[np.ndarray], None]) -> None:
-        """Run the primal rounding heuristic, if any, on an LP solution."""
+        """Run the scalar primal rounding heuristic, if any, on an LP solution."""
         if self.rounding_callback is None:
             return
         rounded = self.rounding_callback(values)

@@ -21,7 +21,8 @@ from scipy.optimize import linear_sum_assignment
 from ...core.communication_graph import CommunicationGraph, augment_with_dummy_nodes
 from ...core.cost_matrix import CostMatrix
 from ...core.deployment import DeploymentPlan
-from ...core.objectives import Objective, deployment_cost, longest_link_cost
+from ...core.evaluation import compile_problem
+from ...core.objectives import Objective, deployment_cost
 from ..base import (
     ConvergenceTrace,
     DeploymentSolver,
@@ -29,7 +30,7 @@ from ..base import (
     SolverResult,
     Stopwatch,
 )
-from .branch_and_bound import BranchAndBound
+from .branch_and_bound import BranchAndBound, DeploymentRounder
 from .model import MipModel
 from .scipy_backend import solve_milp
 
@@ -52,6 +53,14 @@ class LLNDPEncoding:
             for j in range(self.num_instances):
                 self.x_index[(node, j)] = self.model.add_binary(f"x[{node},{j}]")
         self.c_index = self.model.add_variable("c", lower=0.0)
+        # Variable indices of the x block as a (nodes, instances) gather map,
+        # so solution vectors can be reshaped into assignment weights without
+        # a per-entry Python loop.
+        self._x_block = np.array(
+            [[self.x_index[(node, j)] for j in range(self.num_instances)]
+             for node in self.nodes],
+            dtype=np.intp,
+        )
 
         # Assignment constraints: each node on exactly one instance and each
         # instance hosting exactly one (possibly dummy) node.
@@ -111,10 +120,7 @@ class LLNDPEncoding:
         return vector
 
     def _extract_assignment(self, values: np.ndarray) -> Dict[int, int]:
-        weights = np.zeros((len(self.nodes), self.num_instances))
-        for row, node in enumerate(self.nodes):
-            for j in range(self.num_instances):
-                weights[row, j] = values[self.x_index[(node, j)]]
+        weights = np.asarray(values)[self._x_block]
         rows, cols = linear_sum_assignment(-weights)
         return {self.nodes[int(r)]: int(c) for r, c in zip(rows, cols)}
 
@@ -134,19 +140,24 @@ class MIPLongestLinkSolver(DeploymentSolver):
         k_clusters: optional cost clustering applied before encoding.
         round_to: rounding grid for clustering.
         node_limit: branch-and-bound node limit.
+        use_engine: score branch-and-bound incumbent roundings in batches
+            through the compiled evaluation engine (default); ``False``
+            keeps the scalar model-scored rounding path as the reference.
     """
 
     name = "MIP"
     supported_objectives = (Objective.LONGEST_LINK,)
 
     def __init__(self, backend: str = "bnb", k_clusters: Optional[int] = None,
-                 round_to: float | None = 0.01, node_limit: int | None = 5000):
+                 round_to: float | None = 0.01, node_limit: int | None = 5000,
+                 use_engine: bool = True):
         if backend not in ("bnb", "milp"):
             raise ValueError("backend must be 'bnb' or 'milp'")
         self.backend = backend
         self.k_clusters = k_clusters
         self.round_to = round_to
         self.node_limit = node_limit
+        self.use_engine = use_engine
 
     def solve(self, graph: CommunicationGraph, costs: CostMatrix,
               objective: Objective = Objective.LONGEST_LINK,
@@ -161,9 +172,17 @@ class MIPLongestLinkSolver(DeploymentSolver):
             if self.k_clusters is not None else costs
         encoding = LLNDPEncoding(graph, clustered)
 
+        if self.use_engine:
+            engine = compile_problem(graph, costs)
+
+            def score(plan: DeploymentPlan) -> float:
+                return engine.evaluate_plan(plan, objective)
+        else:
+            def score(plan: DeploymentPlan) -> float:
+                return deployment_cost(plan, graph, costs, objective)
+
         if initial_plan is not None:
-            trace.record(watch.elapsed(),
-                         longest_link_cost(initial_plan, graph, costs))
+            trace.record(watch.elapsed(), score(initial_plan))
 
         if self.backend == "milp":
             solution = solve_milp(encoding.model, time_limit_s=budget.time_limit_s)
@@ -172,8 +191,12 @@ class MIPLongestLinkSolver(DeploymentSolver):
             incumbents: Tuple[Tuple[float, float], ...] = ()
             values = solution.values
         else:
-            bnb = BranchAndBound(encoding.model,
-                                 rounding_callback=encoding.rounding_callback)
+            if self.use_engine:
+                bnb = BranchAndBound(encoding.model, batch_rounder=DeploymentRounder(
+                    encoding, compile_problem(graph, clustered), objective))
+            else:
+                bnb = BranchAndBound(encoding.model,
+                                     rounding_callback=encoding.rounding_callback)
             result = bnb.solve(time_limit_s=budget.time_limit_s,
                                node_limit=self.node_limit
                                if budget.max_iterations is None
@@ -194,9 +217,9 @@ class MIPLongestLinkSolver(DeploymentSolver):
         else:
             plan = encoding.decode(values)
 
-        cost = deployment_cost(plan, graph, costs, objective)
+        cost = score(plan)
         if initial_plan is not None:
-            warm_cost = deployment_cost(initial_plan, graph, costs, objective)
+            warm_cost = score(initial_plan)
             if warm_cost < cost:
                 plan, cost = initial_plan, warm_cost
         for when, objective_value in incumbents:

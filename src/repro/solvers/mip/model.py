@@ -41,7 +41,15 @@ class LinearConstraintRow:
 
 @dataclass
 class MipModel:
-    """Container for a minimisation MIP."""
+    """Container for a minimisation MIP.
+
+    The dense/sparse views used by the solvers (objective vector, bound
+    arrays, constraint matrix, integer indices) are built once and cached —
+    branch and bound evaluates thousands of LP relaxations and incumbent
+    candidates against the same model, and rebuilding the CSR matrix per
+    query used to dominate those paths.  Mutating the model through the
+    ``add_*`` / ``set_objective`` methods invalidates the caches.
+    """
 
     variables: List[Variable] = field(default_factory=list)
     constraints: List[LinearConstraintRow] = field(default_factory=list)
@@ -50,6 +58,12 @@ class MipModel:
     # ------------------------------------------------------------------ #
     # Building
     # ------------------------------------------------------------------ #
+
+    def _invalidate_caches(self) -> None:
+        self._cached_objective = None
+        self._cached_bounds = None
+        self._cached_matrix = None
+        self._cached_integers = None
 
     def add_variable(self, name: str = "", lower: float = 0.0,
                      upper: float | None = None, integer: bool = False) -> int:
@@ -62,6 +76,7 @@ class MipModel:
             Variable(index=index, name=name or f"x{index}",
                      lower=float(lower), upper=upper_value, integer=integer)
         )
+        self._invalidate_caches()
         return index
 
     def add_binary(self, name: str = "") -> int:
@@ -80,6 +95,7 @@ class MipModel:
             LinearConstraintRow(coefficients=dict(coefficients),
                                 lower=float(lower), upper=float(upper))
         )
+        self._invalidate_caches()
         return len(self.constraints) - 1
 
     def add_equality(self, coefficients: Dict[int, float], value: float) -> int:
@@ -89,6 +105,7 @@ class MipModel:
     def set_objective(self, coefficients: Dict[int, float]) -> None:
         """Set the (minimisation) objective."""
         self.objective = dict(coefficients)
+        self._invalidate_caches()
 
     # ------------------------------------------------------------------ #
     # Introspection and export
@@ -106,26 +123,54 @@ class MipModel:
 
     def integer_indices(self) -> List[int]:
         """Indices of integer-restricted variables."""
-        return [v.index for v in self.variables if v.integer]
+        cached = getattr(self, "_cached_integers", None)
+        if cached is None:
+            cached = [v.index for v in self.variables if v.integer]
+            self._cached_integers = cached
+        return cached
 
     def objective_vector(self) -> np.ndarray:
-        """Dense objective coefficient vector."""
-        vector = np.zeros(self.num_variables)
-        for index, coefficient in self.objective.items():
-            vector[index] = coefficient
-        return vector
+        """Dense objective coefficient vector (cached; treat as read-only)."""
+        cached = getattr(self, "_cached_objective", None)
+        if cached is None:
+            cached = np.zeros(self.num_variables)
+            for index, coefficient in self.objective.items():
+                cached[index] = coefficient
+            self._cached_objective = cached
+        return cached
+
+    def _bounds_cache(self) -> Tuple[np.ndarray, np.ndarray]:
+        cached = getattr(self, "_cached_bounds", None)
+        if cached is None:
+            cached = (
+                np.array([v.lower for v in self.variables]),
+                np.array([v.upper for v in self.variables]),
+            )
+            self._cached_bounds = cached
+        return cached
 
     def bounds_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
-        """Lower and upper variable bound vectors."""
-        lower = np.array([v.lower for v in self.variables])
-        upper = np.array([v.upper for v in self.variables])
-        return lower, upper
+        """Lower and upper variable bound vectors (fresh copies per call).
+
+        Copies are returned because the LP relaxation solver tightens the
+        arrays in place with branching bounds.
+        """
+        lower, upper = self._bounds_cache()
+        return lower.copy(), upper.copy()
 
     def constraint_matrix(self) -> Tuple[sparse.csr_matrix, np.ndarray, np.ndarray]:
-        """Sparse constraint matrix with per-row lower/upper bounds."""
+        """Sparse constraint matrix with per-row lower/upper bounds.
+
+        Cached across calls; callers must not mutate the returned objects.
+        """
+        cached = getattr(self, "_cached_matrix", None)
+        if cached is not None:
+            return cached
         if not self.constraints:
-            empty = sparse.csr_matrix((0, self.num_variables))
-            return empty, np.array([]), np.array([])
+            cached = (sparse.csr_matrix((0, self.num_variables)),
+                      np.array([]), np.array([]))
+            self._cached_matrix = cached
+            return cached
         rows: List[int] = []
         cols: List[int] = []
         data: List[float] = []
@@ -141,19 +186,23 @@ class MipModel:
         matrix = sparse.csr_matrix(
             (data, (rows, cols)), shape=(len(self.constraints), self.num_variables)
         )
-        return matrix, lower, upper
+        cached = (matrix, lower, upper)
+        self._cached_matrix = cached
+        return cached
 
     def evaluate_objective(self, solution: np.ndarray) -> float:
-        """Objective value of a solution vector."""
+        """Objective value of a solution vector (one cached-vector dot product)."""
         return float(self.objective_vector() @ solution)
 
     def is_feasible(self, solution: np.ndarray, tolerance: float = 1e-6) -> bool:
         """Check variable bounds, integrality and every linear constraint."""
-        lower, upper = self.bounds_arrays()
+        lower, upper = self._bounds_cache()
         if (solution < lower - tolerance).any() or (solution > upper + tolerance).any():
             return False
-        for index in self.integer_indices():
-            if abs(solution[index] - round(solution[index])) > tolerance:
+        integers = self.integer_indices()
+        if integers:
+            integral = solution[integers]
+            if (np.abs(integral - np.round(integral)) > tolerance).any():
                 return False
         matrix, c_lower, c_upper = self.constraint_matrix()
         if matrix.shape[0]:

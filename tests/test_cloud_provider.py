@@ -6,7 +6,6 @@ import pytest
 from repro.cloud import (
     ContiguousAllocation,
     DatacenterTopology,
-    ProviderProfile,
     ScatteredAllocation,
     SimulatedCloud,
     UniformRandomAllocation,

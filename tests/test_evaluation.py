@@ -14,7 +14,6 @@ from hypothesis import strategies as st
 from repro.core import (
     CommunicationGraph,
     CompiledProblem,
-    CostMatrix,
     DeploymentPlan,
     IndexedPlan,
     InvalidDeploymentError,

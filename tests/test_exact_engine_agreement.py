@@ -1,0 +1,335 @@
+"""Engine-vs-oracle agreement for the exact solvers (CP labeling, MIP B&B).
+
+The CP labeling search and the MIP branch and bound route their bound
+computation and incumbent scoring through the compiled evaluation engine
+(:mod:`repro.core.evaluation`); the dict-walking implementations are kept as
+the reference oracle.  These tests pin the contract the rewire relies on:
+
+* labeling bounds (compatibility domains, feasibility pre-checks,
+  per-assignment cost lower bounds) computed from ``CompiledProblem`` index
+  arrays equal the oracle-derived bounds on random instances;
+* the CP solver returns bit-identical plans, costs, iteration counts and
+  lower bounds on both paths, seed for seed;
+* branch and bound visits the same node sequence and produces the same
+  incumbent trace whether roundings are scored one by one through the model
+  or in engine batches;
+* the :class:`DomainStore` bound cache stays consistent through removals,
+  restrictions and checkpoint restores.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CommunicationGraph, CostMatrix, Objective, compile_problem
+from repro.solvers import (
+    CPLongestLinkSolver,
+    MIPLongestLinkSolver,
+    MIPLongestPathSolver,
+    SearchBudget,
+)
+from repro.solvers.cp.domains import DomainStore
+from repro.solvers.cp.labeling import (
+    assignment_cost_lower_bounds_reference,
+    compatibility_domains,
+    compatibility_domains_reference,
+    longest_link_lower_bound_reference,
+    quick_infeasibility_check,
+    quick_infeasibility_check_reference,
+)
+from repro.solvers.mip import BranchAndBound, DeploymentRounder
+from repro.solvers.mip.llndp_mip import LLNDPEncoding
+from repro.solvers.mip.lpndp_mip import LPNDPEncoding
+
+
+def random_problem(seed, min_nodes=3, max_nodes=8, extra=3, dag=False):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(min_nodes, max_nodes + 1))
+    m = n + int(rng.integers(0, extra + 1))
+    matrix = rng.uniform(0.1, 2.0, size=(m, m))
+    np.fill_diagonal(matrix, 0.0)
+    costs = CostMatrix(list(range(m)), matrix)
+    if dag:
+        graph = CommunicationGraph.random_dag(n, 0.4, seed=seed)
+    else:
+        graph = CommunicationGraph.random_graph(n, 0.4, seed=seed)
+    return graph, costs
+
+
+# --------------------------------------------------------------------------- #
+# Labeling bounds: engine index arrays vs the dict-walking oracle
+# --------------------------------------------------------------------------- #
+
+@given(seed=st.integers(0, 2000), quantile=st.floats(0.2, 0.9))
+@settings(max_examples=60, deadline=None)
+def test_labeling_bounds_match_oracle_on_random_instances(seed, quantile):
+    graph, costs = random_problem(seed)
+    problem = compile_problem(graph, costs)
+    matrix = costs.as_array()
+    off_diagonal = matrix[~np.eye(costs.num_instances, dtype=bool)]
+    threshold = float(np.quantile(off_diagonal, quantile))
+    allowed = problem.threshold_adjacency(threshold)
+
+    assert quick_infeasibility_check(graph, allowed) == \
+        quick_infeasibility_check_reference(graph, allowed)
+    # With and without the compiled problem supplying degree arrays.
+    reference = compatibility_domains_reference(graph, allowed)
+    assert compatibility_domains(graph, allowed, problem=problem) == reference
+    assert compatibility_domains(graph, allowed) == reference
+    assert compatibility_domains(graph, allowed, refine_neighborhood=False) == \
+        compatibility_domains_reference(graph, allowed, refine_neighborhood=False)
+
+
+@given(seed=st.integers(0, 2000))
+@settings(max_examples=60, deadline=None)
+def test_assignment_cost_lower_bounds_match_oracle(seed):
+    graph, costs = random_problem(seed)
+    problem = compile_problem(graph, costs)
+    engine_bounds = problem.assignment_cost_lower_bounds()
+    reference = assignment_cost_lower_bounds_reference(graph, costs.as_array())
+    for node in graph.nodes:
+        assert tuple(engine_bounds[problem.node_idx(node)]) == reference[node]
+    assert problem.longest_link_lower_bound() == \
+        longest_link_lower_bound_reference(graph, costs.as_array())
+
+
+def test_lower_bound_is_sound_on_tiny_instances():
+    """The degree-based bound never exceeds the brute-force optimum."""
+    from repro.testing import brute_force_optimum
+
+    for seed in range(8):
+        graph, costs = random_problem(seed, min_nodes=3, max_nodes=4, extra=2)
+        problem = compile_problem(graph, costs)
+        _, optimum = brute_force_optimum(graph, costs, Objective.LONGEST_LINK)
+        assert problem.longest_link_lower_bound() <= optimum + 1e-12
+
+
+# --------------------------------------------------------------------------- #
+# CP solver: engine path vs oracle path, seed for seed
+# --------------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("k_clusters", [None, 4])
+@pytest.mark.parametrize("seed", [0, 7, 19])
+def test_cp_solver_engine_path_bit_identical(seed, k_clusters):
+    graph, costs = random_problem(seed, min_nodes=4, max_nodes=7)
+    budget = SearchBudget.seconds(15)
+    engine = CPLongestLinkSolver(k_clusters=k_clusters, seed=0,
+                                 use_engine=True).solve(graph, costs, budget=budget)
+    oracle = CPLongestLinkSolver(k_clusters=k_clusters, seed=0,
+                                 use_engine=False).solve(graph, costs, budget=budget)
+    assert engine.plan.as_dict() == oracle.plan.as_dict()
+    assert engine.cost == oracle.cost
+    assert engine.iterations == oracle.iterations
+    assert engine.optimal == oracle.optimal
+    assert engine.lower_bound == oracle.lower_bound
+    assert [c for _, c in engine.trace] == [c for _, c in oracle.trace]
+
+
+def test_cp_solver_reports_valid_lower_bound():
+    """The reported bound is proven against the *true* costs.
+
+    The solver's default 0.01 rounding grid can round a cost upward, so a
+    bound computed on the clustered matrix could exceed the true optimum;
+    the reported bound must not (it gates only the clustered threshold loop
+    internally).
+    """
+    from repro.testing import brute_force_optimum
+
+    for seed in range(5):
+        graph, costs = random_problem(seed, min_nodes=4, max_nodes=5, extra=2)
+        result = CPLongestLinkSolver(k_clusters=None, seed=0).solve(
+            graph, costs, budget=SearchBudget.seconds(15)
+        )
+        _, optimum = brute_force_optimum(graph, costs, Objective.LONGEST_LINK)
+        assert result.lower_bound is not None
+        assert result.lower_bound <= optimum + 1e-12
+        assert result.lower_bound <= result.cost + 1e-9
+
+
+# --------------------------------------------------------------------------- #
+# MIP branch and bound: batch rounding vs scalar rounding
+# --------------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("seed", [1, 5, 11])
+def test_branch_and_bound_same_node_sequence_llndp(seed):
+    graph, costs = random_problem(seed, min_nodes=3, max_nodes=4, extra=2)
+    scalar_encoding = LLNDPEncoding(graph, costs)
+    scalar = BranchAndBound(
+        scalar_encoding.model,
+        rounding_callback=scalar_encoding.rounding_callback,
+        record_nodes=True,
+    ).solve(node_limit=150)
+
+    batch_encoding = LLNDPEncoding(graph, costs)
+    rounder = DeploymentRounder(batch_encoding, compile_problem(graph, costs),
+                                Objective.LONGEST_LINK)
+    batch = BranchAndBound(
+        batch_encoding.model, batch_rounder=rounder, record_nodes=True,
+    ).solve(node_limit=150)
+
+    assert batch.node_sequence == scalar.node_sequence
+    assert batch.nodes_explored == scalar.nodes_explored
+    assert batch.proven_optimal == scalar.proven_optimal
+    assert [c for _, c in batch.incumbent_trace] == \
+        [c for _, c in scalar.incumbent_trace]
+    assert batch.solution.objective_value == scalar.solution.objective_value
+    assert np.array_equal(batch.solution.values, scalar.solution.values)
+
+
+def test_branch_and_bound_same_node_sequence_lpndp():
+    graph = CommunicationGraph.aggregation_tree(2, 1)
+    rng = np.random.default_rng(23)
+    m = graph.num_nodes + 2
+    matrix = rng.uniform(0.1, 2.0, size=(m, m))
+    np.fill_diagonal(matrix, 0.0)
+    costs = CostMatrix(list(range(m)), matrix)
+
+    scalar_encoding = LPNDPEncoding(graph, costs)
+    scalar = BranchAndBound(
+        scalar_encoding.model,
+        rounding_callback=scalar_encoding.rounding_callback,
+        record_nodes=True,
+    ).solve(node_limit=80)
+    batch_encoding = LPNDPEncoding(graph, costs)
+    rounder = DeploymentRounder(batch_encoding, compile_problem(graph, costs),
+                                Objective.LONGEST_PATH)
+    batch = BranchAndBound(
+        batch_encoding.model, batch_rounder=rounder, record_nodes=True,
+    ).solve(node_limit=80)
+
+    assert batch.node_sequence == scalar.node_sequence
+    assert [c for _, c in batch.incumbent_trace] == \
+        [c for _, c in scalar.incumbent_trace]
+    assert batch.solution.objective_value == scalar.solution.objective_value
+
+
+@pytest.mark.parametrize("solver_cls,objective,graph", [
+    (MIPLongestLinkSolver, Objective.LONGEST_LINK, CommunicationGraph.ring(4)),
+    (MIPLongestPathSolver, Objective.LONGEST_PATH,
+     CommunicationGraph.aggregation_tree(2, 1)),
+])
+def test_mip_solver_engine_path_bit_identical(solver_cls, objective, graph):
+    rng = np.random.default_rng(42)
+    m = graph.num_nodes + 1
+    matrix = rng.uniform(0.1, 2.0, size=(m, m))
+    np.fill_diagonal(matrix, 0.0)
+    costs = CostMatrix(list(range(m)), matrix)
+    budget = SearchBudget.seconds(20)
+    engine = solver_cls(backend="bnb", use_engine=True).solve(
+        graph, costs, objective=objective, budget=budget)
+    oracle = solver_cls(backend="bnb", use_engine=False).solve(
+        graph, costs, objective=objective, budget=budget)
+    assert engine.plan.as_dict() == oracle.plan.as_dict()
+    assert engine.cost == oracle.cost
+    assert engine.iterations == oracle.iterations
+    assert [c for _, c in engine.trace] == [c for _, c in oracle.trace]
+
+
+def test_deployment_rounder_costs_match_model_objective():
+    """Batch costs equal what the model would report for the same roundings."""
+    graph = CommunicationGraph.ring(5)
+    rng = np.random.default_rng(9)
+    m = 7
+    matrix = rng.uniform(0.1, 2.0, size=(m, m))
+    np.fill_diagonal(matrix, 0.0)
+    costs = CostMatrix(list(range(m)), matrix)
+    encoding = LLNDPEncoding(graph, costs)
+    rounder = DeploymentRounder(encoding, compile_problem(graph, costs),
+                                Objective.LONGEST_LINK)
+    candidates = [rng.random(encoding.model.num_variables) for _ in range(6)]
+    batch_costs, assignments = rounder.round_batch(candidates)
+    for cost, assignment, values in zip(batch_costs, assignments, candidates):
+        vector = encoding.rounding_callback(values)
+        assert encoding.model.is_feasible(vector)
+        assert float(cost) == encoding.model.evaluate_objective(vector)
+        assert np.array_equal(rounder.realize(assignment), vector)
+
+
+# --------------------------------------------------------------------------- #
+# DomainStore bound cache
+# --------------------------------------------------------------------------- #
+
+class TestDomainStoreBoundCache:
+    def _store(self):
+        bounds = {
+            "a": np.array([5.0, 1.0, 3.0]),
+            "b": np.array([2.0, 4.0, 6.0]),
+        }
+        return DomainStore({"a": {0, 1, 2}, "b": {0, 1, 2}},
+                           value_bounds=bounds)
+
+    def test_initial_bounds(self):
+        store = self._store()
+        assert store.tracks_bounds()
+        assert store.bound("a") == 1.0
+        assert store.bound("b") == 2.0
+        assert store.completion_bound() == 2.0
+
+    def test_bound_updates_on_removal(self):
+        store = self._store()
+        store.remove("a", 1)  # minimum realised by value 1
+        assert store.bound("a") == 3.0
+        store.remove("a", 0)  # non-minimal value: bound unchanged
+        assert store.bound("a") == 3.0
+        assert store.completion_bound() == 3.0
+
+    def test_bounds_restored_with_checkpoint(self):
+        store = self._store()
+        mark = store.checkpoint()
+        store.remove("a", 1)
+        store.restrict("b", {2})
+        assert store.bound("a") == 3.0
+        assert store.bound("b") == 6.0
+        store.restore(mark)
+        assert store.bound("a") == 1.0
+        assert store.bound("b") == 2.0
+        assert store.domain("a") == {0, 1, 2}
+        assert store.domain("b") == {0, 1, 2}
+
+    def test_assign_tightens_bound(self):
+        store = self._store()
+        mark = store.checkpoint()
+        assert store.assign("a", 2)
+        assert store.bound("a") == 3.0
+        store.restore(mark)
+        assert store.bound("a") == 1.0
+
+    def test_wiped_domain_has_infinite_bound(self):
+        store = self._store()
+        store.remove("a", 0)
+        store.remove("a", 1)
+        assert not store.remove("a", 2)
+        assert store.bound("a") == float("inf")
+
+    def test_untracked_store_reports_zero(self):
+        store = DomainStore({"a": {0, 1}})
+        assert not store.tracks_bounds()
+        assert store.bound("a") == 0.0
+        assert store.completion_bound() == 0.0
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_cached_bound_always_matches_recomputation(self, seed):
+        rng = np.random.default_rng(seed)
+        values = list(range(6))
+        bounds = {v: rng.uniform(0.0, 5.0, size=len(values)) for v in "abc"}
+        store = DomainStore({v: set(values) for v in "abc"},
+                            value_bounds=bounds)
+        marks = []
+        for _ in range(30):
+            action = rng.integers(0, 3)
+            var = "abc"[rng.integers(0, 3)]
+            if action == 0:
+                store.remove(var, int(rng.integers(0, len(values))))
+            elif action == 1:
+                marks.append(store.checkpoint())
+            elif action == 2 and marks:
+                store.restore(marks.pop())
+            for check in "abc":
+                domain = store.domain(check)
+                expected = (
+                    min(float(bounds[check][v]) for v in domain)
+                    if domain else float("inf")
+                )
+                assert store.bound(check) == expected

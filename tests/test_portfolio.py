@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import CommunicationGraph, Objective
+from repro.core import Objective
 from repro.core.objectives import deployment_cost
 from repro.solvers import (
     GreedyG1,
