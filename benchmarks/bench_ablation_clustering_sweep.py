@@ -7,7 +7,7 @@ final cost, number of threshold iterations and time-to-best, quantifying
 the design choice the paper settles at k = 20.
 """
 
-from repro.core import CommunicationGraph
+from repro.core import CommunicationGraph, DeploymentProblem
 from repro.analysis import format_table
 from repro.solvers import CPLongestLinkSolver, SearchBudget
 
@@ -25,7 +25,8 @@ def build_figure():
     rows = []
     for k in CLUSTER_COUNTS:
         result = CPLongestLinkSolver(k_clusters=k, seed=0).solve(
-            graph, costs, budget=SearchBudget.seconds(TIME_LIMIT_S))
+            DeploymentProblem(graph, costs),
+            budget=SearchBudget.seconds(TIME_LIMIT_S))
         label = "none" if k is None else str(k)
         time_to_best = result.trace[-1][0] if result.trace else 0.0
         rows.append((label, result.cost, result.iterations, time_to_best,

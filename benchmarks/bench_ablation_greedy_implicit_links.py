@@ -9,7 +9,7 @@ selects and the final longest link it ends up with, and compares against G2.
 
 import numpy as np
 
-from repro.core import CommunicationGraph
+from repro.core import CommunicationGraph, DeploymentProblem
 from repro.analysis import format_table
 from repro.core.objectives import worst_link
 from repro.solvers import GreedyG1, GreedyG2
@@ -26,8 +26,9 @@ def build_figure():
         cloud = make_cloud("ec2", seed=seed)
         ids = allocate_ids(cloud, 22)
         costs = cloud.true_cost_matrix(ids)
-        g1 = GreedyG1().solve(graph, costs)
-        g2 = GreedyG2().solve(graph, costs)
+        problem = DeploymentProblem(graph, costs)
+        g1 = GreedyG1().solve(problem)
+        g2 = GreedyG2().solve(problem)
         # The cheapest links in the allocation: what G1 "thinks" it is picking.
         cheapest_link = costs.min_cost()
         g1_worst = worst_link(g1.plan, graph, costs).cost

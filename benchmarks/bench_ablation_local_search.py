@@ -9,7 +9,7 @@ using the portfolio when a few seconds of search time are available.
 
 import numpy as np
 
-from repro.core import CommunicationGraph
+from repro.core import CommunicationGraph, DeploymentProblem
 from repro.analysis import format_table
 from repro.solvers import (
     CPLongestLinkSolver,
@@ -35,16 +35,17 @@ def build_figure():
         ids = allocate_ids(cloud, 22)
         costs = cloud.true_cost_matrix(ids)
         budget = SearchBudget.seconds(TIME_LIMIT_S)
+        problem = DeploymentProblem(graph, costs)
         per_solver["R2"].append(
-            RandomSearch.r2(seed=seed).solve(graph, costs, budget=budget).cost)
+            RandomSearch.r2(seed=seed).solve(problem, budget=budget).cost)
         per_solver["local search"].append(
-            SwapLocalSearch(seed=seed).solve(graph, costs, budget=budget).cost)
+            SwapLocalSearch(seed=seed).solve(problem, budget=budget).cost)
         per_solver["annealing"].append(
-            SimulatedAnnealing(seed=seed).solve(graph, costs, budget=budget).cost)
+            SimulatedAnnealing(seed=seed).solve(problem, budget=budget).cost)
         per_solver["portfolio"].append(
-            PortfolioSolver(seed=seed).solve(graph, costs, budget=budget).cost)
+            PortfolioSolver(seed=seed).solve(problem, budget=budget).cost)
         per_solver["CP"].append(
-            CPLongestLinkSolver(seed=seed).solve(graph, costs, budget=budget).cost)
+            CPLongestLinkSolver(seed=seed).solve(problem, budget=budget).cost)
     return per_solver
 
 

@@ -7,7 +7,7 @@ the solver cannot discriminate inside a cluster.  The benchmark reproduces
 the experiment at 40 instances / 36 nodes with a seconds-scale budget.
 """
 
-from repro.core import CommunicationGraph
+from repro.core import CommunicationGraph, DeploymentProblem
 from repro.analysis import format_table
 from repro.solvers import CPLongestLinkSolver, SearchBudget
 
@@ -23,9 +23,10 @@ def build_figure():
     costs = cloud.true_cost_matrix(ids)
     graph = CommunicationGraph.mesh_2d(6, 6)
     results = {}
+    problem = DeploymentProblem(graph, costs)
     for label, k in CONFIGURATIONS:
         solver = CPLongestLinkSolver(k_clusters=k, seed=0)
-        results[label] = solver.solve(graph, costs,
+        results[label] = solver.solve(problem,
                                       budget=SearchBudget.seconds(TIME_LIMIT_S))
     return results
 

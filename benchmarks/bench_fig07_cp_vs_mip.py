@@ -8,7 +8,7 @@ already enough for the gap to be visible — giving both solvers the same
 wall-clock budget.
 """
 
-from repro.core import CommunicationGraph
+from repro.core import CommunicationGraph, DeploymentProblem
 from repro.analysis import format_table
 from repro.solvers import (
     CPLongestLinkSolver,
@@ -30,10 +30,11 @@ def build_figure():
     graph = CommunicationGraph.mesh_2d(4, 4)
     baseline = longest_link_cost(default_plan(graph, costs), graph, costs)
 
+    problem = DeploymentProblem(graph, costs)
     cp = CPLongestLinkSolver(k_clusters=20, seed=0).solve(
-        graph, costs, budget=SearchBudget.seconds(TIME_LIMIT_S))
+        problem, budget=SearchBudget.seconds(TIME_LIMIT_S))
     mip = MIPLongestLinkSolver(backend="bnb", k_clusters=20).solve(
-        graph, costs, budget=SearchBudget.seconds(TIME_LIMIT_S))
+        problem, budget=SearchBudget.seconds(TIME_LIMIT_S))
     return baseline, cp, mip
 
 

@@ -9,7 +9,7 @@ with two sampled sub-allocations per size.
 
 import numpy as np
 
-from repro.core import CommunicationGraph
+from repro.core import CommunicationGraph, DeploymentProblem
 from repro.analysis import format_table
 from repro.solvers import CPLongestLinkSolver, SearchBudget, default_plan
 from repro.core.objectives import longest_link_cost
@@ -38,7 +38,8 @@ def build_figure():
                       rng.choice(len(all_ids), size=size, replace=False)]
             costs = full_costs.submatrix(subset)
             result = CPLongestLinkSolver(k_clusters=20, seed=sample).solve(
-                graph, costs, budget=SearchBudget.seconds(TIME_LIMIT_S))
+                DeploymentProblem(graph, costs),
+                budget=SearchBudget.seconds(TIME_LIMIT_S))
             baseline = longest_link_cost(default_plan(graph, costs), graph, costs)
             convergence_time = result.trace[-1][0] if result.trace else 0.0
             improvement = 0.0 if baseline <= 0 else (baseline - result.cost) / baseline

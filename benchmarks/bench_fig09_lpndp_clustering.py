@@ -7,7 +7,7 @@ costs are sums and the solver cannot exploit having fewer distinct values.
 The benchmark uses a depth-2 ternary tree (13 nodes) on 15 instances.
 """
 
-from repro.core import CommunicationGraph, Objective
+from repro.core import CommunicationGraph, DeploymentProblem, Objective
 from repro.analysis import format_table
 from repro.solvers import MIPLongestPathSolver, SearchBudget, default_plan
 from repro.core.objectives import longest_path_cost
@@ -26,9 +26,10 @@ def build_figure():
     baseline = longest_path_cost(default_plan(graph, costs), graph, costs)
 
     results = {}
+    problem = DeploymentProblem(graph, costs, objective=Objective.LONGEST_PATH)
     for label, k in CONFIGURATIONS:
         solver = MIPLongestPathSolver(backend="bnb", k_clusters=k)
-        results[label] = solver.solve(graph, costs, objective=Objective.LONGEST_PATH,
+        results[label] = solver.solve(problem,
                                       budget=SearchBudget.seconds(TIME_LIMIT_S))
     return baseline, results
 

@@ -8,7 +8,7 @@ improvement, with diminishing returns beyond.  The benchmark reproduces the
 sweep with a 25-node mesh and up to 50 % over-allocation.
 """
 
-from repro.core import Objective
+from repro.core import DeploymentProblem, Objective
 from repro.analysis import format_table
 from repro.solvers import CPLongestLinkSolver, SearchBudget, default_plan
 from repro.workloads import BehavioralSimulationWorkload, compare_deployments
@@ -34,7 +34,7 @@ def build_figure():
         usable = all_ids[: int(round((1.0 + ratio) * graph.num_nodes))]
         costs = costs_full.submatrix(usable)
         result = CPLongestLinkSolver(seed=0).solve(
-            graph, costs, objective=Objective.LONGEST_LINK,
+            DeploymentProblem(graph, costs, objective=Objective.LONGEST_LINK),
             budget=SearchBudget.seconds(4.0))
         comparison = compare_deployments(workload, default, result.plan, cloud,
                                          seed=99)

@@ -10,7 +10,7 @@ allocations of 22 instances.
 
 import numpy as np
 
-from repro.core import CommunicationGraph
+from repro.core import CommunicationGraph, DeploymentProblem
 from repro.analysis import format_table
 from repro.solvers import (
     CPLongestLinkSolver,
@@ -33,16 +33,17 @@ def build_figure():
         cloud = make_cloud("ec2", seed=seed)
         ids = allocate_ids(cloud, 22)
         costs = cloud.true_cost_matrix(ids)
-        per_solver["G1"].append(GreedyG1().solve(graph, costs).cost)
-        per_solver["G2"].append(GreedyG2().solve(graph, costs).cost)
+        problem = DeploymentProblem(graph, costs)
+        per_solver["G1"].append(GreedyG1().solve(problem).cost)
+        per_solver["G2"].append(GreedyG2().solve(problem).cost)
         per_solver["R1"].append(
-            RandomSearch.r1(num_samples=1000, seed=seed).solve(graph, costs).cost)
+            RandomSearch.r1(num_samples=1000, seed=seed).solve(problem).cost)
         per_solver["R2"].append(
             RandomSearch.r2(seed=seed).solve(
-                graph, costs, budget=SearchBudget.seconds(CP_TIME_S)).cost)
+                problem, budget=SearchBudget.seconds(CP_TIME_S)).cost)
         per_solver["CP"].append(
             CPLongestLinkSolver(seed=seed).solve(
-                graph, costs, budget=SearchBudget.seconds(CP_TIME_S)).cost)
+                problem, budget=SearchBudget.seconds(CP_TIME_S)).cost)
     return per_solver
 
 

@@ -10,7 +10,7 @@ aggregation tree.
 
 import numpy as np
 
-from repro.core import CommunicationGraph, Objective
+from repro.core import CommunicationGraph, DeploymentProblem, Objective
 from repro.analysis import format_table
 from repro.solvers import (
     GreedyG1,
@@ -33,22 +33,18 @@ def build_figure():
         cloud = make_cloud("ec2", seed=seed)
         ids = allocate_ids(cloud, 15)
         costs = cloud.true_cost_matrix(ids)
-        objective = Objective.LONGEST_PATH
-        per_solver["G1"].append(
-            GreedyG1().solve(graph, costs, objective=objective).cost)
-        per_solver["G2"].append(
-            GreedyG2().solve(graph, costs, objective=objective).cost)
+        problem = DeploymentProblem(graph, costs,
+                                    objective=Objective.LONGEST_PATH)
+        per_solver["G1"].append(GreedyG1().solve(problem).cost)
+        per_solver["G2"].append(GreedyG2().solve(problem).cost)
         per_solver["R1"].append(
-            RandomSearch.r1(num_samples=1000, seed=seed).solve(
-                graph, costs, objective=objective).cost)
+            RandomSearch.r1(num_samples=1000, seed=seed).solve(problem).cost)
         per_solver["R2"].append(
             RandomSearch.r2(seed=seed).solve(
-                graph, costs, objective=objective,
-                budget=SearchBudget.seconds(MIP_TIME_S)).cost)
+                problem, budget=SearchBudget.seconds(MIP_TIME_S)).cost)
         per_solver["MIP"].append(
             MIPLongestPathSolver(backend="bnb").solve(
-                graph, costs, objective=objective,
-                budget=SearchBudget.seconds(MIP_TIME_S)).cost)
+                problem, budget=SearchBudget.seconds(MIP_TIME_S)).cost)
     return per_solver
 
 

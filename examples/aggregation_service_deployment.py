@@ -12,6 +12,7 @@ Run it with ``python examples/aggregation_service_deployment.py``.
 
 from repro import (
     AggregationQueryWorkload,
+    DeploymentProblem,
     MIPLongestPathSolver,
     Objective,
     RandomSearch,
@@ -42,10 +43,9 @@ def main() -> None:
           f"{measurement.elapsed_ms:.0f} simulated ms")
 
     budget = SearchBudget.seconds(6.0)
-    mip = MIPLongestPathSolver(backend="bnb").solve(
-        graph, costs, objective=Objective.LONGEST_PATH, budget=budget)
-    r2 = RandomSearch.r2(seed=0).solve(
-        graph, costs, objective=Objective.LONGEST_PATH, budget=budget)
+    problem = DeploymentProblem(graph, costs, objective=Objective.LONGEST_PATH)
+    mip = MIPLongestPathSolver(backend="bnb").solve(problem, budget=budget)
+    r2 = RandomSearch.r2(seed=0).solve(problem, budget=budget)
     best = min((mip, r2), key=lambda result: result.cost)
     baseline = default_plan(graph, costs)
 

@@ -9,7 +9,8 @@ heterogeneous providers leave more room for improvement.
 Run it with ``python examples/provider_comparison.py``.
 """
 
-from repro import CommunicationGraph, CPLongestLinkSolver, SearchBudget, SimulatedCloud
+from repro import (CommunicationGraph, CPLongestLinkSolver, DeploymentProblem,
+                   SearchBudget, SimulatedCloud)
 from repro.analysis import empirical_cdf, format_table
 from repro.cloud import ProviderProfile
 from repro.core.objectives import longest_link_cost
@@ -27,7 +28,8 @@ def main() -> None:
 
         baseline = longest_link_cost(default_plan(graph, costs), graph, costs)
         optimized = CPLongestLinkSolver(seed=0).solve(
-            graph, costs, budget=SearchBudget.seconds(4.0)).cost
+            DeploymentProblem(graph, costs),
+            budget=SearchBudget.seconds(4.0)).cost
         improvement = 100.0 * (baseline - optimized) / baseline
         rows.append((provider, cdf.quantile(0.10), cdf.quantile(0.90),
                      cdf.spread(0.1, 0.9), baseline, optimized,

@@ -2,24 +2,31 @@
 """Quickstart: optimise the deployment of a small mesh application.
 
 This example walks through the full ClouDiA pipeline (Fig. 3 of the paper)
-on the simulated public cloud:
+on the simulated public cloud, then replays the same search through the
+serializable service API:
 
 1. describe the application as a communication graph (a 4x5 mesh),
 2. let the advisor allocate instances with 10 % over-allocation,
 3. measure pairwise latencies with the staged scheme,
 4. search for a deployment minimising the longest link, and
-5. terminate the spare instances and report the expected improvement.
+5. terminate the spare instances and report the expected improvement;
+6. finally, wrap the measured problem in a ``DeploymentProblem`` and solve
+   it again through an ``AdvisorSession`` with solvers resolved from the
+   registry — the API every serialized (JSON / CLI) workflow uses.
 
 Run it with ``python examples/quickstart.py``.
 """
 
 from repro import (
     AdvisorConfig,
+    AdvisorSession,
     ClouDiA,
     CommunicationGraph,
+    DeploymentProblem,
     MeasurementConfig,
     Objective,
     SimulatedCloud,
+    SolveRequest,
 )
 
 
@@ -35,6 +42,7 @@ def main() -> None:
     config = AdvisorConfig(
         objective=Objective.LONGEST_LINK,
         over_allocation_ratio=0.10,
+        solver="cp",  # a registry key; "auto" / None picks the paper default
         solver_time_limit_s=5.0,
         measurement=MeasurementConfig(scheme="staged", target_samples_per_link=10),
         seed=0,
@@ -54,6 +62,26 @@ def main() -> None:
     print("\nnode -> instance mapping (first 10 nodes):")
     for node in list(graph.nodes)[:10]:
         print(f"  node {node:3d} -> instance {report.plan.instance_for(node)}")
+
+    # ------------------------------------------------------------------ #
+    # The same search through the service API.  A DeploymentProblem is a
+    # frozen, validated value object that serializes to JSON
+    # (problem.to_dict()); the session deduplicates compilations across
+    # requests and records per-request telemetry.
+    # ------------------------------------------------------------------ #
+    problem = DeploymentProblem(graph, report.cost_matrix,
+                                metadata={"example": "quickstart"})
+    session = AdvisorSession()
+    responses = session.solve_many([
+        SolveRequest(problem, solver="greedy"),
+        SolveRequest(problem, solver="cp", config={"seed": 0}),
+    ])
+    print("\nservice API on the measured cost matrix:")
+    for response in responses:
+        cache = "hit" if response.telemetry.compile_cache_hit else "miss"
+        print(f"  {response.solver:>6s}: {response.cost:.3f} ms "
+              f"(compile cache {cache}, "
+              f"{response.telemetry.total_time_s:.2f} s)")
 
 
 if __name__ == "__main__":

@@ -23,13 +23,22 @@ from .core import (
     CommunicationGraph,
     CostMatrix,
     DeploymentPlan,
+    DeploymentProblem,
     LatencyMetric,
     Objective,
+    PlacementConstraints,
     deployment_cost,
     longest_link_cost,
     longest_path_cost,
 )
 from .core.advisor import AdvisorConfig, AdvisorReport, ClouDiA, MeasurementConfig
+from .api import (
+    AdvisorSession,
+    SessionStats,
+    SolveRequest,
+    SolverResponse,
+    SolveTelemetry,
+)
 from .cloud import DatacenterTopology, ProviderProfile, SimulatedCloud
 from .netmeasure import (
     StagedMeasurement,
@@ -45,7 +54,9 @@ from .solvers import (
     PortfolioSolver,
     RandomSearch,
     SearchBudget,
+    SolverRegistry,
     default_plan,
+    default_registry,
 )
 from .workloads import (
     AggregationQueryWorkload,
@@ -54,11 +65,12 @@ from .workloads import (
     compare_deployments,
 )
 
-__version__ = "1.0.0"
+__version__ = "0.3.0"
 
 __all__ = [
     "AdvisorConfig",
     "AdvisorReport",
+    "AdvisorSession",
     "AggregationQueryWorkload",
     "BehavioralSimulationWorkload",
     "CPLongestLinkSolver",
@@ -67,6 +79,7 @@ __all__ = [
     "CostMatrix",
     "DatacenterTopology",
     "DeploymentPlan",
+    "DeploymentProblem",
     "GreedyG1",
     "GreedyG2",
     "KeyValueStoreWorkload",
@@ -75,16 +88,23 @@ __all__ = [
     "MIPLongestPathSolver",
     "MeasurementConfig",
     "Objective",
+    "PlacementConstraints",
     "PortfolioSolver",
     "ProviderProfile",
     "RandomSearch",
     "SearchBudget",
+    "SessionStats",
     "SimulatedCloud",
+    "SolveRequest",
+    "SolveTelemetry",
+    "SolverRegistry",
+    "SolverResponse",
     "StagedMeasurement",
     "TokenPassingMeasurement",
     "UncoordinatedMeasurement",
     "compare_deployments",
     "default_plan",
+    "default_registry",
     "deployment_cost",
     "longest_link_cost",
     "longest_path_cost",

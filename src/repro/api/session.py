@@ -1,0 +1,286 @@
+"""The batch advisor session: execute solve requests with shared state.
+
+:class:`AdvisorSession` is the long-lived, multi-request counterpart of the
+one-shot :class:`~repro.core.advisor.ClouDiA` pipeline.  It adds three
+things the paper's service framing needs at scale:
+
+* **Compilation deduplication** — problems are canonicalized by the
+  content hash of their ``(graph, costs)`` pair
+  (:meth:`~repro.core.problem.DeploymentProblem.instance_key`), so a batch
+  of requests over the same instance — different solvers, objectives,
+  budgets, or problems deserialized from separate JSON files — lowers the
+  instance into the vectorized engine exactly once.
+* **An opt-in worker pool** — :meth:`AdvisorSession.solve_many` can run
+  independent requests on a thread pool (``max_workers``); response order
+  matches request order regardless of scheduling.  The default is
+  sequential, because the exact solvers are GIL-bound searches under
+  wall-clock budgets — threading them degrades each request's effective
+  budget; the pool pays off for engine-dominated (NumPy) request mixes.
+* **Telemetry** — every response carries per-request
+  :class:`~repro.api.schema.SolveTelemetry` (compile cache hit, compile /
+  solve / total time), and the session aggregates
+  :class:`SessionStats` so a server can export hit rates.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..core.communication_graph import CommunicationGraph
+from ..core.cost_matrix import CostMatrix
+from ..core.errors import ClouDiAError
+from ..core.problem import DeploymentProblem
+from ..solvers.registry import SolverRegistry, default_registry
+from .schema import SolveRequest, SolverResponse, SolveTelemetry
+
+#: Hard cap on worker threads; solving is CPU-bound, so more threads than
+#: a small multiple of the core count only adds contention.
+_MAX_WORKERS = 8
+
+
+@dataclass(frozen=True)
+class SessionStats:
+    """Aggregate counters of one advisor session."""
+
+    #: Requests executed (successful or failed).
+    requests: int = 0
+    #: Distinct ``(graph, costs)`` pairs compiled by this session.
+    compilations: int = 0
+    #: Requests that reused a previously compiled pair.
+    compile_cache_hits: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests served from the compilation cache."""
+        total = self.compilations + self.compile_cache_hits
+        return self.compile_cache_hits / total if total else 0.0
+
+
+class AdvisorSession:
+    """Executes :class:`~repro.api.schema.SolveRequest` batches.
+
+    Args:
+        registry: solver registry to resolve solver keys through; defaults
+            to the process-wide :data:`~repro.solvers.registry.default_registry`.
+        max_workers: worker threads for :meth:`solve_many`; the default of
+            ``None`` runs requests sequentially (see :meth:`solve_many` for
+            why that is the reproducibility-preserving choice).
+        max_cached_problems: bound on the number of distinct problem
+            instances whose canonical graph / costs (and thereby compiled
+            engines) the session keeps alive; least-recently-used entries
+            are evicted beyond it, so a long-lived serving session does not
+            grow without bound.  An evicted instance is simply recompiled
+            if it is submitted again.
+    """
+
+    def __init__(self, registry: Optional[SolverRegistry] = None,
+                 max_workers: Optional[int] = None,
+                 max_cached_problems: int = 128):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if max_cached_problems < 1:
+            raise ValueError("max_cached_problems must be >= 1")
+        self.registry = registry if registry is not None else default_registry
+        self.max_workers = max_workers
+        self.max_cached_problems = max_cached_problems
+        self._lock = threading.Lock()
+        #: Canonical (graph, costs) objects per instance content hash, in
+        #: LRU order; the process-wide compile cache is keyed on object
+        #: identity, so re-binding content-equal problems to these objects
+        #: makes them share one CompiledProblem.
+        self._canonical: "OrderedDict[str, Tuple[CommunicationGraph, CostMatrix]]" = (
+            OrderedDict()
+        )
+        #: Per-instance-key locks serialising the (expensive) first
+        #: compilation of each distinct pair across worker threads, so
+        #: distinct instances compile in parallel while the same instance
+        #: still compiles exactly once.
+        self._compile_locks: dict = {}
+        self._requests = 0
+        self._compilations = 0
+        self._cache_hits = 0
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def stats(self) -> SessionStats:
+        """Aggregate counters since the session was created."""
+        with self._lock:
+            return SessionStats(
+                requests=self._requests,
+                compilations=self._compilations,
+                compile_cache_hits=self._cache_hits,
+            )
+
+    def prepare(self, problem: DeploymentProblem
+                ) -> Tuple[DeploymentProblem, bool, threading.Lock]:
+        """Canonicalize ``problem`` against the session's instance cache.
+
+        Canonicalization is cheap (a content hash plus dictionary
+        bookkeeping); the expensive lowering happens lazily at
+        ``problem.compiled()`` under the returned per-instance lock, which
+        lets a batch compile *distinct* instances in parallel on the worker
+        pool while still compiling each distinct instance exactly once.
+
+        Returns:
+            ``(canonical_problem, cache_hit, compile_lock)`` where
+            ``cache_hit`` says whether an earlier request already
+            canonicalized the same ``(graph, costs)`` content.
+        """
+        key = problem.instance_key()
+        with self._lock:
+            canonical = self._canonical.get(key)
+            hit = canonical is not None
+            if hit:
+                self._cache_hits += 1
+                self._canonical.move_to_end(key)
+                problem = problem.rebound(*canonical)
+            else:
+                self._canonical[key] = (problem.graph, problem.costs)
+                self._compilations += 1
+                while len(self._canonical) > self.max_cached_problems:
+                    evicted, _ = self._canonical.popitem(last=False)
+                    self._compile_locks.pop(evicted, None)
+            lock = self._compile_locks.setdefault(key, threading.Lock())
+        return problem, hit, lock
+
+    def clear_cache(self) -> None:
+        """Drop all canonical problem references held by the session.
+
+        The process-wide compile cache is weakly keyed, so releasing the
+        canonical cost matrices lets their compiled engines be reclaimed.
+        """
+        with self._lock:
+            self._canonical.clear()
+            self._compile_locks.clear()
+
+    # ------------------------------------------------------------------ #
+
+    def solve(self, request: SolveRequest) -> SolverResponse:
+        """Execute one request; solver errors propagate to the caller."""
+        request = self._with_assigned_id(request)
+        prepared = self.prepare(request.problem)
+        return self._execute(request, prepared, capture_errors=False)
+
+    def solve_many(self, requests: Iterable[SolveRequest],
+                   max_workers: Optional[int] = None
+                   ) -> List[SolverResponse]:
+        """Execute a batch of independent requests.
+
+        Problems are canonicalized up front, then the worker pool compiles
+        and solves them — each distinct ``(graph, costs)`` pair is compiled
+        exactly once within the batch (a per-instance lock serialises
+        same-instance compiles; distinct instances compile concurrently).
+        A per-batch memo upholds that guarantee even when the batch holds
+        more distinct instances than ``max_cached_problems``, where the
+        session-level LRU alone would evict and recompile.  Failures are
+        captured per request as ``"error"`` responses instead of aborting
+        the batch, and response order matches request order.
+
+        Requests run **sequentially by default**: the exact solvers are
+        GIL-bound Python searches under *wall-clock* budgets, so splitting
+        one interpreter across threads silently degrades every request's
+        effective budget and makes seeded runs irreproducible across batch
+        sizes.  Opt into threads with ``max_workers`` when the requests
+        are dominated by engine (NumPy) work or are not time-budgeted.
+        """
+        batch: List[SolveRequest] = [
+            self._with_assigned_id(request) for request in requests
+        ]
+        if not batch:
+            return []
+        memo: dict = {}
+        prepared = []
+        for request in batch:
+            key = request.problem.instance_key()
+            entry = memo.get(key)
+            if entry is not None:
+                canonical, lock = entry
+                with self._lock:
+                    self._cache_hits += 1
+                prepared.append((
+                    request.problem.rebound(canonical.graph, canonical.costs),
+                    True, lock,
+                ))
+            else:
+                item = self.prepare(request.problem)
+                memo[key] = (item[0], item[2])
+                prepared.append(item)
+        workers = max_workers if max_workers is not None else self.max_workers
+        if workers is None:
+            workers = 1
+        workers = max(1, min(workers, len(batch), _MAX_WORKERS))
+        if workers == 1:
+            return [
+                self._execute(request, prep, capture_errors=True)
+                for request, prep in zip(batch, prepared)
+            ]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(
+                lambda pair: self._execute(pair[0], pair[1],
+                                           capture_errors=True),
+                zip(batch, prepared),
+            ))
+
+    # ------------------------------------------------------------------ #
+
+    def _with_assigned_id(self, request: SolveRequest) -> SolveRequest:
+        with self._lock:
+            sequence = self._requests
+            self._requests += 1
+        if request.request_id is not None:
+            return request
+        return request.with_id(f"req-{sequence:04d}")
+
+    def _execute(self, request: SolveRequest,
+                 prepared: Tuple[DeploymentProblem, bool, threading.Lock],
+                 capture_errors: bool) -> SolverResponse:
+        problem, cache_hit, compile_lock = prepared
+        started = time.perf_counter()
+        solver_key = request.solver
+        compile_time = 0.0
+        try:
+            with compile_lock:
+                compile_started = time.perf_counter()
+                problem.compiled()
+                compile_time = time.perf_counter() - compile_started
+            solver_key = request.resolved_solver_key(self.registry)
+            solver = self.registry.make(solver_key, **dict(request.config))
+            result = solver.solve(problem, budget=request.budget,
+                                  initial_plan=request.initial_plan)
+            telemetry = SolveTelemetry(
+                compile_cache_hit=cache_hit,
+                compile_time_s=compile_time,
+                solve_time_s=result.solve_time_s,
+                total_time_s=time.perf_counter() - started,
+            )
+            return SolverResponse(
+                request_id=request.request_id, solver=solver_key,
+                status="ok", result=result, telemetry=telemetry,
+            )
+        except (ClouDiAError, ValueError, TypeError) as exc:
+            if not capture_errors:
+                raise
+            telemetry = SolveTelemetry(
+                compile_cache_hit=cache_hit,
+                compile_time_s=compile_time,
+                total_time_s=time.perf_counter() - started,
+            )
+            return SolverResponse(
+                request_id=request.request_id, solver=solver_key,
+                status="error", error=f"{type(exc).__name__}: {exc}",
+                telemetry=telemetry,
+            )
+
+
+def solve_requests(requests: Sequence[SolveRequest],
+                   registry: Optional[SolverRegistry] = None,
+                   max_workers: Optional[int] = None) -> List[SolverResponse]:
+    """One-shot convenience wrapper around a throwaway session."""
+    session = AdvisorSession(registry=registry, max_workers=max_workers)
+    return session.solve_many(requests, max_workers=max_workers)

@@ -5,6 +5,14 @@ be exercised without writing Python:
 
 * ``python -m repro advise --template mesh --rows 4 --cols 5`` — allocate,
   measure, search and print the recommended deployment plan;
+* ``python -m repro make-problem --template mesh --out problem.json`` —
+  allocate and measure, then serialize the resulting
+  :class:`~repro.core.problem.DeploymentProblem` to JSON;
+* ``python -m repro solve --problem problem.json --out response.json`` —
+  solve a serialized problem and write the response;
+* ``python -m repro solve-batch --requests batch.json`` — run a batch of
+  serialized requests through one advisor session (shared compilations);
+* ``python -m repro solvers`` — list the registered solvers;
 * ``python -m repro measure --instances 20`` — run a pairwise latency
   measurement and print per-link statistics;
 * ``python -m repro providers`` — compare latency heterogeneity of the
@@ -15,20 +23,18 @@ be exercised without writing Python:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from .analysis import empirical_cdf, format_table
+from .api import AdvisorSession, SolveRequest, SolverResponse
 from .cloud import ProviderProfile, SimulatedCloud
-from .core import CommunicationGraph, LatencyMetric, Objective
+from .core import CommunicationGraph, DeploymentProblem, LatencyMetric, Objective
 from .core.advisor import AdvisorConfig, ClouDiA, MeasurementConfig
-from .solvers import (
-    CPLongestLinkSolver,
-    GreedyG2,
-    MIPLongestPathSolver,
-    PortfolioSolver,
-    RandomSearch,
-)
+from .core.errors import ClouDiAError
+from .solvers import DeploymentSolver, SearchBudget
+from .solvers.registry import default_registry
 
 #: Graph templates the CLI can build, mapping name -> builder description.
 TEMPLATE_DESCRIPTIONS = {
@@ -40,6 +46,12 @@ TEMPLATE_DESCRIPTIONS = {
     "ring": "bidirectional ring; use --nodes",
     "hypercube": "boolean hypercube; use --dimension",
 }
+
+#: Historical ``advise --solver`` names that map to a different registry
+#: key.  Applied only by the legacy ``advise`` command: ``solve`` and
+#: ``solve-batch`` take registry keys verbatim, so the registered
+#: ``random`` solver stays reachable there.
+ADVISE_SOLVER_ALIASES = {"random": "r2"}
 
 
 def build_graph(args: argparse.Namespace) -> CommunicationGraph:
@@ -60,21 +72,30 @@ def build_graph(args: argparse.Namespace) -> CommunicationGraph:
     raise SystemExit(f"unknown template {template!r}; see 'templates' command")
 
 
-def build_solver(name: str, objective: Objective, seed: Optional[int]):
-    """Instantiate the solver selected on the command line (None = paper default)."""
+def solver_choices(aliases: bool = False) -> List[str]:
+    """Solver names accepted on the command line."""
+    names = set(default_registry.available())
+    if aliases:
+        names |= set(ADVISE_SOLVER_ALIASES)
+    return ["auto"] + sorted(names)
+
+
+def build_solver(name: str, seed: Optional[int]) -> Optional[DeploymentSolver]:
+    """Instantiate the solver selected on the command line (None = paper default).
+
+    Resolution goes through the solver registry, which also routes the seed
+    into every solver that accepts one (including the MIP solvers, whose
+    seed the old hand-rolled factory silently dropped).  Historical
+    ``advise`` names are translated first (``random`` -> ``r2``).
+    """
     if name == "auto":
         return None
-    if name == "cp":
-        return CPLongestLinkSolver(seed=seed)
-    if name == "mip":
-        return MIPLongestPathSolver(backend="bnb")
-    if name == "greedy":
-        return GreedyG2()
-    if name == "random":
-        return RandomSearch.r2(seed=seed)
-    if name == "portfolio":
-        return PortfolioSolver(seed=seed)
-    raise SystemExit(f"unknown solver {name!r}")
+    key = ADVISE_SOLVER_ALIASES.get(name, name)
+    if key not in default_registry:
+        raise SystemExit(f"unknown solver {name!r}; available: "
+                         f"{', '.join(solver_choices(aliases=True))}")
+    return default_registry.make(
+        key, **default_registry.seeded_config(key, seed))
 
 
 def command_advise(args: argparse.Namespace) -> int:
@@ -87,7 +108,7 @@ def command_advise(args: argparse.Namespace) -> int:
         objective=objective,
         over_allocation_ratio=args.over_allocation,
         metric=LatencyMetric(args.metric),
-        solver=build_solver(args.solver, objective, args.seed),
+        solver=build_solver(args.solver, args.seed),
         solver_time_limit_s=args.time_limit,
         measurement=MeasurementConfig(scheme=args.measurement,
                                       target_samples_per_link=args.samples),
@@ -123,6 +144,200 @@ def command_advise(args: argparse.Namespace) -> int:
             ],
             title="deployment plan",
         ))
+    return 0
+
+
+def _write_json(path: str, payload: Dict[str, Any]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def _read_json(path: str) -> Any:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def command_make_problem(args: argparse.Namespace) -> int:
+    """Allocate, measure, and serialize a DeploymentProblem to JSON.
+
+    Reuses the advisor's allocation and measurement stages (stages 1-2 of
+    Fig. 3), so sizing and measurement policy cannot drift from ``advise``.
+    """
+    graph = build_graph(args)
+    objective = Objective(args.objective)
+    cloud = SimulatedCloud(profile=ProviderProfile.by_name(args.provider),
+                           seed=args.seed)
+    advisor = ClouDiA(cloud, AdvisorConfig(
+        objective=objective,
+        over_allocation_ratio=args.over_allocation,
+        metric=LatencyMetric(args.metric),
+        measurement=MeasurementConfig(scheme=args.measurement,
+                                      target_samples_per_link=args.samples),
+        seed=args.seed,
+    ))
+    ids = advisor.allocate(graph)
+    measurement = advisor.measure(ids)
+    costs = measurement.to_cost_matrix(metric=advisor.config.metric)
+    problem = DeploymentProblem(
+        graph, costs, objective=objective,
+        metadata={
+            "template": args.template,
+            "provider": args.provider,
+            "measurement_scheme": args.measurement,
+            "metric": args.metric,
+            "seed": args.seed,
+        },
+    )
+    _write_json(args.out, problem.to_dict())
+    print(format_table(
+        ["quantity", "value"],
+        [
+            ("application nodes", graph.num_nodes),
+            ("communication edges", graph.num_edges),
+            ("instances allocated", len(ids)),
+            ("objective", objective.value),
+            ("measurement time [simulated ms]", measurement.elapsed_ms),
+            ("problem written to", args.out),
+        ],
+        title="serialized deployment problem",
+    ))
+    return 0
+
+
+def _print_response(response: SolverResponse,
+                    problem: DeploymentProblem) -> None:
+    rows = [
+        ("request id", response.request_id),
+        ("solver", response.solver),
+        ("status", response.status),
+    ]
+    if response.ok:
+        result = response.result
+        baseline = problem.evaluate(problem.default_plan())
+        rows.extend([
+            (f"{result.objective.value} cost [ms]", result.cost),
+            ("default deployment cost [ms]", baseline),
+            ("optimality proven", result.optimal),
+            ("iterations", result.iterations),
+            ("solve time [s]", f"{result.solve_time_s:.3f}"),
+        ])
+    else:
+        rows.append(("error", response.error))
+    if response.telemetry is not None:
+        rows.append(("compile cache hit",
+                     response.telemetry.compile_cache_hit))
+    print(format_table(["quantity", "value"], rows,
+                       title="solver response"))
+
+
+def _budget_from_flag(time_limit: float) -> Optional[SearchBudget]:
+    """``--time-limit`` semantics: positive seconds, or 0 for no limit."""
+    if time_limit <= 0:
+        return None
+    return SearchBudget.seconds(time_limit)
+
+
+def command_solve(args: argparse.Namespace) -> int:
+    """Solve a serialized problem JSON and optionally write the response."""
+    problem = DeploymentProblem.from_dict(_read_json(args.problem))
+    extra = json.loads(args.solver_config) if args.solver_config else None
+    request = SolveRequest(
+        problem=problem,
+        solver=args.solver,
+        config=default_registry.seeded_config(args.solver, args.seed, extra),
+        budget=_budget_from_flag(args.time_limit),
+    )
+    session = AdvisorSession()
+    try:
+        response = session.solve(request)
+    except (ClouDiAError, ValueError, TypeError) as exc:
+        # Solver / problem failures exit 1 — the same error classes
+        # solve-batch captures per request; usage and IO errors exit 2
+        # via main().
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    _print_response(response, problem)
+    if args.out:
+        _write_json(args.out, response.to_dict())
+        print(f"response written to {args.out}")
+    return 0
+
+
+def command_solve_batch(args: argparse.Namespace) -> int:
+    """Run a batch of serialized requests through one advisor session."""
+    requests: List[SolveRequest] = []
+    if args.requests:
+        payload = _read_json(args.requests)
+        if isinstance(payload, dict):
+            entries = payload.get("requests")
+            if entries is None:
+                raise ClouDiAError(
+                    f"{args.requests} must contain a top-level 'requests' "
+                    f"list (or be a bare JSON list of requests)"
+                )
+        else:
+            entries = payload
+        if not isinstance(entries, list):
+            raise ClouDiAError(
+                f"'requests' in {args.requests} must be a list, got "
+                f"{type(entries).__name__}"
+            )
+        requests.extend(SolveRequest.from_dict(entry) for entry in entries)
+    for path in args.problem or []:
+        problem = DeploymentProblem.from_dict(_read_json(path))
+        requests.append(SolveRequest(
+            problem=problem, solver=args.solver,
+            config=default_registry.seeded_config(args.solver, args.seed),
+            budget=_budget_from_flag(args.time_limit),
+        ))
+    if not requests:
+        print("error: solve-batch needs --requests and/or --problem",
+              file=sys.stderr)
+        return 2
+
+    session = AdvisorSession(max_workers=args.workers)
+    responses = session.solve_many(requests)
+
+    rows = []
+    for response in responses:
+        telemetry = response.telemetry
+        rows.append((
+            response.request_id,
+            response.solver,
+            response.status,
+            "-" if response.cost is None else f"{response.cost:.4f}",
+            "-" if telemetry is None else
+            ("hit" if telemetry.compile_cache_hit else "miss"),
+            "-" if telemetry is None else f"{telemetry.total_time_s:.3f}",
+        ))
+    print(format_table(
+        ["request", "solver", "status", "cost [ms]", "compile cache", "time [s]"],
+        rows, title=f"solve-batch ({len(responses)} requests)",
+    ))
+    stats = session.stats
+    print(f"compilations: {stats.compilations}, "
+          f"cache hits: {stats.compile_cache_hits} "
+          f"(hit rate {stats.hit_rate:.0%})")
+    if args.out:
+        _write_json(args.out, {
+            "responses": [response.to_dict() for response in responses],
+        })
+        print(f"responses written to {args.out}")
+    return 0 if all(response.ok for response in responses) else 1
+
+
+def command_solvers(_args: argparse.Namespace) -> int:
+    """List the solvers registered in the default registry."""
+    rows = []
+    for spec in default_registry.specs():
+        objectives = ", ".join(obj.value for obj in spec.objectives)
+        size = "-" if spec.max_nodes is None else f"<= {spec.max_nodes} nodes"
+        rows.append((spec.key, objectives, size, spec.summary))
+    print(format_table(
+        ["key", "objectives", "practical size", "description"],
+        rows, title="registered solvers",
+    ))
     return 0
 
 
@@ -217,7 +432,9 @@ def build_parser() -> argparse.ArgumentParser:
     advise.add_argument("--metric", default=LatencyMetric.MEAN.value,
                         choices=[metric.value for metric in LatencyMetric])
     advise.add_argument("--solver", default="auto",
-                        choices=["auto", "cp", "mip", "greedy", "random", "portfolio"])
+                        choices=solver_choices(aliases=True),
+                        help="solver registry key ('random' is a legacy "
+                             "alias for 'r2' here)")
     advise.add_argument("--over-allocation", type=float, default=0.10,
                         help="fraction of extra instances to allocate")
     advise.add_argument("--time-limit", type=float, default=5.0,
@@ -225,6 +442,75 @@ def build_parser() -> argparse.ArgumentParser:
     advise.add_argument("--show-plan", action="store_true",
                         help="print the full node-to-instance mapping")
     advise.set_defaults(handler=command_advise)
+
+    make_problem = subparsers.add_parser(
+        "make-problem",
+        help="allocate + measure, then write a DeploymentProblem JSON")
+    add_common(make_problem)
+    make_problem.add_argument("--template", default="mesh",
+                              choices=sorted(TEMPLATE_DESCRIPTIONS),
+                              help="communication graph template")
+    make_problem.add_argument("--rows", type=int, default=4)
+    make_problem.add_argument("--cols", type=int, default=5)
+    make_problem.add_argument("--depth", type=int, default=2)
+    make_problem.add_argument("--branching", type=int, default=3)
+    make_problem.add_argument("--frontends", type=int, default=4)
+    make_problem.add_argument("--storage", type=int, default=12)
+    make_problem.add_argument("--nodes", type=int, default=8)
+    make_problem.add_argument("--dimension", type=int, default=3)
+    make_problem.add_argument("--objective", default=Objective.LONGEST_LINK.value,
+                              choices=[objective.value for objective in Objective])
+    make_problem.add_argument("--metric", default=LatencyMetric.MEAN.value,
+                              choices=[metric.value for metric in LatencyMetric])
+    make_problem.add_argument("--over-allocation", type=float, default=0.10,
+                              help="fraction of extra instances to allocate")
+    make_problem.add_argument("--out", required=True,
+                              help="path of the problem JSON to write")
+    make_problem.set_defaults(handler=command_make_problem)
+
+    solve = subparsers.add_parser(
+        "solve", help="solve a serialized DeploymentProblem JSON")
+    solve.add_argument("--problem", required=True,
+                       help="path of the problem JSON to solve")
+    solve.add_argument("--solver", default="auto", choices=solver_choices())
+    solve.add_argument("--seed", type=int, default=None, help="random seed")
+    solve.add_argument("--time-limit", type=float, default=5.0,
+                       help="solver time limit in seconds "
+                            "(0 = solver default budget)")
+    solve.add_argument("--solver-config", default=None,
+                       help="extra solver config as a JSON object")
+    solve.add_argument("--out", default=None,
+                       help="path of the response JSON to write")
+    solve.set_defaults(handler=command_solve)
+
+    solve_batch = subparsers.add_parser(
+        "solve-batch",
+        help="run a batch of serialized solve requests in one session")
+    solve_batch.add_argument("--requests", default=None,
+                             help="JSON file with a list of solve requests "
+                                  "(or {'requests': [...]})")
+    solve_batch.add_argument("--problem", action="append", default=None,
+                             help="problem JSON to solve with the shared "
+                                  "--solver/--seed (repeatable)")
+    solve_batch.add_argument("--solver", default="auto",
+                             choices=solver_choices())
+    solve_batch.add_argument("--seed", type=int, default=None)
+    solve_batch.add_argument("--time-limit", type=float, default=5.0,
+                             help="solver time limit for requests built "
+                                  "from --problem flags, in seconds "
+                                  "(0 = solver default budget); --requests "
+                                  "entries keep their own budgets")
+    solve_batch.add_argument("--workers", type=int, default=None,
+                             help="worker threads (default: sequential, "
+                                  "which keeps wall-clock solver budgets "
+                                  "reproducible)")
+    solve_batch.add_argument("--out", default=None,
+                             help="path of the responses JSON to write")
+    solve_batch.set_defaults(handler=command_solve_batch)
+
+    solvers = subparsers.add_parser("solvers",
+                                    help="list the registered solvers")
+    solvers.set_defaults(handler=command_solvers)
 
     measure = subparsers.add_parser("measure",
                                     help="measure pairwise latencies on a fresh allocation")
@@ -248,7 +534,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except (ClouDiAError, ValueError, TypeError, OSError) as exc:
+        # The library's own failures plus the boundary errors the JSON
+        # commands can hit (malformed --solver-config, missing files,
+        # mistyped config values) all exit cleanly instead of tracebacking.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -21,6 +21,11 @@ from .errors import (
     MeasurementError,
     SolverError,
 )
+from .problem import (
+    PROBLEM_SCHEMA_VERSION,
+    DeploymentProblem,
+    PlacementConstraints,
+)
 from .objectives import (
     CriticalElement,
     Objective,
@@ -43,6 +48,7 @@ __all__ = [
     "CriticalElement",
     "DeltaEvaluator",
     "DeploymentPlan",
+    "DeploymentProblem",
     "IndexedPlan",
     "InfeasibleProblemError",
     "InvalidCostMatrixError",
@@ -51,6 +57,8 @@ __all__ = [
     "LatencyMetric",
     "MeasurementError",
     "Objective",
+    "PROBLEM_SCHEMA_VERSION",
+    "PlacementConstraints",
     "SolverError",
     "augment_with_dummy_nodes",
     "cluster_costs",

@@ -17,7 +17,7 @@ costs and timing information.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 from ..cloud.provider import SimulatedCloud
 from ..netmeasure.estimator import MeasurementResult
@@ -25,14 +25,13 @@ from ..netmeasure.staged import StagedMeasurement
 from ..netmeasure.token_passing import TokenPassingMeasurement
 from ..netmeasure.uncoordinated import UncoordinatedMeasurement
 from ..solvers.base import DeploymentSolver, SearchBudget, SolverResult, default_plan
-from ..solvers.cp.llndp_cp import CPLongestLinkSolver
-from ..solvers.mip.lpndp_mip import MIPLongestPathSolver
-from ..solvers.random_search import RandomSearch
+from ..solvers.registry import default_registry
 from .communication_graph import CommunicationGraph
 from .cost_matrix import CostMatrix, LatencyMetric
 from .deployment import DeploymentPlan
 from .errors import AllocationError, ClouDiAError
 from .objectives import Objective, deployment_cost, improvement_ratio
+from .problem import DeploymentProblem, PlacementConstraints
 from .types import InstanceId
 
 
@@ -76,10 +75,20 @@ class AdvisorConfig:
         over_allocation_ratio: fraction of extra instances to allocate beyond
             the number of application nodes (the paper uses 10 %).
         metric: latency metric used to summarise probe samples into costs.
-        solver: deployment solver; when ``None``, CP is used for longest link
-            and the MIP branch and bound for longest path, as in the paper.
+        solver: deployment solver — either an instantiated
+            :class:`~repro.solvers.base.DeploymentSolver`, a registry key
+            string (resolved through
+            :data:`~repro.solvers.registry.default_registry` together with
+            ``solver_config``), or ``None`` for the paper default of the
+            objective (CP for longest link, MIP branch and bound for
+            longest path).
+        solver_config: configuration passed to the registry when ``solver``
+            is a string key or ``None``; the seed is filled in from
+            ``seed`` when the solver accepts one and the config does not
+            set it.
         solver_time_limit_s: time budget handed to the solver.
         measurement: measurement configuration.
+        constraints: optional placement constraints applied to the search.
         terminate_unused: whether to terminate the over-allocated instances
             the plan does not use (step 4 of Fig. 3).  Experiments that still
             need to evaluate the *default* deployment afterwards set this to
@@ -90,21 +99,37 @@ class AdvisorConfig:
     objective: Objective = Objective.LONGEST_LINK
     over_allocation_ratio: float = 0.10
     metric: LatencyMetric = LatencyMetric.MEAN
-    solver: Optional[DeploymentSolver] = None
+    solver: Optional[DeploymentSolver | str] = None
+    solver_config: Mapping[str, object] = field(default_factory=dict)
     solver_time_limit_s: float = 5.0
     measurement: MeasurementConfig = field(default_factory=MeasurementConfig)
+    constraints: Optional[PlacementConstraints] = None
     terminate_unused: bool = True
     seed: Optional[int] = None
 
+    def __post_init__(self) -> None:
+        # Detected here rather than at search time: an advisor run pays for
+        # allocation and measurement before it ever builds the solver, so a
+        # statically-detectable misconfiguration must not survive that long.
+        if isinstance(self.solver, DeploymentSolver) and self.solver_config:
+            raise ValueError(
+                "solver_config has no effect when solver is an instantiated "
+                "DeploymentSolver; configure the instance directly or pass "
+                "a registry key instead"
+            )
+
     def build_solver(self) -> DeploymentSolver:
-        """Instantiate the configured (or default) solver."""
-        if self.solver is not None:
+        """Instantiate the configured (or default) solver via the registry.
+
+        ``solver=None`` and ``solver="auto"`` both resolve to the paper
+        default for the configured objective.
+        """
+        if isinstance(self.solver, DeploymentSolver):
             return self.solver
-        if self.objective is Objective.LONGEST_LINK:
-            return CPLongestLinkSolver(seed=self.seed)
-        if self.objective is Objective.LONGEST_PATH:
-            return MIPLongestPathSolver(backend="bnb")
-        return RandomSearch(seed=self.seed)
+        key = default_registry.resolve(self.solver, self.objective)
+        config = default_registry.seeded_config(key, self.seed,
+                                                self.solver_config)
+        return default_registry.make(key, **config)
 
 
 @dataclass(frozen=True)
@@ -165,20 +190,8 @@ class ClouDiA:
             An :class:`AdvisorReport`; the over-allocated instances the plan
             does not use have already been terminated.
         """
-        num_nodes = graph.num_nodes
-        desired = int(round((1.0 + self.config.over_allocation_ratio) * num_nodes))
-        desired = max(desired, num_nodes)
-        if max_instances is not None:
-            if max_instances < num_nodes:
-                raise AllocationError(
-                    f"max_instances={max_instances} is below the number of "
-                    f"application nodes ({num_nodes})"
-                )
-            desired = min(desired, max_instances)
-
-        instances = self.cloud.allocate(desired)
-        instance_ids = [instance.instance_id for instance in instances]
-        return self.recommend_on_instances(graph, instance_ids)
+        return self.recommend_on_instances(graph,
+                                           self.allocate(graph, max_instances))
 
     def recommend_on_instances(self, graph: CommunicationGraph,
                                instance_ids: Sequence[InstanceId]) -> AdvisorReport:
@@ -217,6 +230,27 @@ class ClouDiA:
     # Individual pipeline stages (also usable on their own)
     # ------------------------------------------------------------------ #
 
+    def allocate(self, graph: CommunicationGraph,
+                 max_instances: int | None = None) -> List[InstanceId]:
+        """Stage 1 of Fig. 3: allocate instances with over-allocation.
+
+        The single implementation of the over-allocation sizing policy —
+        the CLI's ``make-problem`` command reuses it so the sizing cannot
+        drift from :meth:`recommend`.
+        """
+        num_nodes = graph.num_nodes
+        desired = int(round((1.0 + self.config.over_allocation_ratio) * num_nodes))
+        desired = max(desired, num_nodes)
+        if max_instances is not None:
+            if max_instances < num_nodes:
+                raise AllocationError(
+                    f"max_instances={max_instances} is below the number of "
+                    f"application nodes ({num_nodes})"
+                )
+            desired = min(desired, max_instances)
+        return [instance.instance_id
+                for instance in self.cloud.allocate(desired)]
+
     def measure(self, instance_ids: Sequence[InstanceId]) -> MeasurementResult:
         """Stage 2 of Fig. 3: measure pairwise latencies."""
         scheme = self.config.measurement.build_scheme(seed=self.config.seed)
@@ -228,7 +262,10 @@ class ClouDiA:
 
     def search(self, graph: CommunicationGraph, costs: CostMatrix) -> SolverResult:
         """Stage 3 of Fig. 3: search for a low-cost deployment plan."""
+        problem = DeploymentProblem(
+            graph, costs, objective=self.config.objective,
+            constraints=self.config.constraints,
+        )
         solver = self.config.build_solver()
         budget = SearchBudget.seconds(self.config.solver_time_limit_s)
-        return solver.solve(graph, costs, objective=self.config.objective,
-                            budget=budget)
+        return solver.solve(problem, budget=budget)

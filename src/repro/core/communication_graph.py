@@ -173,6 +173,33 @@ class CommunicationGraph:
         edges = [(mapping[i], mapping[j]) for i, j in self._edges]
         return CommunicationGraph(nodes, edges)
 
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, List]:
+        """JSON-serializable representation (nodes and directed edges)."""
+        return {
+            "nodes": list(self._nodes),
+            "edges": [[i, j] for i, j in self._edges],
+        }
+
+    @classmethod
+    def from_dict(cls, payload) -> "CommunicationGraph":
+        """Rebuild a graph from :meth:`to_dict` output.
+
+        Node and edge order are preserved exactly, so a round-tripped graph
+        compiles to the same index arrays as the original.
+        """
+        try:
+            nodes = payload["nodes"]
+            edges = payload["edges"]
+        except (KeyError, TypeError) as exc:
+            raise InvalidGraphError(
+                "graph payload must contain 'nodes' and 'edges'"
+            ) from exc
+        return cls(nodes, [(i, j) for i, j in edges])
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, CommunicationGraph):
             return NotImplemented

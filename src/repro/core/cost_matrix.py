@@ -216,6 +216,35 @@ class CostMatrix:
         return np.unique(values)
 
     # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, list]:
+        """JSON-serializable representation.
+
+        Costs are emitted as plain Python floats; ``json`` round-trips
+        float64 values exactly (``repr`` produces the shortest string that
+        parses back to the same bits), so a serialized matrix reproduces
+        bit-identical deployment costs.
+        """
+        return {
+            "instance_ids": list(self._ids),
+            "matrix": self._matrix.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload) -> "CostMatrix":
+        """Rebuild a matrix from :meth:`to_dict` output."""
+        try:
+            ids = payload["instance_ids"]
+            matrix = payload["matrix"]
+        except (KeyError, TypeError) as exc:
+            raise InvalidCostMatrixError(
+                "cost matrix payload must contain 'instance_ids' and 'matrix'"
+            ) from exc
+        return cls(ids, np.asarray(matrix, dtype=float))
+
+    # ------------------------------------------------------------------ #
     # Transformations
     # ------------------------------------------------------------------ #
 

@@ -135,6 +135,32 @@ class DeploymentPlan:
         return all(node in self._mapping for node in graph.nodes)
 
     # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, List]:
+        """JSON-serializable representation.
+
+        The mapping is emitted as a list of ``[node, instance]`` pairs (JSON
+        objects cannot have integer keys) in insertion order.
+        """
+        return {
+            "assignments": [[node, instance]
+                            for node, instance in self._mapping.items()],
+        }
+
+    @classmethod
+    def from_dict(cls, payload) -> "DeploymentPlan":
+        """Rebuild a plan from :meth:`to_dict` output."""
+        try:
+            assignments = payload["assignments"]
+        except (KeyError, TypeError) as exc:
+            raise InvalidDeploymentError(
+                "deployment plan payload must contain 'assignments'"
+            ) from exc
+        return cls({node: instance for node, instance in assignments})
+
+    # ------------------------------------------------------------------ #
     # Derived plans
     # ------------------------------------------------------------------ #
 
@@ -172,3 +198,16 @@ class DeploymentPlan:
 
     def __repr__(self) -> str:
         return f"DeploymentPlan(nodes={self.num_nodes})"
+
+
+def provider_order_plan(nodes: Sequence[NodeId],
+                        instance_ids: Sequence[InstanceId]) -> DeploymentPlan:
+    """The *default deployment*: nodes mapped to instances in provider order.
+
+    This is the baseline every experiment in Sect. 6.4 compares against —
+    the tenant simply uses instances in the order the cloud returned them.
+    Single definition shared by :func:`repro.solvers.base.default_plan` and
+    :meth:`repro.core.problem.DeploymentProblem.default_plan`.
+    """
+    nodes = list(nodes)
+    return DeploymentPlan.identity(nodes, list(instance_ids)[: len(nodes)])

@@ -25,6 +25,13 @@ from .mip import (
 )
 from .portfolio import PortfolioSolver
 from .random_search import RandomSearch
+from .registry import (
+    SolverConfigError,
+    SolverRegistry,
+    SolverSpec,
+    UnknownSolverError,
+    default_registry,
+)
 
 __all__ = [
     "CPLongestLinkSolver",
@@ -41,11 +48,16 @@ __all__ = [
     "SearchBudget",
     "SearchOutcome",
     "SimulatedAnnealing",
+    "SolverConfigError",
+    "SolverRegistry",
     "SolverResult",
+    "SolverSpec",
     "Stopwatch",
     "SubgraphMonomorphismSearch",
     "SwapLocalSearch",
+    "UnknownSolverError",
     "best_random_plan",
     "default_plan",
+    "default_registry",
     "random_plans",
 ]

@@ -1,29 +1,45 @@
 """Common interfaces shared by all node-deployment solvers.
 
-A solver receives a communication graph, a cost matrix over allocated
-instances and an objective, and returns a :class:`SolverResult` containing
-the best deployment plan found, the plan's cost, a convergence trace and
-whether optimality was proven.  Solvers respect a :class:`SearchBudget`
-(time limit and/or iteration limit) so the benchmarks can compare them under
-equal conditions, as the paper does (Sect. 6.5).
+A solver receives a :class:`~repro.core.problem.DeploymentProblem` (graph +
+costs + objective + optional placement constraints) and returns a
+:class:`SolverResult` containing the best deployment plan found, the plan's
+cost, a convergence trace and whether optimality was proven.  Solvers
+respect a :class:`SearchBudget` (time limit and/or iteration limit) so the
+benchmarks can compare them under equal conditions, as the paper does
+(Sect. 6.5).
+
+The public entry point is :meth:`DeploymentSolver.solve`, which takes the
+problem object; the historical ``solve(graph, costs, objective=...)``
+positional form is still accepted through a deprecation shim that wraps the
+arguments into a problem and warns.
 """
 
 from __future__ import annotations
 
 import abc
 import time
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from ..core.communication_graph import CommunicationGraph
 from ..core.cost_matrix import CostMatrix
-from ..core.deployment import DeploymentPlan
-from ..core.errors import InfeasibleProblemError, SolverError
+from ..core.deployment import DeploymentPlan, provider_order_plan
+from ..core.errors import SolverError
 from ..core.evaluation import CompiledProblem, compile_problem
 from ..core.objectives import Objective
+from ..core.problem import DeploymentProblem
 from ..core.types import make_rng
+
+#: Message of the deprecation warning emitted by the legacy ``solve`` form;
+#: the pytest configuration filters on its prefix to keep tier-1 clean.
+_LEGACY_SOLVE_MESSAGE = (
+    "Passing (graph, costs, objective) to DeploymentSolver.solve() is "
+    "deprecated; construct a DeploymentProblem and call "
+    "solve(problem, budget=..., initial_plan=...) instead"
+)
 
 
 @dataclass(frozen=True)
@@ -50,6 +66,28 @@ class SearchBudget:
     def seconds(cls, seconds: float) -> "SearchBudget":
         """A pure time budget."""
         return cls(time_limit_s=seconds)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable representation."""
+        return {
+            "time_limit_s": self.time_limit_s,
+            "max_iterations": self.max_iterations,
+            "target_cost": self.target_cost,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SearchBudget":
+        """Rebuild a budget from :meth:`to_dict` output."""
+        if not isinstance(payload, Mapping):
+            raise SolverError(
+                f"search budget payload must be a JSON object, got "
+                f"{type(payload).__name__}"
+            )
+        return cls(
+            time_limit_s=payload.get("time_limit_s"),
+            max_iterations=payload.get("max_iterations"),
+            target_cost=payload.get("target_cost"),
+        )
 
 
 class Stopwatch:
@@ -122,14 +160,66 @@ class SolverResult:
     lower_bound: Optional[float] = None
 
     def improvement_over(self, baseline_cost: float) -> float:
-        """Relative improvement of this result over a baseline cost."""
+        """Relative improvement of this result over a baseline cost.
+
+        Raises:
+            ValueError: if ``baseline_cost`` is zero or negative.  A
+                non-positive baseline makes the ratio meaningless, and the
+                old convention of returning ``0.0`` silently hid
+                regressions against degenerate baselines.
+        """
         if baseline_cost <= 0:
-            return 0.0
+            raise ValueError(
+                f"baseline_cost must be positive, got {baseline_cost!r}"
+            )
         return max(0.0, (baseline_cost - self.cost) / baseline_cost)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable representation (plan included)."""
+        return {
+            "plan": self.plan.to_dict(),
+            "cost": self.cost,
+            "objective": self.objective.value,
+            "solver_name": self.solver_name,
+            "solve_time_s": self.solve_time_s,
+            "iterations": self.iterations,
+            "optimal": self.optimal,
+            "trace": [[when, cost] for when, cost in self.trace],
+            "lower_bound": self.lower_bound,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SolverResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        try:
+            return cls(
+                plan=DeploymentPlan.from_dict(payload["plan"]),
+                cost=payload["cost"],
+                objective=Objective(payload["objective"]),
+                solver_name=payload["solver_name"],
+                solve_time_s=payload["solve_time_s"],
+                iterations=payload["iterations"],
+                optimal=payload["optimal"],
+                trace=tuple((when, cost)
+                            for when, cost in payload.get("trace", [])),
+                lower_bound=payload.get("lower_bound"),
+            )
+        except (KeyError, TypeError) as exc:
+            raise SolverError(
+                f"malformed solver result payload: {exc}"
+            ) from exc
 
 
 class DeploymentSolver(abc.ABC):
-    """Base class for all node-deployment solvers."""
+    """Base class for all node-deployment solvers.
+
+    Subclasses implement :meth:`_solve`, which receives a validated
+    :class:`~repro.core.problem.DeploymentProblem`.  The public
+    :meth:`solve` entry point normalises arguments (including the
+    deprecated ``solve(graph, costs, objective=...)`` form), checks that
+    the solver supports the problem's objective, and enforces placement
+    constraints on the returned plan.
+    """
 
     #: Human-readable solver name used in results and benchmark output.
     name: str = "solver"
@@ -140,17 +230,21 @@ class DeploymentSolver(abc.ABC):
         Objective.LONGEST_PATH,
     )
 
-    def check_problem(self, graph: CommunicationGraph, costs: CostMatrix,
-                      objective: Objective) -> None:
-        """Validate a problem instance before solving it."""
-        if objective not in self.supported_objectives:
+    #: Objective assumed by the deprecated positional ``solve`` form when
+    #: the caller does not name one.
+    default_objective: Objective = Objective.LONGEST_LINK
+
+    def check_problem(self, problem: DeploymentProblem) -> None:
+        """Validate that this solver can work on ``problem``.
+
+        Feasibility (enough instances, acyclicity for longest path) is
+        already guaranteed by :class:`DeploymentProblem` itself; this check
+        only adds the solver-specific objective capability.
+        """
+        if problem.objective not in self.supported_objectives:
             raise SolverError(
-                f"{self.name} does not support objective {objective.value}"
-            )
-        if costs.num_instances < graph.num_nodes:
-            raise InfeasibleProblemError(
-                f"{graph.num_nodes} application nodes cannot be deployed on "
-                f"{costs.num_instances} instances"
+                f"{self.name} does not support objective "
+                f"{problem.objective.value}"
             )
 
     def compiled(self, graph: CommunicationGraph,
@@ -163,23 +257,70 @@ class DeploymentSolver(abc.ABC):
         """
         return compile_problem(graph, costs)
 
-    @abc.abstractmethod
-    def solve(self, graph: CommunicationGraph, costs: CostMatrix,
-              objective: Objective = Objective.LONGEST_LINK,
+    def solve(self, problem: DeploymentProblem | CommunicationGraph,
+              costs: CostMatrix | None = None,
+              objective: Objective | None = None,
               budget: SearchBudget | None = None,
               initial_plan: DeploymentPlan | None = None) -> SolverResult:
         """Search for a low-cost deployment plan.
 
         Args:
-            graph: the application communication graph.
-            costs: pairwise communication costs over allocated instances.
-            objective: which deployment cost function to minimise.
+            problem: the deployment problem to solve.  Passing a
+                :class:`~repro.core.communication_graph.CommunicationGraph`
+                here (with ``costs`` and optionally ``objective``) is the
+                deprecated legacy form; it still works but emits a
+                :class:`DeprecationWarning`.
+            costs: legacy form only — pairwise costs over instances.
+            objective: legacy form only — the cost function to minimise.
             budget: optional time / iteration limits.
             initial_plan: optional warm-start plan.
 
         Returns:
             The best plan found, its cost, and bookkeeping information.
+            When the problem carries placement constraints, the returned
+            plan is repaired to satisfy them and re-scored (``optimal`` is
+            cleared if the repair changed the plan).
         """
+        if isinstance(problem, DeploymentProblem):
+            if costs is not None or objective is not None:
+                raise TypeError(
+                    "solve(problem, ...) does not accept costs/objective; "
+                    "they are part of the DeploymentProblem"
+                )
+        else:
+            warnings.warn(_LEGACY_SOLVE_MESSAGE, DeprecationWarning,
+                          stacklevel=2)
+            if costs is None:
+                raise TypeError(
+                    "legacy solve(graph, costs, ...) form requires a cost "
+                    "matrix as the second argument"
+                )
+            chosen = objective if objective is not None else self.default_objective
+            if chosen not in self.supported_objectives:
+                raise SolverError(
+                    f"{self.name} does not support objective {chosen.value}"
+                )
+            problem = DeploymentProblem(problem, costs, objective=chosen)
+        self.check_problem(problem)
+        result = self._solve(problem, budget=budget, initial_plan=initial_plan)
+        constraints = problem.constraints
+        if constraints is not None and not constraints.satisfied_by(result.plan):
+            plan = constraints.repair(result.plan, problem.costs.instance_ids)
+            cost = problem.evaluate(plan)
+            trace = result.trace
+            if trace and cost > trace[-1][1]:
+                # The repaired plan is the one actually returned; close the
+                # convergence trace with its honest (possibly worse) cost.
+                trace = trace + ((result.solve_time_s, cost),)
+            result = replace(result, plan=plan, cost=cost, optimal=False,
+                             trace=trace)
+        return result
+
+    @abc.abstractmethod
+    def _solve(self, problem: DeploymentProblem,
+               budget: SearchBudget | None = None,
+               initial_plan: DeploymentPlan | None = None) -> SolverResult:
+        """Solver-specific search over a validated problem instance."""
 
 
 def random_plans(graph: CommunicationGraph, costs: CostMatrix, count: int,
@@ -219,5 +360,4 @@ def default_plan(graph: CommunicationGraph, costs: CostMatrix) -> DeploymentPlan
 
     This is the baseline every experiment in Sect. 6.4 compares against.
     """
-    instances: Sequence[int] = costs.instance_ids[: graph.num_nodes]
-    return DeploymentPlan.identity(graph.nodes, instances)
+    return provider_order_plan(graph.nodes, costs.instance_ids)

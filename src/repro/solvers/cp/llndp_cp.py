@@ -28,11 +28,10 @@ from typing import Optional
 
 import numpy as np
 
-from ...core.communication_graph import CommunicationGraph
-from ...core.cost_matrix import CostMatrix
 from ...core.deployment import DeploymentPlan
 from ...core.evaluation import compile_problem
 from ...core.objectives import Objective, deployment_cost
+from ...core.problem import DeploymentProblem
 from ...core.types import make_rng
 from ..base import (
     ConvergenceTrace,
@@ -83,12 +82,11 @@ class CPLongestLinkSolver(DeploymentSolver):
         self._seed = seed
         self.use_engine = use_engine
 
-    def solve(self, graph: CommunicationGraph, costs: CostMatrix,
-              objective: Objective = Objective.LONGEST_LINK,
-              budget: SearchBudget | None = None,
-              initial_plan: DeploymentPlan | None = None) -> SolverResult:
+    def _solve(self, problem: DeploymentProblem,
+               budget: SearchBudget | None = None,
+               initial_plan: DeploymentPlan | None = None) -> SolverResult:
+        graph, costs, objective = problem.graph, problem.costs, problem.objective
         budget = budget or SearchBudget.seconds(30.0)
-        self.check_problem(graph, costs, objective)
         watch = Stopwatch(budget)
         trace = ConvergenceTrace()
         rng = make_rng(self._seed)

@@ -31,7 +31,7 @@ from ..core.cost_matrix import CostMatrix
 from ..core.deployment import DeploymentPlan
 from ..core.errors import SolverError
 from ..core.evaluation import CompiledProblem, compile_problem
-from ..core.objectives import Objective
+from ..core.problem import DeploymentProblem
 from ..core.types import InstanceId, NodeId
 from .base import DeploymentSolver, SearchBudget, SolverResult, Stopwatch
 
@@ -135,22 +135,21 @@ class GreedyG1(DeploymentSolver):
 
     name = "G1"
 
-    def solve(self, graph: CommunicationGraph, costs: CostMatrix,
-              objective: Objective = Objective.LONGEST_LINK,
-              budget: SearchBudget | None = None,
-              initial_plan: DeploymentPlan | None = None) -> SolverResult:
+    def _solve(self, problem: DeploymentProblem,
+               budget: SearchBudget | None = None,
+               initial_plan: DeploymentPlan | None = None) -> SolverResult:
+        graph, costs, objective = problem.graph, problem.costs, problem.objective
         budget = budget or SearchBudget.unlimited()
-        self.check_problem(graph, costs, objective)
         watch = Stopwatch(budget)
-        problem = self.compiled(graph, costs)
-        state = _GreedyState(graph, costs, problem)
+        engine = self.compiled(graph, costs)
+        state = _GreedyState(graph, costs, engine)
         _seed_state(state)
         iterations = 0
 
         while not state.finished():
             iterations += 1
             frontier = state.frontier_instances()
-            best = _cheapest_link(problem, frontier, state.unused_instances)
+            best = _cheapest_link(engine, frontier, state.unused_instances)
             if best is None:
                 # Disconnected remainder: start a new component.
                 _seed_state(state)
@@ -161,7 +160,7 @@ class GreedyG1(DeploymentSolver):
             state.assign(w, v_min)
 
         plan = state.plan()
-        cost = problem.evaluate_plan(plan, objective)
+        cost = engine.evaluate_plan(plan, objective)
         return SolverResult(
             plan=plan, cost=cost, objective=objective, solver_name=self.name,
             solve_time_s=watch.elapsed(), iterations=iterations, optimal=False,
@@ -174,15 +173,14 @@ class GreedyG2(DeploymentSolver):
 
     name = "G2"
 
-    def solve(self, graph: CommunicationGraph, costs: CostMatrix,
-              objective: Objective = Objective.LONGEST_LINK,
-              budget: SearchBudget | None = None,
-              initial_plan: DeploymentPlan | None = None) -> SolverResult:
+    def _solve(self, problem: DeploymentProblem,
+               budget: SearchBudget | None = None,
+               initial_plan: DeploymentPlan | None = None) -> SolverResult:
+        graph, costs, objective = problem.graph, problem.costs, problem.objective
         budget = budget or SearchBudget.unlimited()
-        self.check_problem(graph, costs, objective)
         watch = Stopwatch(budget)
-        problem = self.compiled(graph, costs)
-        state = _GreedyState(graph, costs, problem)
+        engine = self.compiled(graph, costs)
+        state = _GreedyState(graph, costs, engine)
         _seed_state(state)
         iterations = 0
 
@@ -196,7 +194,7 @@ class GreedyG2(DeploymentSolver):
             state.assign(w_min, v_min)
 
         plan = state.plan()
-        cost = problem.evaluate_plan(plan, objective)
+        cost = engine.evaluate_plan(plan, objective)
         return SolverResult(
             plan=plan, cost=cost, objective=objective, solver_name=self.name,
             solve_time_s=watch.elapsed(), iterations=iterations, optimal=False,

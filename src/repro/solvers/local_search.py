@@ -20,11 +20,9 @@ from __future__ import annotations
 import math
 from typing import Optional, Tuple
 
-from ..core.communication_graph import CommunicationGraph
-from ..core.cost_matrix import CostMatrix
 from ..core.deployment import DeploymentPlan
 from ..core.evaluation import DeltaEvaluator
-from ..core.objectives import Objective
+from ..core.problem import DeploymentProblem
 from ..core.types import make_rng
 from .base import (
     ConvergenceTrace,
@@ -93,20 +91,19 @@ class SwapLocalSearch(DeploymentSolver):
         self.max_moves_without_improvement = max_moves_without_improvement
         self._seed = seed
 
-    def solve(self, graph: CommunicationGraph, costs: CostMatrix,
-              objective: Objective = Objective.LONGEST_LINK,
-              budget: SearchBudget | None = None,
-              initial_plan: DeploymentPlan | None = None) -> SolverResult:
+    def _solve(self, problem: DeploymentProblem,
+               budget: SearchBudget | None = None,
+               initial_plan: DeploymentPlan | None = None) -> SolverResult:
+        graph, costs, objective = problem.graph, problem.costs, problem.objective
         budget = budget or SearchBudget.seconds(2.0)
-        self.check_problem(graph, costs, objective)
         rng = make_rng(self._seed)
         watch = Stopwatch(budget)
         trace = ConvergenceTrace()
-        problem = self.compiled(graph, costs)
+        engine = self.compiled(graph, costs)
 
         best_plan: Optional[DeploymentPlan] = initial_plan
         best_cost = (
-            problem.evaluate_plan(initial_plan, objective)
+            engine.evaluate_plan(initial_plan, objective)
             if initial_plan is not None else float("inf")
         )
         iterations = 0
@@ -119,7 +116,7 @@ class SwapLocalSearch(DeploymentSolver):
             else:
                 plan, cost = best_random_plan(graph, costs, objective, 10, rng)
             trace.record(watch.elapsed(), min(cost, best_cost if best_plan else cost))
-            evaluator = problem.delta_evaluator(plan, objective)
+            evaluator = engine.delta_evaluator(plan, objective)
 
             stall = 0
             while stall < self.max_moves_without_improvement and not watch.expired():
@@ -175,23 +172,22 @@ class SimulatedAnnealing(DeploymentSolver):
         self.cooling = cooling
         self._seed = seed
 
-    def solve(self, graph: CommunicationGraph, costs: CostMatrix,
-              objective: Objective = Objective.LONGEST_LINK,
-              budget: SearchBudget | None = None,
-              initial_plan: DeploymentPlan | None = None) -> SolverResult:
+    def _solve(self, problem: DeploymentProblem,
+               budget: SearchBudget | None = None,
+               initial_plan: DeploymentPlan | None = None) -> SolverResult:
+        graph, costs, objective = problem.graph, problem.costs, problem.objective
         budget = budget or SearchBudget.seconds(2.0)
-        self.check_problem(graph, costs, objective)
         rng = make_rng(self._seed)
         watch = Stopwatch(budget)
         trace = ConvergenceTrace()
-        problem = self.compiled(graph, costs)
+        engine = self.compiled(graph, costs)
 
         if initial_plan is not None:
             plan = initial_plan
-            cost = problem.evaluate_plan(plan, objective)
+            cost = engine.evaluate_plan(plan, objective)
         else:
             plan, cost = best_random_plan(graph, costs, objective, 10, rng)
-        evaluator = problem.delta_evaluator(plan, objective)
+        evaluator = engine.delta_evaluator(plan, objective)
         best_plan, best_cost = plan, cost
         trace.record(watch.elapsed(), best_cost)
 

@@ -38,6 +38,26 @@ from .scipy_backend import solve_lp_relaxation
 RoundingCallback = Callable[[np.ndarray], Optional[np.ndarray]]
 
 
+def warm_start_assignment(encoding, plan) -> Dict[int, int]:
+    """Node -> instance-index map realising ``plan`` on a MIP encoding.
+
+    Shared by both deployment encodings (their padded-graph layout is
+    identical): real nodes follow the plan, dummy (padding) nodes take the
+    instance indices the plan leaves unused, so the result satisfies both
+    assignment equality blocks and can be fed to the encoding's
+    ``solution_vector`` as a warm-start incumbent.
+    """
+    index = {instance: j for j, instance in enumerate(encoding.instance_ids)}
+    assignment = {node: index[plan.instance_for(node)]
+                  for node in encoding.graph.nodes}
+    used = set(assignment.values())
+    spare = (j for j in range(encoding.num_instances) if j not in used)
+    for node in encoding.nodes:
+        if node not in assignment:
+            assignment[node] = next(spare)
+    return assignment
+
+
 class DeploymentRounder:
     """Batch primal heuristic over a deployment encoding.
 
@@ -138,8 +158,18 @@ class BranchAndBound:
     # ------------------------------------------------------------------ #
 
     def solve(self, time_limit_s: float | None = None,
-              node_limit: int | None = None) -> BranchAndBoundResult:
-        """Run the search until optimality, the time limit or the node limit."""
+              node_limit: int | None = None,
+              initial_incumbent: np.ndarray | None = None
+              ) -> BranchAndBoundResult:
+        """Run the search until optimality, the time limit or the node limit.
+
+        Args:
+            time_limit_s: wall-clock limit.
+            node_limit: cap on explored nodes.
+            initial_incumbent: optional feasible solution vector installed
+                as the starting incumbent, so bound-based pruning is active
+                from the first node (the paper's warm start, Sect. 6.3.1).
+        """
         start = time.perf_counter()
         deadline = None if time_limit_s is None else start + time_limit_s
         counter = itertools.count()
@@ -177,6 +207,9 @@ class BranchAndBound:
                 consider_rounded(float(costs[0]), assignments[0])
             else:
                 self._try_round(values, consider_incumbent)
+
+        if initial_incumbent is not None:
+            consider_incumbent(initial_incumbent)
 
         root_lp = solve_lp_relaxation(self.model)
         nodes_explored = 0

@@ -26,14 +26,20 @@ from ...core.deployment import DeploymentPlan
 from ...core.errors import InvalidGraphError
 from ...core.evaluation import compile_problem
 from ...core.objectives import Objective, deployment_cost
+from ...core.problem import DeploymentProblem
 from ..base import (
     ConvergenceTrace,
     DeploymentSolver,
     SearchBudget,
     SolverResult,
     Stopwatch,
+    best_random_plan,
 )
-from .branch_and_bound import BranchAndBound, DeploymentRounder
+from .branch_and_bound import (
+    BranchAndBound,
+    DeploymentRounder,
+    warm_start_assignment,
+)
 from .model import MipModel
 from .scipy_backend import solve_milp
 
@@ -178,14 +184,22 @@ class MIPLongestPathSolver(DeploymentSolver):
         use_engine: score branch-and-bound incumbent roundings in batches
             through the compiled evaluation engine (default); ``False``
             keeps the scalar model-scored rounding path as the reference.
+        initial_random_plans: number of random plans drawn to seed the
+            incumbent when ``seed`` is given and no warm start is supplied
+            (the paper seeds its solvers with the best of 10 random
+            deployments, Sect. 6.3.1).
+        seed: RNG seed for the random warm start.  ``None`` (the default)
+            draws no warm start, preserving the historical behaviour.
     """
 
     name = "MIP-LP"
     supported_objectives = (Objective.LONGEST_PATH,)
+    default_objective = Objective.LONGEST_PATH
 
     def __init__(self, backend: str = "bnb", k_clusters: Optional[int] = None,
                  round_to: float | None = 0.01, node_limit: int | None = 5000,
-                 use_engine: bool = True):
+                 use_engine: bool = True, initial_random_plans: int = 10,
+                 seed: int | None = None):
         if backend not in ("bnb", "milp"):
             raise ValueError("backend must be 'bnb' or 'milp'")
         self.backend = backend
@@ -193,15 +207,21 @@ class MIPLongestPathSolver(DeploymentSolver):
         self.round_to = round_to
         self.node_limit = node_limit
         self.use_engine = use_engine
+        self.initial_random_plans = max(1, initial_random_plans)
+        self._seed = seed
 
-    def solve(self, graph: CommunicationGraph, costs: CostMatrix,
-              objective: Objective = Objective.LONGEST_PATH,
-              budget: SearchBudget | None = None,
-              initial_plan: DeploymentPlan | None = None) -> SolverResult:
+    def _solve(self, problem: DeploymentProblem,
+               budget: SearchBudget | None = None,
+               initial_plan: DeploymentPlan | None = None) -> SolverResult:
+        graph, costs, objective = problem.graph, problem.costs, problem.objective
         budget = budget or SearchBudget.seconds(30.0)
-        self.check_problem(graph, costs, objective)
         watch = Stopwatch(budget)
         trace = ConvergenceTrace()
+        if initial_plan is None and self._seed is not None:
+            initial_plan, _ = best_random_plan(
+                graph, costs, objective, self.initial_random_plans,
+                rng=self._seed,
+            )
 
         clustered = costs.clustered(self.k_clusters, round_to=self.round_to) \
             if self.k_clusters is not None else costs
@@ -232,10 +252,15 @@ class MIPLongestPathSolver(DeploymentSolver):
             else:
                 bnb = BranchAndBound(encoding.model,
                                      rounding_callback=encoding.rounding_callback)
+            warm_vector = None
+            if initial_plan is not None:
+                warm_vector = encoding.solution_vector(
+                    warm_start_assignment(encoding, initial_plan))
             result = bnb.solve(time_limit_s=budget.time_limit_s,
                                node_limit=self.node_limit
                                if budget.max_iterations is None
-                               else budget.max_iterations)
+                               else budget.max_iterations,
+                               initial_incumbent=warm_vector)
             solution = result.solution
             optimal = result.proven_optimal
             iterations = result.nodes_explored

@@ -11,10 +11,9 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from ..core.communication_graph import CommunicationGraph
-from ..core.cost_matrix import CostMatrix
 from ..core.deployment import DeploymentPlan
 from ..core.objectives import Objective
+from ..core.problem import DeploymentProblem
 from .base import (
     ConvergenceTrace,
     DeploymentSolver,
@@ -22,9 +21,6 @@ from .base import (
     SolverResult,
     Stopwatch,
 )
-from .cp.llndp_cp import CPLongestLinkSolver
-from .greedy import GreedyG2
-from .mip.lpndp_mip import MIPLongestPathSolver
 from .random_search import RandomSearch
 
 
@@ -51,22 +47,23 @@ class PortfolioSolver(DeploymentSolver):
         self._seed = seed
 
     def _default_members(self, objective: Objective) -> List[DeploymentSolver]:
+        # Imported lazily: the registry module registers this class, so a
+        # module-level import would be circular.
+        from .registry import default_registry
+
         members: List[DeploymentSolver] = [
-            GreedyG2(),
-            RandomSearch(num_samples=200, seed=self._seed),
+            default_registry.make("greedy"),
+            default_registry.make("random", num_samples=200, seed=self._seed),
         ]
-        if objective is Objective.LONGEST_LINK:
-            members.append(CPLongestLinkSolver(seed=self._seed))
-        else:
-            members.append(MIPLongestPathSolver(backend="bnb"))
+        exact_key = default_registry.default_key(objective)
+        members.append(default_registry.make(exact_key, seed=self._seed))
         return members
 
-    def solve(self, graph: CommunicationGraph, costs: CostMatrix,
-              objective: Objective = Objective.LONGEST_LINK,
-              budget: SearchBudget | None = None,
-              initial_plan: DeploymentPlan | None = None) -> SolverResult:
+    def _solve(self, problem: DeploymentProblem,
+               budget: SearchBudget | None = None,
+               initial_plan: DeploymentPlan | None = None) -> SolverResult:
+        graph, costs, objective = problem.graph, problem.costs, problem.objective
         budget = budget or SearchBudget.seconds(10.0)
-        self.check_problem(graph, costs, objective)
         # Lower the instance once before starting the clock on members: the
         # compilation is cached process-wide, so every engine-backed member
         # (greedy, random search, local search) reuses this single lowering.
@@ -99,8 +96,8 @@ class PortfolioSolver(DeploymentSolver):
                 max_iterations=budget.max_iterations,
                 target_cost=budget.target_cost,
             )
-            result = member.solve(graph, costs, objective=objective,
-                                  budget=member_budget, initial_plan=warm_start)
+            result = member.solve(problem, budget=member_budget,
+                                  initial_plan=warm_start)
             iterations += result.iterations
             offset = watch.elapsed() - result.solve_time_s
             for when, cost in result.trace:
@@ -115,7 +112,7 @@ class PortfolioSolver(DeploymentSolver):
 
         if best is None:
             fallback = RandomSearch(num_samples=1, seed=self._seed)
-            best = fallback.solve(graph, costs, objective=objective)
+            best = fallback.solve(problem)
             merged.record(watch.elapsed(), best.cost)
 
         return SolverResult(

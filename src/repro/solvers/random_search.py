@@ -10,10 +10,8 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..core.communication_graph import CommunicationGraph
-from ..core.cost_matrix import CostMatrix
 from ..core.deployment import DeploymentPlan
-from ..core.objectives import Objective
+from ..core.problem import DeploymentProblem
 from ..core.types import make_rng
 from .base import (
     ConvergenceTrace,
@@ -71,12 +69,11 @@ class RandomSearch(DeploymentSolver):
         solver.name = "R2"
         return solver
 
-    def solve(self, graph: CommunicationGraph, costs: CostMatrix,
-              objective: Objective = Objective.LONGEST_LINK,
-              budget: SearchBudget | None = None,
-              initial_plan: DeploymentPlan | None = None) -> SolverResult:
+    def _solve(self, problem: DeploymentProblem,
+               budget: SearchBudget | None = None,
+               initial_plan: DeploymentPlan | None = None) -> SolverResult:
+        graph, costs, objective = problem.graph, problem.costs, problem.objective
         budget = budget or SearchBudget.unlimited()
-        self.check_problem(graph, costs, objective)
         if self.num_samples is None and budget.time_limit_s is None \
                 and budget.max_iterations is None:
             raise ValueError(
@@ -87,11 +84,11 @@ class RandomSearch(DeploymentSolver):
         watch = Stopwatch(budget)
         trace = ConvergenceTrace()
         instances = list(costs.instance_ids)
-        problem = self.compiled(graph, costs)
+        engine = self.compiled(graph, costs)
 
         best_plan = initial_plan
         best_cost = (
-            problem.evaluate_plan(initial_plan, objective)
+            engine.evaluate_plan(initial_plan, objective)
             if initial_plan is not None else float("inf")
         )
         if best_plan is not None:
@@ -120,7 +117,7 @@ class RandomSearch(DeploymentSolver):
                 DeploymentPlan.random(graph.nodes, instances, rng)
                 for _ in range(size)
             ]
-            plan_costs = problem.evaluate_plans(plans, objective)
+            plan_costs = engine.evaluate_plans(plans, objective)
             for plan, cost in zip(plans, plan_costs):
                 iterations += 1
                 if cost < best_cost:
@@ -135,7 +132,7 @@ class RandomSearch(DeploymentSolver):
             # The loop ran zero iterations (e.g. expired budget); fall back to
             # a single random plan so callers always get a feasible result.
             best_plan = DeploymentPlan.random(graph.nodes, instances, rng)
-            best_cost = problem.evaluate_plan(best_plan, objective)
+            best_cost = engine.evaluate_plan(best_plan, objective)
             trace.record(watch.elapsed(), best_cost)
 
         return SolverResult(

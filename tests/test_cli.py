@@ -1,9 +1,12 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
+from repro.api import AdvisorSession, SolveRequest, SolverResponse
 from repro.cli import build_graph, build_parser, build_solver, main
-from repro.core import Objective
+from repro.core import DeploymentProblem
 
 
 class TestParserAndBuilders:
@@ -35,14 +38,14 @@ class TestParserAndBuilders:
         assert cube.num_nodes == 8
 
     def test_build_solver_names(self):
-        assert build_solver("auto", Objective.LONGEST_LINK, 0) is None
-        assert build_solver("cp", Objective.LONGEST_LINK, 0).name == "CP"
-        assert build_solver("mip", Objective.LONGEST_PATH, 0).name == "MIP-LP"
-        assert build_solver("greedy", Objective.LONGEST_LINK, 0).name == "G2"
-        assert build_solver("random", Objective.LONGEST_LINK, 0).name == "R2"
-        assert build_solver("portfolio", Objective.LONGEST_LINK, 0).name == "portfolio"
+        assert build_solver("auto", 0) is None
+        assert build_solver("cp", 0).name == "CP"
+        assert build_solver("mip", 0).name == "MIP-LP"
+        assert build_solver("greedy", 0).name == "G2"
+        assert build_solver("random", 0).name == "R2"
+        assert build_solver("portfolio", 0).name == "portfolio"
         with pytest.raises(SystemExit):
-            build_solver("cplex", Objective.LONGEST_LINK, 0)
+            build_solver("cplex", 0)
 
 
 class TestCommands:
@@ -84,3 +87,231 @@ class TestCommands:
         assert exit_code == 0
         output = capsys.readouterr().out
         assert "longest_path" in output
+
+    def test_solvers_command_lists_registry(self, capsys):
+        assert main(["solvers"]) == 0
+        output = capsys.readouterr().out
+        for key in ("cp", "mip", "greedy", "portfolio"):
+            assert key in output
+
+
+class TestJsonWorkflow:
+    """The serialized problem -> solve -> response pipeline."""
+
+    @pytest.fixture
+    def problem_path(self, tmp_path):
+        path = tmp_path / "problem.json"
+        exit_code = main([
+            "make-problem", "--template", "mesh", "--rows", "3", "--cols", "3",
+            "--seed", "0", "--samples", "4", "--out", str(path),
+        ])
+        assert exit_code == 0
+        return path
+
+    def test_make_problem_writes_valid_problem(self, problem_path):
+        problem = DeploymentProblem.from_dict(
+            json.loads(problem_path.read_text()))
+        assert problem.num_nodes == 9
+        assert problem.num_instances == 10
+        assert problem.metadata["template"] == "mesh"
+        assert problem.metadata["provider"] == "ec2"
+
+    def test_solve_writes_valid_response(self, problem_path, tmp_path, capsys):
+        out = tmp_path / "response.json"
+        exit_code = main([
+            "solve", "--problem", str(problem_path), "--solver", "greedy",
+            "--seed", "0", "--time-limit", "1", "--out", str(out),
+        ])
+        assert exit_code == 0
+        response = SolverResponse.from_dict(json.loads(out.read_text()))
+        assert response.ok
+        assert response.solver == "greedy"
+        problem = DeploymentProblem.from_dict(
+            json.loads(problem_path.read_text()))
+        assert response.plan.covers(problem.graph)
+        assert "solver response" in capsys.readouterr().out
+
+    def test_cli_solve_bit_identical_to_in_process_api(
+            self, problem_path, tmp_path, capsys):
+        """Acceptance criterion: solving a serialized problem through the
+        CLI yields a plan and cost bit-identical to the in-process API on
+        the same solver and seed."""
+        out = tmp_path / "response.json"
+        assert main([
+            "solve", "--problem", str(problem_path), "--solver", "cp",
+            "--seed", "7", "--time-limit", "2", "--out", str(out),
+        ]) == 0
+        capsys.readouterr()
+        cli_response = SolverResponse.from_dict(json.loads(out.read_text()))
+
+        problem = DeploymentProblem.from_dict(
+            json.loads(problem_path.read_text()))
+        from repro.solvers import SearchBudget
+        in_process = AdvisorSession().solve(SolveRequest(
+            problem, solver="cp", config={"seed": 7},
+            budget=SearchBudget.seconds(2),
+        ))
+        assert cli_response.plan == in_process.plan
+        assert cli_response.cost == in_process.cost
+
+    def test_solve_batch_requests_file(self, problem_path, tmp_path, capsys):
+        problem_payload = json.loads(problem_path.read_text())
+        requests = {
+            "requests": [
+                {"problem": problem_payload, "solver": "greedy",
+                 "request_id": "a"},
+                {"problem": problem_payload, "solver": "r1",
+                 "config": {"num_samples": 50, "seed": 1},
+                 "request_id": "b"},
+            ],
+        }
+        requests_path = tmp_path / "batch.json"
+        requests_path.write_text(json.dumps(requests))
+        out = tmp_path / "responses.json"
+        exit_code = main([
+            "solve-batch", "--requests", str(requests_path),
+            "--out", str(out),
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "hit rate" in output
+        payload = json.loads(out.read_text())
+        responses = [SolverResponse.from_dict(entry)
+                     for entry in payload["responses"]]
+        assert [r.request_id for r in responses] == ["a", "b"]
+        assert all(r.ok for r in responses)
+        # Both requests describe the same instance: the second must have
+        # reused the first's compilation.
+        assert not responses[0].telemetry.compile_cache_hit
+        assert responses[1].telemetry.compile_cache_hit
+
+    def test_solve_batch_repeated_problem_flags(self, problem_path, tmp_path,
+                                                capsys):
+        out = tmp_path / "responses.json"
+        exit_code = main([
+            "solve-batch", "--problem", str(problem_path),
+            "--problem", str(problem_path), "--solver", "greedy",
+            "--out", str(out),
+        ])
+        assert exit_code == 0
+        capsys.readouterr()
+        payload = json.loads(out.read_text())
+        assert len(payload["responses"]) == 2
+
+    def test_solve_batch_without_input_exits(self, capsys):
+        assert main(["solve-batch"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_solver_config_honoured_for_auto(self, problem_path, tmp_path,
+                                             capsys):
+        """--solver-config must reach the resolved solver even when
+        --solver is left at its default 'auto'."""
+        out = tmp_path / "response.json"
+        exit_code = main([
+            "solve", "--problem", str(problem_path), "--seed", "0",
+            "--time-limit", "1", "--solver-config", '{"bogus_field": 1}',
+            "--out", str(out),
+        ])
+        # The config is not dropped: the resolved CP solver rejects the
+        # unknown field and the CLI reports the solver failure (exit 1).
+        assert exit_code == 1
+        assert "bogus_field" in capsys.readouterr().err
+
+    def test_solve_batch_seed_reaches_auto_solver(self, problem_path,
+                                                  tmp_path, capsys):
+        outs = []
+        for name in ("a.json", "b.json"):
+            out = tmp_path / name
+            assert main([
+                "solve-batch", "--problem", str(problem_path),
+                "--seed", "7", "--out", str(out),
+            ]) == 0
+            outs.append(json.loads(out.read_text())["responses"][0])
+        capsys.readouterr()
+        a, b = (SolverResponse.from_dict(entry) for entry in outs)
+        assert a.solver == "cp"  # auto resolved to the paper default
+        assert a.plan == b.plan  # the seed made the run reproducible
+        assert a.cost == b.cost
+
+    def test_solve_accepts_plain_random_key(self, problem_path, tmp_path,
+                                            capsys):
+        """'random' on solve/solve-batch is the registered solver, not the
+        advise-only 'r2' alias, so its own config fields work."""
+        out = tmp_path / "response.json"
+        exit_code = main([
+            "solve", "--problem", str(problem_path), "--solver", "random",
+            "--seed", "2", "--solver-config", '{"num_samples": 40}',
+            "--out", str(out),
+        ])
+        assert exit_code == 0
+        capsys.readouterr()
+        response = SolverResponse.from_dict(json.loads(out.read_text()))
+        assert response.ok
+        assert response.result.solver_name == "random"
+
+    @pytest.mark.parametrize("payload", [
+        {"request": []},          # typo for "requests"
+        {"requests": "notalist"},
+        ["notadict"],
+    ], ids=["typo-key", "non-list", "non-dict-entry"])
+    def test_malformed_requests_file_exits_cleanly(self, payload, tmp_path,
+                                                   capsys):
+        path = tmp_path / "batch.json"
+        path.write_text(json.dumps(payload))
+        exit_code = main(["solve-batch", "--requests", str(path)])
+        assert exit_code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_non_object_problem_file_exits_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "problem.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        exit_code = main(["solve", "--problem", str(path)])
+        assert exit_code == 2
+        assert "JSON object" in capsys.readouterr().err
+
+    def test_malformed_solver_config_exits_cleanly(self, problem_path,
+                                                   capsys):
+        exit_code = main([
+            "solve", "--problem", str(problem_path),
+            "--solver-config", "{not json",
+        ])
+        assert exit_code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_problem_file_exits_cleanly(self, tmp_path, capsys):
+        exit_code = main([
+            "solve", "--problem", str(tmp_path / "nope.json"),
+        ])
+        assert exit_code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_workers_value_exits_cleanly(self, problem_path, capsys):
+        exit_code = main([
+            "solve-batch", "--problem", str(problem_path), "--workers", "0",
+        ])
+        assert exit_code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_solve_error_exit_code(self, problem_path, tmp_path, capsys):
+        # The serialized problem's objective is longest_link; the MIP
+        # longest-path solver refuses it (objective-capability mismatch)
+        # and the CLI must exit 1 (solver failure) with a clean message,
+        # distinct from exit 2 (usage / IO errors).
+        exit_code = main([
+            "solve", "--problem", str(problem_path), "--solver", "mip",
+        ])
+        assert exit_code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_invalid_problem_payload_exit_code(self, problem_path, tmp_path,
+                                               capsys):
+        # A cyclic graph with the longest-path objective is rejected while
+        # deserializing the problem (InvalidGraphError), which is a usage
+        # error: exit 2.
+        payload = json.loads(problem_path.read_text())
+        payload["objective"] = "longest_path"  # mesh graphs are cyclic
+        bad = tmp_path / "bad_problem.json"
+        bad.write_text(json.dumps(payload))
+        exit_code = main(["solve", "--problem", str(bad)])
+        assert exit_code == 2
+        assert "acyclic" in capsys.readouterr().err

@@ -1,0 +1,183 @@
+"""Tests for the solver registry and its typed configuration."""
+
+import pytest
+
+from repro.core import DeploymentProblem, Objective
+from repro.solvers import (
+    CPLongestLinkSolver,
+    DeploymentSolver,
+    MIPLongestPathSolver,
+    SearchBudget,
+)
+from repro.solvers.registry import (
+    SolverConfigError,
+    SolverRegistry,
+    UnknownSolverError,
+    default_registry,
+)
+
+from conftest import deterministic_cost_matrix
+
+
+class TestResolution:
+    def test_all_keys_resolve_to_solvers(self):
+        for key in default_registry.available():
+            solver = default_registry.make(key)
+            assert isinstance(solver, DeploymentSolver), key
+
+    def test_expected_keys_present(self):
+        available = set(default_registry.available())
+        assert {"cp", "mip", "mip-ll", "greedy", "g1", "random", "r1", "r2",
+                "local-search", "annealing", "portfolio"} <= available
+
+    def test_make_with_typed_config(self):
+        solver = default_registry.make("cp", seed=7, k_clusters=None)
+        assert isinstance(solver, CPLongestLinkSolver)
+        assert solver._seed == 7
+        assert solver.k_clusters is None
+
+    def test_unknown_key_raises_with_available_list(self):
+        with pytest.raises(UnknownSolverError, match="cp"):
+            default_registry.make("cplex")
+
+    def test_unknown_config_field_lists_accepted(self):
+        with pytest.raises(SolverConfigError, match="seed"):
+            default_registry.make("cp", sead=3)
+
+    def test_config_rejected_for_factory_without_field(self):
+        with pytest.raises(SolverConfigError):
+            default_registry.make("greedy", seed=3)
+
+    def test_accepts_probes_config_fields(self):
+        assert default_registry.accepts("cp", "seed")
+        assert default_registry.accepts("mip", "seed")
+        assert not default_registry.accepts("greedy", "seed")
+
+
+class TestSeedRouting:
+    def test_mip_solvers_accept_seed(self):
+        lp = default_registry.make("mip", seed=11)
+        ll = default_registry.make("mip-ll", seed=11)
+        assert lp._seed == 11
+        assert ll._seed == 11
+
+    def test_cli_build_solver_routes_seed_to_mip(self):
+        from repro.cli import build_solver
+
+        solver = build_solver("mip", 42)
+        assert isinstance(solver, MIPLongestPathSolver)
+        assert solver._seed == 42
+
+    def test_mip_seed_draws_deterministic_warm_start(self, tree_graph):
+        costs = deterministic_cost_matrix(8, seed=5)
+        problem = DeploymentProblem(tree_graph, costs,
+                                    objective=Objective.LONGEST_PATH)
+        budget = SearchBudget(max_iterations=1)
+        a = default_registry.make("mip", seed=3).solve(problem, budget=budget)
+        b = default_registry.make("mip", seed=3).solve(problem, budget=budget)
+        assert a.plan == b.plan
+        assert a.cost == b.cost
+
+    def test_mip_warm_start_seeds_the_incumbent(self, tree_graph):
+        """The warm start must reach branch and bound as an incumbent, so a
+        seeded run can only explore fewer-or-equal nodes and never returns
+        a plan worse than the warm start."""
+        from repro.core import CommunicationGraph
+        from repro.solvers import RandomSearch
+
+        graph = CommunicationGraph.aggregation_tree(2, 1)  # 3 nodes
+        costs = deterministic_cost_matrix(4, seed=5)
+        problem = DeploymentProblem(graph, costs,
+                                    objective=Objective.LONGEST_PATH)
+        warm = RandomSearch(num_samples=200, seed=0).solve(problem)
+        budget = SearchBudget.seconds(30)
+        cold = MIPLongestPathSolver(backend="bnb").solve(problem,
+                                                         budget=budget)
+        hot = MIPLongestPathSolver(backend="bnb").solve(
+            problem, budget=budget, initial_plan=warm.plan)
+        assert cold.optimal and hot.optimal
+        assert hot.cost == pytest.approx(cold.cost)
+        assert hot.cost <= warm.cost + 1e-12
+        # The incumbent is live from node zero, so the seeded search can
+        # only prune more, never explore more.
+        assert hot.iterations <= cold.iterations
+
+    def test_mip_without_seed_keeps_historical_behaviour(self, tree_graph):
+        costs = deterministic_cost_matrix(8, seed=5)
+        problem = DeploymentProblem(tree_graph, costs,
+                                    objective=Objective.LONGEST_PATH)
+        # A node budget (not wall-clock) keeps both runs deterministic.
+        budget = SearchBudget(max_iterations=40)
+        via_registry = default_registry.make("mip").solve(problem,
+                                                          budget=budget)
+        direct = MIPLongestPathSolver(backend="bnb").solve(problem,
+                                                           budget=budget)
+        assert via_registry.plan == direct.plan
+        assert via_registry.cost == direct.cost
+
+
+class TestCapabilities:
+    def test_supporting_filters_by_objective(self):
+        link = default_registry.supporting(Objective.LONGEST_LINK)
+        path = default_registry.supporting(Objective.LONGEST_PATH)
+        assert "cp" in link and "cp" not in path
+        assert "mip" in path and "mip" not in link
+        assert "greedy" in link and "greedy" in path
+
+    def test_supporting_filters_by_size(self):
+        small = default_registry.supporting(Objective.LONGEST_LINK,
+                                            num_nodes=10)
+        large = default_registry.supporting(Objective.LONGEST_LINK,
+                                            num_nodes=500)
+        assert "mip-ll" in small
+        assert "mip-ll" not in large
+        assert "cp" in large
+
+    def test_for_problem(self, mesh_graph):
+        problem = DeploymentProblem(mesh_graph, deterministic_cost_matrix(10))
+        keys = default_registry.for_problem(problem)
+        assert "cp" in keys and "mip" not in keys
+
+    def test_default_keys_match_paper(self):
+        assert default_registry.default_key(Objective.LONGEST_LINK) == "cp"
+        assert default_registry.default_key(Objective.LONGEST_PATH) == "mip"
+
+    def test_resolve_handles_auto_and_none(self):
+        assert default_registry.resolve("auto", Objective.LONGEST_LINK) == "cp"
+        assert default_registry.resolve(None, Objective.LONGEST_PATH) == "mip"
+        assert default_registry.resolve("greedy", Objective.LONGEST_LINK) == "greedy"
+        with pytest.raises(UnknownSolverError):
+            default_registry.resolve("nope", Objective.LONGEST_LINK)
+
+    def test_advisor_config_accepts_auto_and_key(self):
+        from repro.core.advisor import AdvisorConfig
+
+        auto = AdvisorConfig(solver="auto", seed=5).build_solver()
+        default = AdvisorConfig(seed=5).build_solver()
+        assert type(auto) is type(default)
+        assert isinstance(AdvisorConfig(solver="greedy").build_solver(),
+                          DeploymentSolver)
+
+    def test_advisor_config_rejects_config_with_instance(self):
+        """The conflict must surface at construction, before an advisor run
+        has paid for allocation and measurement."""
+        from repro.core.advisor import AdvisorConfig
+
+        with pytest.raises(ValueError, match="solver_config"):
+            AdvisorConfig(solver=CPLongestLinkSolver(),
+                          solver_config={"seed": 7})
+
+
+class TestRegistration:
+    def test_duplicate_key_refused(self):
+        registry = SolverRegistry()
+        registry.register("cp", CPLongestLinkSolver, summary="x")
+        with pytest.raises(Exception, match="already registered"):
+            registry.register("cp", CPLongestLinkSolver, summary="y")
+        registry.register("cp", CPLongestLinkSolver, summary="y", replace=True)
+        assert registry.spec("cp").summary == "y"
+
+    def test_objectives_inferred_from_class(self):
+        registry = SolverRegistry()
+        spec = registry.register("cp", CPLongestLinkSolver, summary="x")
+        assert spec.objectives == (Objective.LONGEST_LINK,)

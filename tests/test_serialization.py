@@ -1,0 +1,174 @@
+"""Property-style JSON round-trip tests for the serializable core types.
+
+Every ``from_dict(to_dict(x))`` must reconstruct an equal object *through
+an actual JSON wire format* (``json.dumps`` / ``json.loads``), and plan
+costs evaluated on a round-tripped problem must be bit-identical to the
+original — floats survive JSON because ``repr`` emits the shortest string
+that parses back to the same float64.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import SolveRequest, SolverResponse, SolveTelemetry
+from repro.core import (
+    CommunicationGraph,
+    CostMatrix,
+    DeploymentPlan,
+    DeploymentProblem,
+    Objective,
+    PlacementConstraints,
+)
+from repro.core.errors import ClouDiAError
+from repro.solvers import RandomSearch, SearchBudget
+
+from conftest import deterministic_cost_matrix
+
+
+def wire(payload):
+    """Push a payload through an actual JSON encode/decode cycle."""
+    return json.loads(json.dumps(payload))
+
+
+#: Graph templates the round-trip properties are checked over; exercises
+#: every constructor family (meshes, trees, bipartite, rings, hypercubes,
+#: stars, complete and random graphs).
+TEMPLATES = [
+    ("mesh", lambda: CommunicationGraph.mesh_2d(3, 4)),
+    ("mesh3d", lambda: CommunicationGraph.mesh_3d(2, 2, 2)),
+    ("torus", lambda: CommunicationGraph.mesh_2d(3, 3, wrap=True)),
+    ("tree", lambda: CommunicationGraph.aggregation_tree(2, 2)),
+    ("bipartite", lambda: CommunicationGraph.bipartite(2, 4)),
+    ("ring", lambda: CommunicationGraph.ring(7)),
+    ("hypercube", lambda: CommunicationGraph.hypercube(3)),
+    ("star", lambda: CommunicationGraph.star(5)),
+    ("complete", lambda: CommunicationGraph.complete(5)),
+    ("random", lambda: CommunicationGraph.random_graph(8, 0.4, seed=1)),
+    ("random-dag", lambda: CommunicationGraph.random_dag(8, 0.5, seed=2)),
+]
+
+
+@pytest.mark.parametrize("name,factory", TEMPLATES, ids=[t[0] for t in TEMPLATES])
+class TestGraphRoundTrip:
+    def test_graph_round_trips(self, name, factory):
+        graph = factory()
+        restored = CommunicationGraph.from_dict(wire(graph.to_dict()))
+        assert restored == graph
+        # Order matters for the evaluation engine: preserve it exactly.
+        assert restored.nodes == graph.nodes
+        assert restored.edges == graph.edges
+
+    def test_plan_round_trips(self, name, factory):
+        graph = factory()
+        costs = deterministic_cost_matrix(graph.num_nodes + 3, seed=7)
+        plan = DeploymentPlan.random(graph.nodes, costs.instance_ids,
+                                     rng=np.random.default_rng(5))
+        restored = DeploymentPlan.from_dict(wire(plan.to_dict()))
+        assert restored == plan
+        assert restored.nodes == plan.nodes
+
+    def test_plan_costs_bit_identical_after_round_trip(self, name, factory):
+        graph = factory()
+        costs = deterministic_cost_matrix(graph.num_nodes + 2, seed=11)
+        objective = (Objective.LONGEST_PATH if graph.is_dag()
+                     else Objective.LONGEST_LINK)
+        problem = DeploymentProblem(graph, costs, objective=objective)
+        restored = DeploymentProblem.from_dict(wire(problem.to_dict()))
+        plans = [
+            problem.default_plan(),
+            DeploymentPlan.random(graph.nodes, costs.instance_ids,
+                                  rng=np.random.default_rng(3)),
+        ]
+        for plan in plans:
+            assert restored.evaluate(plan) == problem.evaluate(plan)
+
+
+class TestCostMatrixRoundTrip:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matrix_bits_survive(self, seed):
+        costs = deterministic_cost_matrix(9, seed=seed)
+        restored = CostMatrix.from_dict(wire(costs.to_dict()))
+        assert restored.instance_ids == costs.instance_ids
+        assert np.array_equal(restored.as_array(), costs.as_array())
+
+    def test_non_contiguous_instance_ids(self):
+        base = deterministic_cost_matrix(8, seed=1)
+        relabeled = base.relabeled({i: 100 + 3 * i for i in range(8)})
+        restored = CostMatrix.from_dict(wire(relabeled.to_dict()))
+        assert restored.instance_ids == relabeled.instance_ids
+        assert np.array_equal(restored.as_array(), relabeled.as_array())
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ClouDiAError):
+            CostMatrix.from_dict({"matrix": [[0.0]]})
+
+
+class TestProblemRoundTrip:
+    def test_full_problem_with_constraints_and_metadata(self, mesh_graph):
+        problem = DeploymentProblem(
+            mesh_graph, deterministic_cost_matrix(12, seed=2),
+            constraints=PlacementConstraints(pinned={0: 3},
+                                             forbidden={1: {4, 5}}),
+            metadata={"tenant": "acme", "template": "mesh"},
+        )
+        restored = DeploymentProblem.from_dict(wire(problem.to_dict()))
+        assert restored == problem
+        assert restored.constraints == problem.constraints
+        assert dict(restored.metadata) == dict(problem.metadata)
+        assert restored.fingerprint() == problem.fingerprint()
+
+    def test_unsupported_version_rejected(self, mesh_graph):
+        payload = DeploymentProblem(
+            mesh_graph, deterministic_cost_matrix(10)).to_dict()
+        payload["version"] = 999
+        with pytest.raises(ClouDiAError, match="version"):
+            DeploymentProblem.from_dict(payload)
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(ClouDiAError, match="misses"):
+            DeploymentProblem.from_dict({"objective": "longest_link"})
+
+
+class TestRequestResponseRoundTrip:
+    def test_request_round_trips(self, mesh_graph):
+        costs = deterministic_cost_matrix(12, seed=9)
+        problem = DeploymentProblem(mesh_graph, costs)
+        request = SolveRequest(
+            problem=problem, solver="cp", config={"seed": 5},
+            budget=SearchBudget(time_limit_s=2.5, max_iterations=100),
+            initial_plan=problem.default_plan(),
+            request_id="req-x",
+        )
+        restored = SolveRequest.from_dict(wire(request.to_dict()))
+        assert restored.problem == problem
+        assert restored.solver == "cp"
+        assert dict(restored.config) == {"seed": 5}
+        assert restored.budget == request.budget
+        assert restored.initial_plan == request.initial_plan
+        assert restored.request_id == "req-x"
+
+    def test_solver_response_round_trips_bit_identical(self, mesh_graph):
+        costs = deterministic_cost_matrix(12, seed=4)
+        problem = DeploymentProblem(mesh_graph, costs)
+        result = RandomSearch(num_samples=100, seed=0).solve(problem)
+        response_payload = wire({
+            "version": 1,
+            "request_id": "r", "solver": "random", "status": "ok",
+            "result": result.to_dict(),
+            "telemetry": SolveTelemetry(compile_cache_hit=True,
+                                        total_time_s=0.5).to_dict(),
+        })
+        restored = SolverResponse.from_dict(response_payload)
+        assert restored.result.plan == result.plan
+        assert restored.result.cost == result.cost  # bit-identical float
+        assert restored.result.trace == result.trace
+        assert restored.telemetry.compile_cache_hit is True
+        # The restored plan re-evaluates to the same bits on the problem.
+        assert problem.evaluate(restored.result.plan) == result.cost
+
+    def test_budget_round_trips(self):
+        budget = SearchBudget(time_limit_s=1.25, max_iterations=7,
+                              target_cost=3.5)
+        assert SearchBudget.from_dict(wire(budget.to_dict())) == budget

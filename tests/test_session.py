@@ -1,0 +1,207 @@
+"""Tests for the batch advisor session (compile dedup, pool, telemetry)."""
+
+import json
+
+import pytest
+
+import repro.core.evaluation as evaluation
+from repro.api import AdvisorSession, SolveRequest, SolverResponse
+from repro.core import CommunicationGraph, DeploymentProblem, Objective
+from repro.solvers import SearchBudget
+
+from conftest import deterministic_cost_matrix
+
+
+def _problem(num_instances=10, seed=0, graph=None, **kwargs):
+    graph = graph if graph is not None else CommunicationGraph.ring(6)
+    return DeploymentProblem(graph, deterministic_cost_matrix(num_instances,
+                                                              seed=seed),
+                             **kwargs)
+
+
+def _roundtrip(problem):
+    """A content-equal problem rebuilt from JSON (fresh objects)."""
+    return DeploymentProblem.from_dict(json.loads(json.dumps(problem.to_dict())))
+
+
+class TestSingleSolve:
+    def test_solve_returns_ok_response(self):
+        session = AdvisorSession()
+        response = session.solve(SolveRequest(_problem(), solver="greedy"))
+        assert response.ok
+        assert response.solver == "greedy"
+        assert response.request_id == "req-0000"
+        assert response.plan.covers(CommunicationGraph.ring(6))
+        assert response.telemetry is not None
+        assert not response.telemetry.compile_cache_hit
+
+    def test_auto_resolves_paper_default(self, tree_graph):
+        session = AdvisorSession()
+        link = session.solve(SolveRequest(
+            _problem(), budget=SearchBudget.seconds(1)))
+        path = session.solve(SolveRequest(
+            _problem(graph=tree_graph, num_instances=8,
+                     objective=Objective.LONGEST_PATH),
+            budget=SearchBudget.seconds(1)))
+        assert link.solver == "cp"
+        assert path.solver == "mip"
+
+    def test_solve_raises_on_bad_config(self):
+        session = AdvisorSession()
+        with pytest.raises(Exception, match="does not accept"):
+            session.solve(SolveRequest(_problem(), solver="cp",
+                                       config={"bogus": 1}))
+
+    def test_custom_request_id_preserved(self):
+        session = AdvisorSession()
+        response = session.solve(SolveRequest(_problem(), solver="greedy",
+                                              request_id="tenant-7/job-3"))
+        assert response.request_id == "tenant-7/job-3"
+
+
+class TestCompilationDedup:
+    def test_distinct_pairs_compiled_exactly_once(self, monkeypatch):
+        """Three requests over two distinct (graph, costs) pairs => exactly
+        two CompiledProblem constructions, asserted both via telemetry and
+        by counting actual constructor calls."""
+        constructions = []
+        original = evaluation.CompiledProblem.__init__
+
+        def counting(self, graph, costs):
+            constructions.append((graph, costs))
+            return original(self, graph, costs)
+
+        monkeypatch.setattr(evaluation.CompiledProblem, "__init__", counting)
+
+        shared = _problem(seed=1)
+        other = _problem(seed=2)
+        session = AdvisorSession()
+        responses = session.solve_many([
+            SolveRequest(shared, solver="greedy"),
+            SolveRequest(_roundtrip(shared), solver="g1"),
+            SolveRequest(other, solver="greedy"),
+        ])
+        assert [response.ok for response in responses] == [True, True, True]
+        assert len(constructions) == 2
+        hits = [response.telemetry.compile_cache_hit for response in responses]
+        assert hits == [False, True, False]
+        stats = session.stats
+        assert stats.compilations == 2
+        assert stats.compile_cache_hits == 1
+        assert stats.requests == 3
+
+    def test_canonical_cache_is_bounded_lru(self):
+        p1, p2 = _problem(seed=1), _problem(seed=2)
+        session = AdvisorSession(max_cached_problems=1)
+        session.solve(SolveRequest(p1, solver="greedy"))
+        session.solve(SolveRequest(p1, solver="greedy"))  # hit
+        session.solve(SolveRequest(p2, solver="greedy"))  # evicts p1
+        session.solve(SolveRequest(p1, solver="greedy"))  # recompiled
+        stats = session.stats
+        assert stats.compilations == 3
+        assert stats.compile_cache_hits == 1
+
+    def test_batch_exactly_once_despite_tiny_cache(self):
+        """A batch with more distinct instances than the LRU bound must
+        still compile each distinct instance exactly once: the per-batch
+        memo outlives the session cache's evictions."""
+        p1, p2, p3 = (_problem(seed=s) for s in (1, 2, 3))
+        session = AdvisorSession(max_cached_problems=1)
+        responses = session.solve_many([
+            SolveRequest(p, solver="greedy")
+            for p in (p1, p2, p3, p1, p2)
+        ])
+        assert all(r.ok for r in responses)
+        assert session.stats.compilations == 3
+        assert session.stats.compile_cache_hits == 2
+        hits = [r.telemetry.compile_cache_hit for r in responses]
+        assert hits == [False, False, False, True, True]
+
+    def test_clear_cache_forces_recompilation(self):
+        problem = _problem(seed=1)
+        session = AdvisorSession()
+        session.solve(SolveRequest(problem, solver="greedy"))
+        session.clear_cache()
+        session.solve(SolveRequest(problem, solver="greedy"))
+        assert session.stats.compilations == 2
+
+    def test_dedup_spans_objectives(self, tree_graph):
+        """Same (graph, costs) under different objectives shares one
+        compilation: the instance key ignores the objective."""
+        costs = deterministic_cost_matrix(8, seed=3)
+        link = DeploymentProblem(tree_graph, costs)
+        path = DeploymentProblem(tree_graph, costs,
+                                 objective=Objective.LONGEST_PATH)
+        session = AdvisorSession()
+        session.solve_many([
+            SolveRequest(link, solver="greedy"),
+            SolveRequest(path, solver="greedy"),
+        ])
+        assert session.stats.compilations == 1
+        assert session.stats.compile_cache_hits == 1
+
+    def test_deduped_solve_is_bit_identical(self):
+        """A request deserialized from JSON produces the same plan as the
+        original in-memory problem."""
+        problem = _problem(seed=4)
+        session = AdvisorSession()
+        direct, replayed = session.solve_many([
+            SolveRequest(problem, solver="r1",
+                         config={"num_samples": 100, "seed": 0}),
+            SolveRequest(_roundtrip(problem), solver="r1",
+                         config={"num_samples": 100, "seed": 0}),
+        ])
+        assert direct.plan == replayed.plan
+        assert direct.cost == replayed.cost
+
+
+class TestBatches:
+    def test_order_preserved_with_worker_pool(self):
+        problems = [_problem(seed=s) for s in range(6)]
+        session = AdvisorSession(max_workers=4)
+        responses = session.solve_many([
+            SolveRequest(p, solver="greedy", request_id=f"job-{i}")
+            for i, p in enumerate(problems)
+        ])
+        assert [r.request_id for r in responses] == [
+            f"job-{i}" for i in range(6)
+        ]
+        assert all(r.ok for r in responses)
+
+    def test_pool_matches_sequential_results(self):
+        problems = [_problem(seed=s) for s in range(4)]
+        requests = [SolveRequest(p, solver="r1",
+                                 config={"num_samples": 50, "seed": 1})
+                    for p in problems]
+        parallel = AdvisorSession(max_workers=4).solve_many(requests)
+        sequential = AdvisorSession(max_workers=1).solve_many(requests)
+        for fast, slow in zip(parallel, sequential):
+            assert fast.plan == slow.plan
+            assert fast.cost == slow.cost
+
+    def test_errors_captured_per_request(self):
+        session = AdvisorSession()
+        responses = session.solve_many([
+            SolveRequest(_problem(), solver="greedy"),
+            SolveRequest(_problem(), solver="cp", config={"bogus": 1}),
+        ])
+        assert responses[0].ok
+        assert not responses[1].ok
+        assert "bogus" in responses[1].error
+        assert responses[1].result is None
+
+    def test_empty_batch(self):
+        assert AdvisorSession().solve_many([]) == []
+
+    def test_batch_responses_serialize(self, tmp_path):
+        session = AdvisorSession()
+        responses = session.solve_many([
+            SolveRequest(_problem(), solver="greedy"),
+        ])
+        path = tmp_path / "responses.json"
+        path.write_text(json.dumps([r.to_dict() for r in responses]))
+        restored = [SolverResponse.from_dict(entry)
+                    for entry in json.loads(path.read_text())]
+        assert restored[0].plan == responses[0].plan
+        assert restored[0].cost == responses[0].cost
+        assert restored[0].telemetry.compile_cache_hit is False

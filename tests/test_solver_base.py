@@ -4,12 +4,13 @@ import time
 
 import pytest
 
-from repro.core import CommunicationGraph, Objective
+from repro.core import CommunicationGraph, DeploymentProblem, Objective
 from repro.core.errors import InfeasibleProblemError, SolverError
 from repro.core.objectives import deployment_cost
-from repro.solvers import RandomSearch, SearchBudget
+from repro.solvers import GreedyG2, RandomSearch, SearchBudget
 from repro.solvers.base import (
     ConvergenceTrace,
+    SolverResult,
     Stopwatch,
     best_random_plan,
     default_plan,
@@ -104,3 +105,73 @@ class TestHelpers:
         with pytest.raises(SolverError):
             CPLongestLinkSolver().solve(mesh_graph, costs,
                                         objective=Objective.LONGEST_PATH)
+
+
+class TestImprovementOver:
+    def _result(self, mesh_graph, cost):
+        costs = deterministic_cost_matrix(12)
+        plan = default_plan(mesh_graph, costs)
+        return SolverResult(plan=plan, cost=cost,
+                            objective=Objective.LONGEST_LINK,
+                            solver_name="test", solve_time_s=0.0,
+                            iterations=1, optimal=False)
+
+    def test_positive_baseline_reports_improvement(self, mesh_graph):
+        result = self._result(mesh_graph, cost=7.0)
+        assert result.improvement_over(10.0) == pytest.approx(0.3)
+
+    def test_regression_clamped_to_zero(self, mesh_graph):
+        result = self._result(mesh_graph, cost=12.0)
+        assert result.improvement_over(10.0) == 0.0
+
+    def test_zero_baseline_raises(self, mesh_graph):
+        result = self._result(mesh_graph, cost=7.0)
+        with pytest.raises(ValueError, match="positive"):
+            result.improvement_over(0.0)
+
+    def test_negative_baseline_raises(self, mesh_graph):
+        result = self._result(mesh_graph, cost=7.0)
+        with pytest.raises(ValueError, match="positive"):
+            result.improvement_over(-1.0)
+
+
+class TestSolveShim:
+    def test_legacy_positional_form_warns(self, mesh_graph):
+        costs = deterministic_cost_matrix(12)
+        with pytest.warns(DeprecationWarning, match="DeploymentProblem"):
+            result = GreedyG2().solve(mesh_graph, costs)
+        assert result.plan.covers(mesh_graph)
+
+    def test_new_form_matches_legacy_form(self, mesh_graph):
+        costs = deterministic_cost_matrix(12)
+        problem = DeploymentProblem(mesh_graph, costs)
+        modern = RandomSearch(num_samples=50, seed=3).solve(problem)
+        with pytest.warns(DeprecationWarning):
+            legacy = RandomSearch(num_samples=50, seed=3).solve(
+                mesh_graph, costs)
+        assert modern.plan == legacy.plan
+        assert modern.cost == legacy.cost
+
+    def test_new_form_does_not_warn(self, mesh_graph, recwarn):
+        costs = deterministic_cost_matrix(12)
+        GreedyG2().solve(DeploymentProblem(mesh_graph, costs))
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]
+
+    def test_problem_plus_costs_rejected(self, mesh_graph):
+        costs = deterministic_cost_matrix(12)
+        problem = DeploymentProblem(mesh_graph, costs)
+        with pytest.raises(TypeError):
+            GreedyG2().solve(problem, costs)
+
+    def test_legacy_form_without_costs_rejected(self, mesh_graph):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError):
+                GreedyG2().solve(mesh_graph)
+
+    def test_legacy_objective_positional(self, tree_graph):
+        costs = deterministic_cost_matrix(8)
+        with pytest.warns(DeprecationWarning):
+            result = GreedyG2().solve(tree_graph, costs,
+                                      Objective.LONGEST_PATH)
+        assert result.objective is Objective.LONGEST_PATH
