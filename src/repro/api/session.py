@@ -18,8 +18,10 @@ things the paper's service framing needs at scale:
   budget; the pool pays off for engine-dominated (NumPy) request mixes.
 * **Telemetry** — every response carries per-request
   :class:`~repro.api.schema.SolveTelemetry` (compile cache hit, compile /
-  solve / total time), and the session aggregates
-  :class:`SessionStats` so a server can export hit rates.
+  solve / total time, and whether the constraint-repair fallback fired —
+  always ``False`` for the natively constraint-aware built-in solvers),
+  and the session aggregates :class:`SessionStats` so a server can export
+  hit rates.
 """
 
 from __future__ import annotations
@@ -258,6 +260,7 @@ class AdvisorSession:
                 compile_time_s=compile_time,
                 solve_time_s=result.solve_time_s,
                 total_time_s=time.perf_counter() - started,
+                repair_applied=result.repair_applied,
             )
             return SolverResponse(
                 request_id=request.request_id, solver=solver_key,

@@ -227,6 +227,9 @@ def _print_response(response: SolverResponse,
     if response.telemetry is not None:
         rows.append(("compile cache hit",
                      response.telemetry.compile_cache_hit))
+        if problem.constraints is not None:
+            rows.append(("constraint repair applied",
+                         response.telemetry.repair_applied))
     print(format_table(["quantity", "value"], rows,
                        title="solver response"))
 
@@ -333,9 +336,10 @@ def command_solvers(_args: argparse.Namespace) -> int:
     for spec in default_registry.specs():
         objectives = ", ".join(obj.value for obj in spec.objectives)
         size = "-" if spec.max_nodes is None else f"<= {spec.max_nodes} nodes"
-        rows.append((spec.key, objectives, size, spec.summary))
+        constraints = "native" if spec.supports_constraints else "repair"
+        rows.append((spec.key, objectives, size, constraints, spec.summary))
     print(format_table(
-        ["key", "objectives", "practical size", "description"],
+        ["key", "objectives", "practical size", "constraints", "description"],
         rows, title="registered solvers",
     ))
     return 0

@@ -5,6 +5,7 @@ from .communication_graph import CommunicationGraph, augment_with_dummy_nodes
 from .cost_matrix import CostMatrix, LatencyMetric
 from .deployment import DeploymentPlan
 from .evaluation import (
+    CompiledConstraints,
     CompiledProblem,
     DeltaEvaluator,
     IndexedPlan,
@@ -43,6 +44,7 @@ __all__ = [
     "ClouDiAError",
     "ClusteringResult",
     "CommunicationGraph",
+    "CompiledConstraints",
     "CompiledProblem",
     "CostMatrix",
     "CriticalElement",

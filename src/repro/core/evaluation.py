@@ -21,6 +21,10 @@ then evaluates plans with a handful of vectorized operations:
 * Batch evaluation (:meth:`CompiledProblem.evaluate_batch`) — scores many
   candidate plans at once with a single 2-D fancy-indexed gather, which is
   what makes ``R1``-style random search cheap at paper scale.
+* :class:`CompiledConstraints` — placement constraints lowered to a boolean
+  node×instance *allowed mask* plus per-node allowed-index arrays, so the
+  constraint-aware solvers draw candidates and moves from precomputed
+  arrays instead of re-querying the id-keyed constraint dictionaries.
 * :class:`DeltaEvaluator` — incremental scoring of swap / relocate moves.
   For the longest-link objective a move only changes the edges incident to
   the moved nodes, so a candidate is scored in O(degree) (with an O(|E|)
@@ -49,7 +53,12 @@ import numpy as np
 from .communication_graph import CommunicationGraph
 from .cost_matrix import CostMatrix
 from .deployment import DeploymentPlan
-from .errors import InvalidDeploymentError, InvalidGraphError, SolverError
+from .errors import (
+    InfeasibleProblemError,
+    InvalidDeploymentError,
+    InvalidGraphError,
+    SolverError,
+)
 from .objectives import Objective
 from .types import InstanceId, NodeId, make_rng
 
@@ -319,17 +328,29 @@ class CompiledProblem:
             self._assignment_lb = lb
         return self._assignment_lb
 
-    def longest_link_lower_bound(self) -> float:
+    def longest_link_lower_bound(self,
+                                 allowed_mask: Optional[np.ndarray] = None
+                                 ) -> float:
         """A proven lower bound on the optimal longest-link deployment cost.
 
         Every node must be placed somewhere, so the optimum is at least
         ``max_i min_s lb[i, s]`` over the per-assignment bounds.  The CP
         solver stops lowering its threshold once the incumbent reaches this
         value (no cheaper deployment can exist).
+
+        Args:
+            allowed_mask: optional ``(n, m)`` boolean placement mask (see
+                :class:`CompiledConstraints`).  When given, each node's
+                minimum runs over its *allowed* instances only, which can
+                only tighten the bound: a constrained node cannot escape to
+                a cheap instance the constraints forbid.
         """
         if self.num_nodes == 0:
             return 0.0
-        return float(self.assignment_cost_lower_bounds().min(axis=1).max())
+        bounds = self.assignment_cost_lower_bounds()
+        if allowed_mask is not None:
+            bounds = np.where(allowed_mask, bounds, np.inf)
+        return float(bounds.min(axis=1).max())
 
     def threshold_adjacency(self, threshold: float,
                             tolerance: float = 1e-12) -> np.ndarray:
@@ -489,18 +510,177 @@ class CompiledProblem:
         return np.ascontiguousarray(permuted[:, : self.num_nodes])
 
     def delta_evaluator(self, plan: DeploymentPlan | np.ndarray,
-                        objective: Objective) -> "DeltaEvaluator":
-        """An incremental evaluator positioned at ``plan``."""
+                        objective: Objective,
+                        allowed_mask: Optional[np.ndarray] = None
+                        ) -> "DeltaEvaluator":
+        """An incremental evaluator positioned at ``plan``.
+
+        ``allowed_mask`` (see :class:`CompiledConstraints`) restricts the
+        evaluator's move generation helpers to constraint-respecting moves.
+        """
         if isinstance(plan, DeploymentPlan):
             assignment = self.index_plan(plan)
         else:
             assignment = np.array(plan, dtype=np.intp)
-        return DeltaEvaluator(self, assignment, objective)
+        return DeltaEvaluator(self, assignment, objective,
+                              allowed_mask=allowed_mask)
 
     def __repr__(self) -> str:
         return (
             f"CompiledProblem(nodes={self.num_nodes}, edges={self.num_edges}, "
             f"instances={self.num_instances})"
+        )
+
+
+class CompiledConstraints:
+    """Placement constraints lowered onto a compiled problem's index space.
+
+    The solving-side view of
+    :class:`~repro.core.problem.PlacementConstraints`: a boolean
+    ``(num_nodes, num_instances)`` *allowed mask* plus per-node arrays of
+    allowed instance indices, built once per problem (through
+    :meth:`~repro.core.problem.DeploymentProblem.compiled_constraints`) so
+    every solver draws candidates, swap / relocate moves and CP domains from
+    the same precomputed arrays instead of re-querying the id-keyed
+    constraint dictionaries in its hot loop.
+
+    The mask encodes the full propagated restriction: a forbidden
+    ``(node, instance)`` pair is ``False``, a pinned node's row is the
+    one-hot of its pin, and a pinned instance's column is ``False`` for
+    every other node (the pin occupies it in any feasible plan).
+
+    Args:
+        problem: the compiled problem the mask is indexed against.
+        allowed_mask: boolean ``(num_nodes, num_instances)`` array;
+            ``[i, s]`` is ``True`` when node index ``i`` may be placed on
+            instance index ``s``.
+
+    Raises:
+        InfeasibleProblemError: if some node has no allowed instance.
+    """
+
+    __slots__ = ("problem", "allowed_mask", "allowed_indices",
+                 "forced_assignment", "_order")
+
+    def __init__(self, problem: CompiledProblem, allowed_mask: np.ndarray):
+        # Always copy: the mask is frozen below, and freezing a view of the
+        # caller's array would make *their* array read-only.
+        mask = np.array(allowed_mask, dtype=bool, order="C")
+        if mask.shape != (problem.num_nodes, problem.num_instances):
+            raise InvalidDeploymentError(
+                f"allowed mask must have shape "
+                f"({problem.num_nodes}, {problem.num_instances})"
+            )
+        counts = mask.sum(axis=1)
+        if problem.num_nodes and not counts.all():
+            empty = int(np.flatnonzero(counts == 0)[0])
+            raise InfeasibleProblemError(
+                f"node {problem.node_ids[empty]} has no allowed instance"
+            )
+        mask.setflags(write=False)
+        self.problem = problem
+        self.allowed_mask = mask
+        self.allowed_indices: Tuple[np.ndarray, ...] = tuple(
+            np.flatnonzero(mask[i]) for i in range(problem.num_nodes)
+        )
+        #: Instance index each node is forced onto (single allowed value),
+        #: or -1 where a choice remains.  Covers explicit pins and
+        #: forbidden sets that leave exactly one instance.
+        self.forced_assignment = np.where(
+            counts == 1, mask.argmax(axis=1), -1
+        ).astype(np.intp)
+        # Most-constrained-first node order for the feasibility-aware
+        # sampler below: placing tight nodes early avoids most dead ends.
+        self._order = np.argsort(counts, kind="stable")
+
+    def allows(self, node_idx: int, instance_idx: int) -> bool:
+        """Whether node index ``node_idx`` may sit on ``instance_idx``."""
+        return bool(self.allowed_mask[node_idx, instance_idx])
+
+    def satisfied(self, assignment: np.ndarray) -> bool:
+        """Whether an index assignment respects every constraint."""
+        assignment = np.asarray(assignment)
+        return bool(
+            self.allowed_mask[np.arange(assignment.size), assignment].all()
+        )
+
+    def filter_instances(self, node_idx: int,
+                         instance_indices: np.ndarray) -> np.ndarray:
+        """Subset of ``instance_indices`` allowed for ``node_idx``."""
+        return instance_indices[self.allowed_mask[node_idx, instance_indices]]
+
+    def random_assignment(self, rng: np.random.Generator | int | None = None,
+                          attempts: int = 8) -> np.ndarray:
+        """Draw one random feasible injective assignment.
+
+        Nodes are placed most-constrained-first, each on a uniformly random
+        allowed instance still free; a dead end (possible because the
+        greedy placement is not a matching algorithm) is retried, then
+        resolved exactly through :meth:`matching_assignment`.  The
+        distribution is not uniform over feasible assignments — feasible
+        sampling is what the randomized solvers need, not uniformity.
+        """
+        generator = make_rng(rng)
+        for _ in range(max(1, attempts)):
+            taken = np.zeros(self.problem.num_instances, dtype=bool)
+            out = np.empty(self.problem.num_nodes, dtype=np.intp)
+            dead_end = False
+            for i in self._order:
+                candidates = self.allowed_indices[i]
+                candidates = candidates[~taken[candidates]]
+                if not candidates.size:
+                    dead_end = True
+                    break
+                pick = int(candidates[int(generator.integers(candidates.size))])
+                out[i] = pick
+                taken[pick] = True
+            if not dead_end:
+                return out
+        return self.matching_assignment(generator)
+
+    def random_assignments(self, count: int,
+                           rng: np.random.Generator | int | None = None
+                           ) -> np.ndarray:
+        """Draw ``count`` random feasible assignments as a ``(count, n)`` array."""
+        if count <= 0:
+            raise SolverError(
+                "count must be positive to draw constrained assignments"
+            )
+        generator = make_rng(rng)
+        return np.stack([
+            self.random_assignment(generator) for _ in range(count)
+        ])
+
+    def matching_assignment(self,
+                            rng: np.random.Generator | int | None = None
+                            ) -> np.ndarray:
+        """A feasible assignment found exactly via bipartite matching.
+
+        Allowed cells get random costs in ``[0, 1)`` (so repeated calls
+        vary), disallowed cells a penalty no feasible full assignment can
+        reach; the problem-level joint feasibility validation guarantees a
+        penalty-free matching exists.
+        """
+        from scipy.optimize import linear_sum_assignment
+
+        generator = make_rng(rng)
+        n, m = self.allowed_mask.shape
+        penalty = float(n + 1)
+        cost = np.where(self.allowed_mask, generator.random((n, m)), penalty)
+        rows, cols = linear_sum_assignment(cost)
+        if cost[rows, cols].max() >= penalty:
+            raise InfeasibleProblemError(
+                "no assignment places every node on an allowed instance"
+            )
+        out = np.empty(n, dtype=np.intp)
+        out[rows] = cols
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledConstraints(nodes={self.allowed_mask.shape[0]}, "
+            f"instances={self.allowed_mask.shape[1]}, "
+            f"forced={int((self.forced_assignment >= 0).sum())})"
         )
 
 
@@ -557,12 +737,22 @@ class DeltaEvaluator:
     cached edge costs recomputes it.  The longest-path objective is scored
     with the full vectorized relaxation (no exact O(degree) delta exists),
     which the tests still verify against the oracle move-by-move.
+
+    When constructed with an ``allowed_mask`` (see
+    :class:`CompiledConstraints`), the evaluator also filters move
+    generation: :meth:`free_instance_indices` can restrict free instances to
+    those allowed for a node, :meth:`swap_allowed` answers in O(1) from the
+    mask, and scoring or committing a disallowed move raises
+    :class:`InvalidDeploymentError` — constraint-aware solvers cannot
+    silently wander out of the feasible region.
     """
 
     def __init__(self, problem: CompiledProblem, assignment: np.ndarray,
-                 objective: Objective):
+                 objective: Objective,
+                 allowed_mask: Optional[np.ndarray] = None):
         self.problem = problem
         self.objective = objective
+        self.allowed_mask = allowed_mask
         self.assignment = np.array(assignment, dtype=np.intp)
         self._node_of_instance = np.full(problem.num_instances, -1, dtype=np.intp)
         self._node_of_instance[self.assignment] = np.arange(problem.num_nodes)
@@ -583,9 +773,23 @@ class DeltaEvaluator:
         """Cost of the current assignment."""
         return self._cost
 
-    def free_instance_indices(self) -> np.ndarray:
-        """Indices of instances not hosting any node, ascending."""
-        return np.flatnonzero(self._node_of_instance < 0)
+    def free_instance_indices(self, node: Optional[int] = None) -> np.ndarray:
+        """Indices of instances not hosting any node, ascending.
+
+        With ``node`` given (and an allowed mask installed), only the free
+        instances that node may legally move to are returned.
+        """
+        free = np.flatnonzero(self._node_of_instance < 0)
+        if node is not None and self.allowed_mask is not None:
+            free = free[self.allowed_mask[node, free]]
+        return free
+
+    def swap_allowed(self, node_a: int, node_b: int) -> bool:
+        """Whether exchanging two nodes' instances respects the mask."""
+        if self.allowed_mask is None:
+            return True
+        return bool(self.allowed_mask[node_a, self.assignment[node_b]]
+                    and self.allowed_mask[node_b, self.assignment[node_a]])
 
     def plan(self) -> DeploymentPlan:
         """The current assignment as a :class:`DeploymentPlan`."""
@@ -633,6 +837,13 @@ class DeltaEvaluator:
         return max(untouched_max, float(new_costs.max()))
 
     def _candidate_cost(self, moves: Dict[int, int]) -> Tuple[float, Optional[np.ndarray], Optional[np.ndarray]]:
+        if self.allowed_mask is not None:
+            for node, instance in moves.items():
+                if not self.allowed_mask[node, instance]:
+                    raise InvalidDeploymentError(
+                        f"move places node index {node} on disallowed "
+                        f"instance index {instance}"
+                    )
         key = tuple(sorted(moves.items()))
         if self._last_peek is not None and self._last_peek[0] == key:
             return self._last_peek[1:]

@@ -31,6 +31,8 @@ import hashlib
 from types import MappingProxyType
 from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional
 
+import numpy as np
+
 from .communication_graph import CommunicationGraph
 from .cost_matrix import CostMatrix
 from .deployment import DeploymentPlan, provider_order_plan
@@ -40,7 +42,7 @@ from .errors import (
     InvalidDeploymentError,
     InvalidGraphError,
 )
-from .evaluation import CompiledProblem, compile_problem
+from .evaluation import CompiledConstraints, CompiledProblem, compile_problem
 from .objectives import Objective
 from .types import InstanceId, NodeId
 
@@ -59,10 +61,16 @@ class PlacementConstraints:
     * *forbidden* — a node must **not** run on certain instances (e.g.
       instances in a failure domain the component must avoid).
 
-    Solvers search unconstrained; constraints are enforced by the base
-    :class:`~repro.solvers.base.DeploymentSolver` after the search through
-    :meth:`repair`, which swaps / relocates nodes until the plan satisfies
-    every constraint (re-scoring the repaired plan honestly).
+    Constraints are enforced *natively*: every built-in solver searches
+    only the allowed region, drawing candidates and moves from the
+    compiled view this class lowers to (:meth:`compile`, cached per
+    problem by
+    :meth:`~repro.core.problem.DeploymentProblem.compiled_constraints`).
+    The matching-based :meth:`repair` survives as a verified fallback the
+    base :class:`~repro.solvers.base.DeploymentSolver` applies only for
+    solvers that do not declare native support (e.g. the exact solvers'
+    ``use_engine=False`` reference paths); telemetry records whenever it
+    fires.
     """
 
     __slots__ = ("_pinned", "_forbidden")
@@ -163,7 +171,6 @@ class PlacementConstraints:
             return
         candidates = [i for i in costs.instance_ids
                       if i not in pinned_targets]
-        import numpy as np
         from scipy.optimize import linear_sum_assignment
 
         if len(candidates) < len(constrained):
@@ -207,6 +214,30 @@ class PlacementConstraints:
         """Whether ``plan`` honours every constraint."""
         return not self.violations(plan)
 
+    def compile(self, problem: CompiledProblem) -> CompiledConstraints:
+        """Lower the constraints onto a compiled problem's index space.
+
+        Produces the boolean allowed mask the constraint-aware solvers
+        search with: forbidden pairs are cleared, a pinned node's row
+        becomes the one-hot of its pin, and the pinned column is cleared
+        for every other node (the pin occupies that instance in any
+        feasible plan).  Prefer
+        :meth:`DeploymentProblem.compiled_constraints`, which caches the
+        result per problem.
+        """
+        mask = np.ones((problem.num_nodes, problem.num_instances), dtype=bool)
+        for node, instances in self._forbidden.items():
+            row = problem.node_idx(node)
+            for instance in instances:
+                mask[row, problem.instance_idx(instance)] = False
+        for node, instance in self._pinned.items():
+            row = problem.node_idx(node)
+            column = problem.instance_idx(instance)
+            mask[:, column] = False
+            mask[row, :] = False
+            mask[row, column] = True
+        return CompiledConstraints(problem, mask)
+
     def repair(self, plan: DeploymentPlan,
                instance_ids: Iterable[InstanceId]) -> DeploymentPlan:
         """Return the closest plan to ``plan`` that satisfies the constraints.
@@ -247,7 +278,6 @@ class PlacementConstraints:
     def _rematch(self, mapping: Dict[NodeId, InstanceId],
                  instance_ids: Iterable[InstanceId]) -> DeploymentPlan:
         """Re-assign the non-pinned nodes with a minimum-change matching."""
-        import numpy as np
         from scipy.optimize import linear_sum_assignment
 
         pinned_targets = set(self._pinned.values())
@@ -342,7 +372,7 @@ class DeploymentProblem:
     """
 
     __slots__ = ("_graph", "_costs", "_objective", "_constraints", "_metadata",
-                 "_fingerprint", "_instance_key")
+                 "_fingerprint", "_instance_key", "_compiled_constraints")
 
     def __init__(self, graph: CommunicationGraph, costs: CostMatrix,
                  objective: Objective = Objective.LONGEST_LINK,
@@ -370,6 +400,7 @@ class DeploymentProblem:
         self._metadata: Dict[str, Any] = dict(metadata or {})
         self._fingerprint: Optional[str] = None
         self._instance_key: Optional[str] = None
+        self._compiled_constraints: Optional[CompiledConstraints] = None
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -422,6 +453,22 @@ class DeploymentProblem:
         consumer of this problem object reuses one lowering.
         """
         return compile_problem(self._graph, self._costs)
+
+    def compiled_constraints(self) -> Optional[CompiledConstraints]:
+        """The constraints lowered onto the compiled engine, built once.
+
+        Returns ``None`` for unconstrained problems.  The compiled view
+        (allowed mask + per-node allowed-index arrays) is cached on the
+        problem — like :meth:`compiled`, all solvers working on one problem
+        object share a single lowering — and is covered by
+        :meth:`fingerprint` through the constraints it derives from.
+        """
+        if self._constraints is None:
+            return None
+        if self._compiled_constraints is None:
+            self._compiled_constraints = self._constraints.compile(
+                self.compiled())
+        return self._compiled_constraints
 
     def evaluate(self, plan: DeploymentPlan) -> float:
         """Deployment cost of ``plan`` under this problem's objective."""
@@ -500,6 +547,9 @@ class DeploymentProblem:
         clone._metadata = dict(self._metadata)
         clone._fingerprint = self._fingerprint
         clone._instance_key = self._instance_key
+        # The compiled view is indexed against the clone's own engine
+        # (canonical graph / costs), so it cannot be carried over.
+        clone._compiled_constraints = None
         return clone
 
     # ------------------------------------------------------------------ #

@@ -6,7 +6,9 @@ from .base import (
     SearchBudget,
     SolverResult,
     Stopwatch,
+    best_constrained_random_plan,
     best_random_plan,
+    constrained_warm_start,
     default_plan,
     random_plans,
 )
@@ -56,7 +58,9 @@ __all__ = [
     "SubgraphMonomorphismSearch",
     "SwapLocalSearch",
     "UnknownSolverError",
+    "best_constrained_random_plan",
     "best_random_plan",
+    "constrained_warm_start",
     "default_plan",
     "default_registry",
     "random_plans",

@@ -158,6 +158,12 @@ class SolverResult:
     #: Proven lower bound on the optimal cost, when the solver derives one
     #: (the CP solver's degree-based bound, a MIP's best LP bound).
     lower_bound: Optional[float] = None
+    #: Whether the *base class's* repair fallback fired after the search
+    #: to satisfy placement constraints.  Always ``False`` for natively
+    #: constraint-aware solvers (which guarantee feasibility themselves,
+    #: even on search dead-ends); ``True`` marks the legacy fallback that
+    #: post-hoc repairs a constraint-blind search result.
+    repair_applied: bool = False
 
     def improvement_over(self, baseline_cost: float) -> float:
         """Relative improvement of this result over a baseline cost.
@@ -186,6 +192,7 @@ class SolverResult:
             "optimal": self.optimal,
             "trace": [[when, cost] for when, cost in self.trace],
             "lower_bound": self.lower_bound,
+            "repair_applied": self.repair_applied,
         }
 
     @classmethod
@@ -203,6 +210,7 @@ class SolverResult:
                 trace=tuple((when, cost)
                             for when, cost in payload.get("trace", [])),
                 lower_bound=payload.get("lower_bound"),
+                repair_applied=payload.get("repair_applied", False),
             )
         except (KeyError, TypeError) as exc:
             raise SolverError(
@@ -233,6 +241,21 @@ class DeploymentSolver(abc.ABC):
     #: Objective assumed by the deprecated positional ``solve`` form when
     #: the caller does not name one.
     default_objective: Objective = Objective.LONGEST_LINK
+
+    #: Whether this solver class enforces placement constraints natively
+    #: during the search (drawing candidates only from the allowed region)
+    #: instead of relying on the base class's post-hoc repair.  Registered
+    #: through :class:`~repro.solvers.registry.SolverSpec` as a capability.
+    supports_constraints: bool = False
+
+    def handles_constraints(self, problem: DeploymentProblem) -> bool:
+        """Whether this *instance* natively enforces ``problem``'s constraints.
+
+        Defaults to the class capability; solvers with a legacy reference
+        path (``use_engine=False``) override this to fall back to the
+        repair on that path.
+        """
+        return self.supports_constraints
 
     def check_problem(self, problem: DeploymentProblem) -> None:
         """Validate that this solver can work on ``problem``.
@@ -277,9 +300,12 @@ class DeploymentSolver(abc.ABC):
 
         Returns:
             The best plan found, its cost, and bookkeeping information.
-            When the problem carries placement constraints, the returned
-            plan is repaired to satisfy them and re-scored (``optimal`` is
-            cleared if the repair changed the plan).
+            When the problem carries placement constraints, a natively
+            constraint-aware solver (``handles_constraints``) must return
+            a feasible plan — the base class asserts it; for legacy
+            solvers the plan is repaired to satisfy the constraints and
+            re-scored (``optimal`` is cleared and ``repair_applied`` set
+            if the repair changed the plan).
         """
         if isinstance(problem, DeploymentProblem):
             if costs is not None or objective is not None:
@@ -304,16 +330,27 @@ class DeploymentSolver(abc.ABC):
         self.check_problem(problem)
         result = self._solve(problem, budget=budget, initial_plan=initial_plan)
         constraints = problem.constraints
-        if constraints is not None and not constraints.satisfied_by(result.plan):
-            plan = constraints.repair(result.plan, problem.costs.instance_ids)
-            cost = problem.evaluate(plan)
-            trace = result.trace
-            if trace and cost > trace[-1][1]:
-                # The repaired plan is the one actually returned; close the
-                # convergence trace with its honest (possibly worse) cost.
-                trace = trace + ((result.solve_time_s, cost),)
-            result = replace(result, plan=plan, cost=cost, optimal=False,
-                             trace=trace)
+        if constraints is not None:
+            if self.handles_constraints(problem):
+                violations = constraints.violations(result.plan)
+                if violations:
+                    raise SolverError(
+                        f"{self.name} declares native constraint support "
+                        f"but returned a violating plan: "
+                        + "; ".join(violations[:3])
+                    )
+            elif not constraints.satisfied_by(result.plan):
+                plan = constraints.repair(result.plan,
+                                          problem.costs.instance_ids)
+                cost = problem.evaluate(plan)
+                trace = result.trace
+                if trace and cost > trace[-1][1]:
+                    # The repaired plan is the one actually returned; close
+                    # the convergence trace with its honest (possibly
+                    # worse) cost.
+                    trace = trace + ((result.solve_time_s, cost),)
+                result = replace(result, plan=plan, cost=cost, optimal=False,
+                                 trace=trace, repair_applied=True)
         return result
 
     @abc.abstractmethod
@@ -353,6 +390,47 @@ def best_random_plan(graph: CommunicationGraph, costs: CostMatrix,
     plan_costs = compile_problem(graph, costs).evaluate_plans(plans, objective)
     best_index = int(np.argmin(plan_costs))
     return plans[best_index], float(plan_costs[best_index])
+
+
+def best_constrained_random_plan(problem: DeploymentProblem, count: int,
+                                 rng: np.random.Generator | int | None = None
+                                 ) -> Tuple[DeploymentPlan, float]:
+    """Best of ``count`` random *feasible* plans of a constrained problem.
+
+    The constrained twin of :func:`best_random_plan`: assignments are drawn
+    through the problem's compiled constraint view (so every sample honours
+    pins and forbidden placements) and scored in one batch.  Falls back to
+    :func:`best_random_plan` for unconstrained problems.
+    """
+    view = problem.compiled_constraints()
+    if view is None:
+        return best_random_plan(problem.graph, problem.costs,
+                                problem.objective, count, rng)
+    if count <= 0:
+        raise SolverError("count must be positive to draw a random plan")
+    engine = problem.compiled()
+    assignments = view.random_assignments(count, make_rng(rng))
+    plan_costs = engine.evaluate_batch(assignments, problem.objective)
+    best_index = int(np.argmin(plan_costs))
+    return (engine.plan_from_assignment(assignments[best_index]),
+            float(plan_costs[best_index]))
+
+
+def constrained_warm_start(problem: DeploymentProblem,
+                           initial_plan: Optional[DeploymentPlan]
+                           ) -> Optional[DeploymentPlan]:
+    """A caller-supplied warm start made safe for a native constrained search.
+
+    Constraint-aware solvers search only the allowed region, so a violating
+    warm start is repaired up front (instead of silently dropping it or
+    poisoning the search); feasible or absent warm starts pass through
+    untouched, as does everything on unconstrained problems.
+    """
+    constraints = problem.constraints
+    if (constraints is None or initial_plan is None
+            or constraints.satisfied_by(initial_plan)):
+        return initial_plan
+    return constraints.repair(initial_plan, problem.costs.instance_ids)
 
 
 def default_plan(graph: CommunicationGraph, costs: CostMatrix) -> DeploymentPlan:

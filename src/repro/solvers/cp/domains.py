@@ -4,42 +4,31 @@ Variables are application nodes; values are instance indices.  The store
 supports marking a checkpoint before a tentative assignment, pruning values
 during propagation, and restoring the checkpoint on backtrack.
 
-The store can also maintain an *incremental bound cache*: when constructed
-with ``value_bounds`` (a per-variable array of lower bounds indexed by
-value), it tracks for every variable the minimum bound over its current
-domain.  Bounds are updated in O(1) per removal unless the removed value
-realised the minimum, and every bound change is recorded on the same trail
-as the domain removals, so restoring a checkpoint brings the cached bounds
-back without recomputing them from the domains.  The cache is opt-in and
-costs nothing when unused: it exists for bound-driven searches where an
-incumbent can prune against ``completion_bound``.  The pure satisfaction
-search of :mod:`repro.solvers.cp.subgraph` leaves it off — every value that
-survives its root compatibility filter is already below the threshold, so a
-live bound cannot prune there (see its docstring), and enabling tracking in
-that hot loop costs ~20% for nothing.
+The store once carried an opt-in incremental bound cache for bound-driven
+searches.  It was removed: the satisfaction search of
+:mod:`repro.solvers.cp.subgraph` is the store's only production caller, and
+every value surviving its root filters — the degree-based compatibility
+labeling *and*, on constrained problems, the placement allowed-mask — is
+already below the active threshold, so a live completion bound can never
+prune a branch there (the CP solver applies the constraint-tightened
+degree bound once, globally, to cut its threshold loop instead).  Keeping
+the cache cost ~20% in the removal hot loop for nothing.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
-
-import numpy as np
+from typing import Dict, Hashable, Iterable, List, Set, Tuple
 
 from ...core.errors import SolverError
 
 Variable = Hashable
 Value = int
 
-#: Trail tags: a removed domain value or a superseded cached bound.
-_DOMAIN = 0
-_BOUND = 1
-
 
 class DomainStore:
     """Mutable variable domains with trail-based backtracking."""
 
-    def __init__(self, domains: Dict[Variable, Iterable[Value]],
-                 value_bounds: Optional[Mapping[Variable, np.ndarray]] = None):
+    def __init__(self, domains: Dict[Variable, Iterable[Value]]):
         if not domains:
             raise SolverError("domain store needs at least one variable")
         self._domains: Dict[Variable, Set[Value]] = {
@@ -48,23 +37,8 @@ class DomainStore:
         for var, values in self._domains.items():
             if not values:
                 raise SolverError(f"variable {var!r} starts with an empty domain")
-        #: Trail of (tag, variable, payload) entries, in mutation order.
-        #: Domain entries restore a removed value (payload: the value);
-        #: bound entries restore a superseded cached bound (payload: float).
-        self._trail: List[Tuple[int, Variable, object]] = []
-        # Per-value bounds are pre-lowered to plain Python floats: the cache
-        # is consulted on every removal in the CP hot loop, and indexing a
-        # NumPy array there would box a scalar per lookup.
-        self._value_bounds: Optional[Dict[Variable, List[float]]] = None
-        self._bounds: Dict[Variable, float] = {}
-        if value_bounds is not None:
-            self._value_bounds = {
-                var: [float(x) for x in value_bounds[var]]
-                for var in self._domains
-            }
-            for var, values in self._domains.items():
-                per_value = self._value_bounds[var]
-                self._bounds[var] = min(per_value[v] for v in values)
+        #: Trail of (variable, removed value) entries, in removal order.
+        self._trail: List[Tuple[Variable, Value]] = []
 
     # ------------------------------------------------------------------ #
 
@@ -101,34 +75,6 @@ class DomainStore:
         return all(len(d) == 1 for d in self._domains.values())
 
     # ------------------------------------------------------------------ #
-    # Cached bounds
-    # ------------------------------------------------------------------ #
-
-    def tracks_bounds(self) -> bool:
-        """Whether the store maintains per-variable bound minima."""
-        return self._value_bounds is not None
-
-    def bound(self, var: Variable) -> float:
-        """Cached minimum bound over the variable's current domain.
-
-        Returns 0.0 when the store was built without ``value_bounds``;
-        returns ``inf`` for a wiped-out domain.
-        """
-        if self._value_bounds is None:
-            return 0.0
-        return self._bounds[var]
-
-    def completion_bound(self) -> float:
-        """Lower bound on any full assignment consistent with the domains.
-
-        The maximum of the per-variable minima: every variable must take
-        some value of its domain, and each value costs at least its bound.
-        """
-        if not self._bounds:
-            return 0.0
-        return max(self._bounds.values())
-
-    # ------------------------------------------------------------------ #
     # Trail management
     # ------------------------------------------------------------------ #
 
@@ -137,31 +83,14 @@ class DomainStore:
         return len(self._trail)
 
     def restore(self, mark: int) -> None:
-        """Undo all removals (and cached-bound changes) recorded after ``mark``."""
+        """Undo all removals recorded after ``mark``."""
         while len(self._trail) > mark:
-            tag, var, payload = self._trail.pop()
-            if tag == _DOMAIN:
-                self._domains[var].add(payload)
-            else:
-                self._bounds[var] = payload
+            var, value = self._trail.pop()
+            self._domains[var].add(value)
 
     # ------------------------------------------------------------------ #
     # Pruning
     # ------------------------------------------------------------------ #
-
-    def _update_bound(self, var: Variable, value: Value) -> None:
-        """Refresh the cached bound after ``value`` left ``var``'s domain."""
-        per_value = self._value_bounds[var]
-        old_bound = self._bounds[var]
-        if per_value[value] > old_bound:
-            return  # the removed value did not realise the minimum
-        domain = self._domains[var]
-        new_bound = (
-            min(per_value[v] for v in domain) if domain else float("inf")
-        )
-        if new_bound != old_bound:
-            self._bounds[var] = new_bound
-            self._trail.append((_BOUND, var, old_bound))
 
     def remove(self, var: Variable, value: Value) -> bool:
         """Remove ``value`` from ``var``'s domain.
@@ -175,9 +104,7 @@ class DomainStore:
         if value not in domain:
             return True
         domain.discard(value)
-        self._trail.append((_DOMAIN, var, value))
-        if self._value_bounds is not None:
-            self._update_bound(var, value)
+        self._trail.append((var, value))
         return bool(domain)
 
     def assign(self, var: Variable, value: Value) -> bool:
@@ -191,9 +118,7 @@ class DomainStore:
         for other in list(domain):
             if other != value:
                 domain.discard(other)
-                self._trail.append((_DOMAIN, var, other))
-                if self._value_bounds is not None:
-                    self._update_bound(var, other)
+                self._trail.append((var, other))
         return True
 
     def restrict(self, var: Variable, allowed: Set[Value]) -> bool:
@@ -205,7 +130,5 @@ class DomainStore:
         for value in list(domain):
             if value not in allowed:
                 domain.discard(value)
-                self._trail.append((_DOMAIN, var, value))
-                if self._value_bounds is not None:
-                    self._update_bound(var, value)
+                self._trail.append((var, value))
         return bool(domain)

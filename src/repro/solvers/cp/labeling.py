@@ -183,7 +183,9 @@ def compatibility_domains_reference(graph: CommunicationGraph,
 
 
 def quick_infeasibility_check(graph: CommunicationGraph,
-                              allowed: np.ndarray) -> bool:
+                              allowed: np.ndarray,
+                              problem: Optional[CompiledProblem] = None
+                              ) -> bool:
     """Cheap necessary conditions for a monomorphism to exist.
 
     Returns ``True`` when the threshold graph *might* contain the
@@ -191,6 +193,11 @@ def quick_infeasibility_check(graph: CommunicationGraph,
     it provably cannot — e.g. not enough instances, not enough edges, or the
     degree profiles cannot be matched.  Vectorized; agrees exactly with
     :func:`quick_infeasibility_check_reference`.
+
+    ``problem`` (the caller's compiled engine for the instance) supplies the
+    cached node degree arrays; without it they are recomputed from the
+    graph on every call — the CP solver repeats this check once per
+    threshold iteration, so pass the engine when one exists.
     """
     num_instances = allowed.shape[0]
     if num_instances < graph.num_nodes:
@@ -198,7 +205,7 @@ def quick_infeasibility_check(graph: CommunicationGraph,
     if int(allowed.sum()) < graph.num_edges:
         return False
     degrees = threshold_degrees(allowed)
-    node_out, node_in, _ = _node_degree_arrays(graph, None)
+    node_out, node_in, _ = _node_degree_arrays(graph, problem)
     instance_out = -np.sort(-degrees["out"].astype(np.int64))[: graph.num_nodes]
     instance_in = -np.sort(-degrees["in"].astype(np.int64))[: graph.num_nodes]
     if (instance_out < -np.sort(-node_out)).any():

@@ -39,7 +39,9 @@ from ..base import (
     SearchBudget,
     SolverResult,
     Stopwatch,
+    best_constrained_random_plan,
     best_random_plan,
+    constrained_warm_start,
 )
 from .labeling import longest_link_lower_bound_reference
 from .subgraph import SubgraphMonomorphismSearch
@@ -65,6 +67,16 @@ class CPLongestLinkSolver(DeploymentSolver):
 
     name = "CP"
     supported_objectives = (Objective.LONGEST_LINK,)
+    supports_constraints = True
+
+    def handles_constraints(self, problem: DeploymentProblem) -> bool:
+        """Constraints are lowered into the search on the engine path only.
+
+        The ``use_engine=False`` oracle path is kept bit-identical to the
+        historical solver and therefore still relies on the base-class
+        repair.
+        """
+        return self.use_engine
 
     def __init__(self, k_clusters: Optional[int] = 20, round_to: float | None = 0.01,
                  initial_random_plans: int = 10,
@@ -95,6 +107,14 @@ class CPLongestLinkSolver(DeploymentSolver):
         cost_array = clustered.as_array()
         instance_ids = list(clustered.instance_ids)
 
+        # Placement constraints are lowered into the search itself on the
+        # engine path: the allowed mask restricts the CP domains and
+        # tightens both lower bounds (the clustered matrix preserves
+        # instance ids and order, so one mask serves both engines).
+        view = (problem.compiled_constraints()
+                if self.use_engine else None)
+        mask = None if view is None else view.allowed_mask
+
         if self.use_engine:
             engine = compile_problem(graph, costs)
             clustered_engine = compile_problem(graph, clustered)
@@ -110,8 +130,8 @@ class CPLongestLinkSolver(DeploymentSolver):
             # reported lower bound comes from the true costs so it is a
             # proven bound on the actual optimum (clustering can round a
             # cost upward past it).
-            clustered_lower_bound = clustered_engine.longest_link_lower_bound()
-            lower_bound = engine.longest_link_lower_bound()
+            clustered_lower_bound = clustered_engine.longest_link_lower_bound(mask)
+            lower_bound = engine.longest_link_lower_bound(mask)
         else:
             clustered_engine = None
 
@@ -129,9 +149,16 @@ class CPLongestLinkSolver(DeploymentSolver):
             )
 
         # Seed the incumbent with the best of a few random plans (and the
-        # caller-provided warm start when available).
-        plan, _ = best_random_plan(graph, costs, objective,
-                                   self.initial_random_plans, rng)
+        # caller-provided warm start when available); on the constrained
+        # path every seed candidate is feasible, so the final incumbent is
+        # feasible no matter how the threshold loop ends.
+        if view is None:
+            plan, _ = best_random_plan(graph, costs, objective,
+                                       self.initial_random_plans, rng)
+        else:
+            plan, _ = best_constrained_random_plan(
+                problem, self.initial_random_plans, rng)
+            initial_plan = constrained_warm_start(problem, initial_plan)
         if initial_plan is not None:
             if true_cost(initial_plan) < true_cost(plan):
                 plan = initial_plan
@@ -168,6 +195,7 @@ class CPLongestLinkSolver(DeploymentSolver):
                 max_backtracks=self.max_backtracks_per_iteration,
                 matching_check_interval=self.matching_check_interval,
                 problem=clustered_engine, use_engine=self.use_engine,
+                node_allowed=mask,
             )
             outcome = search.find()
             iterations += 1

@@ -65,10 +65,17 @@ class SubgraphMonomorphismSearch:
         matching_check_interval: run the bipartite matching feasibility check
             every this many assignments (0 disables the check).
         problem: optional compiled evaluation engine for the instance; its
-            cached degree arrays and profiles feed the vectorized labeling.
+            cached degree arrays and profiles feed the vectorized labeling
+            and the quick feasibility pre-check.
         use_engine: route the labeling bounds through the vectorized
             implementations (default); ``False`` keeps the dict-walking
             oracle path, which the agreement tests compare against.
+        node_allowed: optional boolean ``(num_nodes, num_instances)``
+            placement mask in ``graph.nodes`` × ``instance_ids`` order (see
+            :class:`~repro.core.evaluation.CompiledConstraints`).  Root
+            domains are intersected with each node's allowed row — the
+            natural CP lowering of placement constraints: the whole search
+            tree is pruned to the feasible region up front.
 
     Note on cost bounds: the search deliberately carries no per-assignment
     cost bounds.  Every value that survives the root compatibility filter
@@ -85,7 +92,8 @@ class SubgraphMonomorphismSearch:
                  max_backtracks: int | None = None,
                  matching_check_interval: int = 8,
                  problem: Optional[CompiledProblem] = None,
-                 use_engine: bool = True):
+                 use_engine: bool = True,
+                 node_allowed: Optional[np.ndarray] = None):
         self.graph = graph
         self.instance_ids = list(instance_ids)
         self.allowed = allowed.astype(bool)
@@ -95,6 +103,7 @@ class SubgraphMonomorphismSearch:
         self.matching_check_interval = matching_check_interval
         self.problem = problem
         self.use_engine = use_engine
+        self.node_allowed = node_allowed
 
         self._undirected_allowed = self.allowed | self.allowed.T
         self._instance_degree = self._undirected_allowed.sum(axis=1)
@@ -111,7 +120,8 @@ class SubgraphMonomorphismSearch:
         self._timed_out = False
 
         if self.use_engine:
-            feasible = quick_infeasibility_check(self.graph, self.allowed)
+            feasible = quick_infeasibility_check(self.graph, self.allowed,
+                                                 problem=self.problem)
         else:
             feasible = quick_infeasibility_check_reference(self.graph, self.allowed)
         if not feasible:
@@ -123,6 +133,13 @@ class SubgraphMonomorphismSearch:
                                             problem=self.problem)
         else:
             domains = compatibility_domains_reference(self.graph, self.allowed)
+        if self.node_allowed is not None:
+            # Placement constraints restrict the root domains directly: a
+            # node may only map to instances its allowed row admits.
+            for i, node in enumerate(self.graph.nodes):
+                domains[node] = {
+                    value for value in domains[node] if self.node_allowed[i, value]
+                }
         if any(not values for values in domains.values()):
             return SearchOutcome(plan=None, proven_infeasible=True, timed_out=False,
                                  backtracks=0, nodes_explored=0)

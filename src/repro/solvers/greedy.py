@@ -18,6 +18,17 @@ Candidate scans run on the dense cost array of the compiled problem
 (:mod:`repro.core.evaluation`); ``np.argmin`` returns the first occurrence
 of the minimum, which reproduces the historical first-strict-improvement
 tie-breaking of the Python loops exactly.
+
+On constrained problems both algorithms are natively constraint-aware:
+forced placements (pins, or forbidden sets leaving one instance) are
+installed before the first greedy step, and every candidate scan draws only
+from each node's allowed instances (per the compiled
+:class:`~repro.core.evaluation.CompiledConstraints` view).  Should the
+greedy order paint itself into a corner — possible, since cheapest-first is
+not a matching algorithm — the construction completes on arbitrary free
+instances and the solver re-establishes feasibility itself through the
+constraint matching, so the returned plan never needs the base-class
+repair.  Unconstrained problems take the historical code path untouched.
 """
 
 from __future__ import annotations
@@ -30,24 +41,37 @@ from ..core.communication_graph import CommunicationGraph
 from ..core.cost_matrix import CostMatrix
 from ..core.deployment import DeploymentPlan
 from ..core.errors import SolverError
-from ..core.evaluation import CompiledProblem, compile_problem
+from ..core.evaluation import CompiledConstraints, CompiledProblem, compile_problem
 from ..core.problem import DeploymentProblem
 from ..core.types import InstanceId, NodeId
 from .base import DeploymentSolver, SearchBudget, SolverResult, Stopwatch
 
 
 class _GreedyState:
-    """Bookkeeping for a growing partial deployment."""
+    """Bookkeeping for a growing partial deployment.
+
+    With a constraint ``view``, forced placements are installed eagerly and
+    :meth:`allowed_unused_idx` exposes the per-node candidate instances the
+    constrained scans draw from.
+    """
 
     def __init__(self, graph: CommunicationGraph, costs: CostMatrix,
-                 problem: CompiledProblem | None = None):
+                 problem: CompiledProblem | None = None,
+                 view: CompiledConstraints | None = None):
         self.graph = graph
         self.costs = costs
         self.problem = problem if problem is not None else compile_problem(graph, costs)
+        self.view = view
         self.node_to_instance: Dict[NodeId, InstanceId] = {}
         self.instance_to_node: Dict[InstanceId, NodeId] = {}
         self.unmapped_nodes: Set[NodeId] = set(graph.nodes)
         self.unused_instances: Set[InstanceId] = set(costs.instance_ids)
+        if view is not None:
+            for row in np.flatnonzero(view.forced_assignment >= 0):
+                node = self.problem.node_ids[row]
+                instance = self.problem.instance_ids[
+                    view.forced_assignment[row]]
+                self.assign(node, instance)
 
     def assign(self, node: NodeId, instance: InstanceId) -> None:
         self.node_to_instance[node] = instance
@@ -69,6 +93,29 @@ class _GreedyState:
 
     def finished(self) -> bool:
         return not self.unmapped_nodes
+
+    def unused_indices(self, ordered: bool = False) -> np.ndarray:
+        """Dense indices of the unused instances.
+
+        Set-iteration order by default (matching the unconstrained scans'
+        tie-breaking); ``ordered=True`` sorts by instance id, which the
+        seeding steps use for deterministic first-allowed picks.
+        """
+        problem = self.problem
+        source = sorted(self.unused_instances) if ordered \
+            else self.unused_instances
+        return np.fromiter(
+            (problem.instance_idx(v) for v in source),
+            dtype=np.intp, count=len(self.unused_instances),
+        )
+
+    def allowed_unused_idx(self, node: NodeId,
+                           unused_idx: np.ndarray) -> np.ndarray:
+        """Subset of ``unused_idx`` the constraints allow for ``node``."""
+        if self.view is None:
+            return unused_idx
+        return self.view.filter_instances(self.problem.node_idx(node),
+                                          unused_idx)
 
     def plan(self) -> DeploymentPlan:
         return DeploymentPlan(self.node_to_instance)
@@ -130,10 +177,99 @@ def _seed_state(state: _GreedyState) -> None:
     state.assign(y, v0)
 
 
+def _seed_state_constrained(state: _GreedyState) -> bool:
+    """Constraint-aware twin of :func:`_seed_state`.
+
+    Maps the first unmapped communication edge onto the cheapest free
+    instance link both endpoints are allowed to use (isolated nodes go to
+    their first allowed free instance).  Returns ``False`` on a dead end —
+    the constrained greedy then completes through the matching fallback.
+    """
+    graph, problem = state.graph, state.problem
+    unmapped_edges = [
+        (x, y) for x, y in graph.edges
+        if x in state.unmapped_nodes and y in state.unmapped_nodes
+    ]
+    free_idx = state.unused_indices(ordered=True)
+    if not unmapped_edges:
+        node = min(state.unmapped_nodes)
+        allowed = state.allowed_unused_idx(node, free_idx)
+        if not allowed.size:
+            return False
+        state.assign(node, problem.instance_ids[int(allowed[0])])
+        return True
+    x, y = unmapped_edges[0]
+    src_idx = state.allowed_unused_idx(x, free_idx)
+    dst_idx = state.allowed_unused_idx(y, free_idx)
+    if not src_idx.size or not dst_idx.size:
+        return False
+    sub = problem.cost_array[np.ix_(src_idx, dst_idx)].copy()
+    sub[src_idx[:, None] == dst_idx[None, :]] = np.inf
+    flat = int(np.argmin(sub))
+    if not np.isfinite(sub.ravel()[flat]):
+        return False
+    u0 = int(src_idx[flat // dst_idx.size])
+    v0 = int(dst_idx[flat % dst_idx.size])
+    state.assign(x, problem.instance_ids[u0])
+    state.assign(y, problem.instance_ids[v0])
+    return True
+
+
+def _cheapest_allowed_expansion(state: _GreedyState
+                                ) -> Optional[Tuple[NodeId, InstanceId]]:
+    """G1's constrained expansion step.
+
+    Scans every (frontier anchor, unmatched neighbor ``w``, free instance
+    allowed for ``w``) candidate and returns the pair realising the
+    cheapest explicit link — the same explicit-cost-only criterion as the
+    unconstrained G1, restricted to the allowed region.
+    """
+    problem = state.problem
+    unused_idx = state.unused_indices()
+    if not unused_idx.size:
+        return None
+    best_cost = np.inf
+    best: Optional[Tuple[NodeId, InstanceId]] = None
+    for u in state.frontier_instances():
+        u_idx = problem.instance_idx(u)
+        anchor = state.instance_to_node[u]
+        for w in state.unmatched_neighbors(anchor):
+            candidates = state.allowed_unused_idx(w, unused_idx)
+            if not candidates.size:
+                continue
+            row = problem.cost_array[u_idx, candidates]
+            k = int(np.argmin(row))
+            if row[k] < best_cost:
+                best_cost = float(row[k])
+                best = (w, problem.instance_ids[int(candidates[k])])
+    return best
+
+
+def _finalize_constrained(state: _GreedyState,
+                          problem: DeploymentProblem) -> DeploymentPlan:
+    """Complete a (possibly dead-ended) constrained construction feasibly.
+
+    Remaining unmapped nodes are parked on arbitrary free instances; if the
+    resulting plan violates a constraint (only possible after a dead end),
+    the solver re-establishes feasibility itself through the
+    minimum-change constraint matching — natively, not via the base-class
+    repair, so ``repair_applied`` stays ``False``.
+    """
+    free = sorted(state.unused_instances)
+    for node in sorted(state.unmapped_nodes):
+        state.assign(node, free.pop(0))
+    plan = state.plan()
+    constraints = problem.constraints
+    if constraints is not None and not constraints.satisfied_by(plan):
+        plan = constraints.repair(plan, problem.costs.instance_ids)
+    return plan
+
+
 class GreedyG1(DeploymentSolver):
     """Algorithm 1: greedy expansion by cheapest explicit link."""
 
     name = "G1"
+    supports_constraints = True
 
     def _solve(self, problem: DeploymentProblem,
                budget: SearchBudget | None = None,
@@ -142,24 +278,43 @@ class GreedyG1(DeploymentSolver):
         budget = budget or SearchBudget.unlimited()
         watch = Stopwatch(budget)
         engine = self.compiled(graph, costs)
-        state = _GreedyState(graph, costs, engine)
-        _seed_state(state)
+        view = problem.compiled_constraints()
+        state = _GreedyState(graph, costs, engine, view)
         iterations = 0
+        dead_end = False
 
-        while not state.finished():
-            iterations += 1
-            frontier = state.frontier_instances()
-            best = _cheapest_link(engine, frontier, state.unused_instances)
-            if best is None:
-                # Disconnected remainder: start a new component.
-                _seed_state(state)
-                continue
-            u_min, v_min, _ = best
-            anchor_node = state.instance_to_node[u_min]
-            w = state.unmatched_neighbors(anchor_node)[0]
-            state.assign(w, v_min)
+        if view is None:
+            _seed_state(state)
+            while not state.finished():
+                iterations += 1
+                frontier = state.frontier_instances()
+                best = _cheapest_link(engine, frontier, state.unused_instances)
+                if best is None:
+                    # Disconnected remainder: start a new component.
+                    _seed_state(state)
+                    continue
+                u_min, v_min, _ = best
+                anchor_node = state.instance_to_node[u_min]
+                w = state.unmatched_neighbors(anchor_node)[0]
+                state.assign(w, v_min)
+        else:
+            if not state.finished() and not state.frontier_instances():
+                dead_end = not _seed_state_constrained(state)
+            while not dead_end and not state.finished():
+                iterations += 1
+                choice = _cheapest_allowed_expansion(state)
+                if choice is None:
+                    # New component — or a node whose allowed instances are
+                    # all taken (resolved by the matching fallback below).
+                    if not _seed_state_constrained(state):
+                        dead_end = True
+                    continue
+                state.assign(*choice)
 
-        plan = state.plan()
+        if view is None:
+            plan = state.plan()
+        else:
+            plan = _finalize_constrained(state, problem)
         cost = engine.evaluate_plan(plan, objective)
         return SolverResult(
             plan=plan, cost=cost, objective=objective, solver_name=self.name,
@@ -172,6 +327,7 @@ class GreedyG2(DeploymentSolver):
     """Algorithm 2: greedy expansion accounting for implicit link costs."""
 
     name = "G2"
+    supports_constraints = True
 
     def _solve(self, problem: DeploymentProblem,
                budget: SearchBudget | None = None,
@@ -180,20 +336,32 @@ class GreedyG2(DeploymentSolver):
         budget = budget or SearchBudget.unlimited()
         watch = Stopwatch(budget)
         engine = self.compiled(graph, costs)
-        state = _GreedyState(graph, costs, engine)
-        _seed_state(state)
+        view = problem.compiled_constraints()
+        state = _GreedyState(graph, costs, engine, view)
         iterations = 0
+        dead_end = False
 
-        while not state.finished():
+        if view is None:
+            _seed_state(state)
+        elif not state.finished() and not state.frontier_instances():
+            dead_end = not _seed_state_constrained(state)
+
+        while not dead_end and not state.finished():
             iterations += 1
             choice = self._best_candidate(state)
             if choice is None:
-                _seed_state(state)
+                if view is None:
+                    _seed_state(state)
+                elif not _seed_state_constrained(state):
+                    dead_end = True
                 continue
             w_min, v_min = choice
             state.assign(w_min, v_min)
 
-        plan = state.plan()
+        if view is None:
+            plan = state.plan()
+        else:
+            plan = _finalize_constrained(state, problem)
         cost = engine.evaluate_plan(plan, objective)
         return SolverResult(
             plan=plan, cost=cost, objective=objective, solver_name=self.name,
@@ -212,7 +380,9 @@ class GreedyG2(DeploymentSolver):
         over free instances is a vectorized max over cost-array rows and
         columns; the per-``(u, w)`` ``argmin`` keeps first-occurrence
         tie-breaking, so the construction matches the historical triple
-        loop move for move.
+        loop move for move.  On constrained problems each node's scan is
+        restricted to its allowed free instances (same order, so the
+        tie-breaking is the restriction of the unconstrained one).
         """
         graph, problem = state.graph, state.problem
         cost_array = problem.cost_array
@@ -227,21 +397,24 @@ class GreedyG2(DeploymentSolver):
             u_idx = problem.instance_idx(u)
             anchor = state.instance_to_node[u]
             for w in state.unmatched_neighbors(anchor):
-                candidate = cost_array[u_idx, free_idx].copy()
+                w_free_idx = state.allowed_unused_idx(w, free_idx)
+                if not w_free_idx.size:
+                    continue
+                candidate = cost_array[u_idx, w_free_idx].copy()
                 for x in graph.successors(w):
                     mapped = state.node_to_instance.get(x)
                     if mapped is not None:
                         np.maximum(candidate,
-                                   cost_array[free_idx, problem.instance_idx(mapped)],
+                                   cost_array[w_free_idx, problem.instance_idx(mapped)],
                                    out=candidate)
                 for x in graph.predecessors(w):
                     mapped = state.node_to_instance.get(x)
                     if mapped is not None:
                         np.maximum(candidate,
-                                   cost_array[problem.instance_idx(mapped), free_idx],
+                                   cost_array[problem.instance_idx(mapped), w_free_idx],
                                    out=candidate)
                 k = int(np.argmin(candidate))
                 if candidate[k] < best_cost:
                     best_cost = float(candidate[k])
-                    best = (w, free_list[k])
+                    best = (w, problem.instance_ids[int(w_free_idx[k])])
         return best

@@ -13,6 +13,13 @@ only touches the edges incident to the moved nodes, so proposals cost
 O(degree) instead of a full O(|E|) re-evaluation.  The move-sampling code
 consumes the RNG exactly as the original implementation did, so results are
 reproducible seed for seed across the rewrite.
+
+On constrained problems the search is natively constraint-aware: it starts
+from a feasible plan (constrained sampling, or the warm start repaired up
+front) and proposes only moves the compiled allowed mask admits — the
+evaluator's mask filtering keeps pinned nodes pinned and forbidden
+placements out of the walk, so the final plan never needs the base-class
+repair.  The unconstrained path consumes the RNG exactly as before.
 """
 
 from __future__ import annotations
@@ -30,7 +37,9 @@ from .base import (
     SearchBudget,
     SolverResult,
     Stopwatch,
+    best_constrained_random_plan,
     best_random_plan,
+    constrained_warm_start,
 )
 
 #: A proposed move in engine coordinates: ``("swap", node_idx, node_idx)``
@@ -38,7 +47,7 @@ from .base import (
 Move = Tuple[str, int, int]
 
 
-def _propose_move(evaluator: DeltaEvaluator, rng) -> Move:
+def _propose_move(evaluator: DeltaEvaluator, rng) -> Optional[Move]:
     """Sample a random swap or relocation move.
 
     The RNG consumption pattern is part of the solvers' reproducibility
@@ -46,8 +55,16 @@ def _propose_move(evaluator: DeltaEvaluator, rng) -> Move:
     relocate branch draws ``rng.random()`` only when a free instance
     exists, node and target picks use ``rng.integers``, and swaps use
     ``rng.choice(n, size=2, replace=False)`` — in exactly this order.
+    Single-node problems (no swap population) return a relocation when a
+    free instance exists and ``None`` otherwise; the solvers count a
+    ``None`` proposal as a stall.
     """
     n_nodes = evaluator.problem.num_nodes
+    if n_nodes < 2:
+        free = evaluator.free_instance_indices()
+        if not free.size:
+            return None
+        return ("relocate", 0, int(free[int(rng.integers(free.size))]))
     free = evaluator.free_instance_indices()
     if free.size and rng.random() < 0.3:
         node = int(rng.integers(n_nodes))
@@ -55,6 +72,35 @@ def _propose_move(evaluator: DeltaEvaluator, rng) -> Move:
         return ("relocate", node, target)
     a, b = rng.choice(n_nodes, size=2, replace=False)
     return ("swap", int(a), int(b))
+
+
+def _propose_constrained_move(evaluator: DeltaEvaluator, rng,
+                              max_attempts: int = 32) -> Optional[Move]:
+    """Sample a move the evaluator's allowed mask admits.
+
+    Mirrors :func:`_propose_move` but draws relocate targets from the
+    node's *allowed* free instances and rejection-samples swaps against the
+    mask.  Returns ``None`` when no admissible move surfaced within the
+    attempt budget (e.g. every node pinned) — callers treat that as a
+    non-improving proposal.
+    """
+    n_nodes = evaluator.problem.num_nodes
+    free = evaluator.free_instance_indices()
+    if free.size and rng.random() < 0.3:
+        node = int(rng.integers(n_nodes))
+        # Reuse the free array already in hand instead of re-scanning the
+        # instance table through free_instance_indices(node).
+        targets = free[evaluator.allowed_mask[node, free]]
+        if targets.size:
+            target = int(targets[int(rng.integers(targets.size))])
+            return ("relocate", node, target)
+    if n_nodes < 2:
+        return None  # no swap population; relocate (above) was the only hope
+    for _ in range(max_attempts):
+        a, b = rng.choice(n_nodes, size=2, replace=False)
+        if evaluator.swap_allowed(int(a), int(b)):
+            return ("swap", int(a), int(b))
+    return None
 
 
 def _peek_move(evaluator: DeltaEvaluator, move: Move) -> float:
@@ -82,6 +128,7 @@ class SwapLocalSearch(DeploymentSolver):
     """
 
     name = "local-search"
+    supports_constraints = True
 
     def __init__(self, restarts: int = 3, seed: int | None = None,
                  max_moves_without_improvement: int = 2000):
@@ -100,6 +147,9 @@ class SwapLocalSearch(DeploymentSolver):
         watch = Stopwatch(budget)
         trace = ConvergenceTrace()
         engine = self.compiled(graph, costs)
+        view = problem.compiled_constraints()
+        mask = None if view is None else view.allowed_mask
+        initial_plan = constrained_warm_start(problem, initial_plan)
 
         best_plan: Optional[DeploymentPlan] = initial_plan
         best_cost = (
@@ -113,15 +163,27 @@ class SwapLocalSearch(DeploymentSolver):
                 break
             if restart == 0 and initial_plan is not None:
                 plan, cost = initial_plan, best_cost
-            else:
+            elif view is None:
                 plan, cost = best_random_plan(graph, costs, objective, 10, rng)
+            else:
+                plan, cost = best_constrained_random_plan(problem, 10, rng)
             trace.record(watch.elapsed(), min(cost, best_cost if best_plan else cost))
-            evaluator = engine.delta_evaluator(plan, objective)
+            evaluator = engine.delta_evaluator(plan, objective,
+                                               allowed_mask=mask)
 
             stall = 0
             while stall < self.max_moves_without_improvement and not watch.expired():
                 iterations += 1
-                move = _propose_move(evaluator, rng)
+                if view is None:
+                    move = _propose_move(evaluator, rng)
+                else:
+                    move = _propose_constrained_move(evaluator, rng)
+                if move is None:
+                    stall += 1
+                    if budget.max_iterations is not None \
+                            and iterations >= budget.max_iterations:
+                        break
+                    continue
                 candidate_cost = _peek_move(evaluator, move)
                 if candidate_cost < cost:
                     _apply_move(evaluator, move)
@@ -141,7 +203,12 @@ class SwapLocalSearch(DeploymentSolver):
                 break
 
         if best_plan is None:
-            best_plan, best_cost = best_random_plan(graph, costs, objective, 1, rng)
+            if view is None:
+                best_plan, best_cost = best_random_plan(graph, costs,
+                                                        objective, 1, rng)
+            else:
+                best_plan, best_cost = best_constrained_random_plan(
+                    problem, 1, rng)
             trace.record(watch.elapsed(), best_cost)
 
         return SolverResult(
@@ -161,6 +228,7 @@ class SimulatedAnnealing(DeploymentSolver):
     """
 
     name = "annealing"
+    supports_constraints = True
 
     def __init__(self, initial_temperature: float = 0.3, cooling: float = 0.995,
                  seed: int | None = None):
@@ -181,23 +249,41 @@ class SimulatedAnnealing(DeploymentSolver):
         watch = Stopwatch(budget)
         trace = ConvergenceTrace()
         engine = self.compiled(graph, costs)
+        view = problem.compiled_constraints()
+        mask = None if view is None else view.allowed_mask
+        initial_plan = constrained_warm_start(problem, initial_plan)
 
         if initial_plan is not None:
             plan = initial_plan
             cost = engine.evaluate_plan(plan, objective)
-        else:
+        elif view is None:
             plan, cost = best_random_plan(graph, costs, objective, 10, rng)
-        evaluator = engine.delta_evaluator(plan, objective)
+        else:
+            plan, cost = best_constrained_random_plan(problem, 10, rng)
+        evaluator = engine.delta_evaluator(plan, objective, allowed_mask=mask)
         best_plan, best_cost = plan, cost
         trace.record(watch.elapsed(), best_cost)
 
         temperature = self.initial_temperature * max(cost, 1e-9)
         iterations = 0
+        no_move_streak = 0
         while not watch.expired():
             if budget.max_iterations is not None and iterations >= budget.max_iterations:
                 break
             iterations += 1
-            move = _propose_move(evaluator, rng)
+            if view is None:
+                move = _propose_move(evaluator, rng)
+            else:
+                move = _propose_constrained_move(evaluator, rng)
+            if move is None:
+                # Heavily constrained walks can run out of admissible
+                # moves entirely (e.g. every node pinned); stop instead of
+                # spinning through the remaining wall-clock budget.
+                no_move_streak += 1
+                if no_move_streak >= 100:
+                    break
+                continue
+            no_move_streak = 0
             candidate_cost = _peek_move(evaluator, move)
             delta = candidate_cost - cost
             if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-12)):

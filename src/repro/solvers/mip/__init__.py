@@ -1,6 +1,7 @@
 """Mixed-integer programming formulations and solvers."""
 
 from .branch_and_bound import BranchAndBound, BranchAndBoundResult, DeploymentRounder
+from .deployment import DeploymentEncoding, MipDeploymentSolver
 from .llndp_mip import LLNDPEncoding, MIPLongestLinkSolver
 from .lpndp_mip import LPNDPEncoding, MIPLongestPathSolver
 from .model import LinearConstraintRow, MipModel, MipSolution, Variable
@@ -9,12 +10,14 @@ from .scipy_backend import solve_lp_relaxation, solve_milp
 __all__ = [
     "BranchAndBound",
     "BranchAndBoundResult",
+    "DeploymentEncoding",
     "DeploymentRounder",
     "LLNDPEncoding",
     "LPNDPEncoding",
     "LinearConstraintRow",
     "MIPLongestLinkSolver",
     "MIPLongestPathSolver",
+    "MipDeploymentSolver",
     "MipModel",
     "MipSolution",
     "Variable",

@@ -9,78 +9,30 @@ constraints ``c >= CL(j, j') * (x_ij + x_i'j' - 1)``.
 The encoding grows as ``|E| * |S|^2`` constraints, which is why the paper
 observes that MIP "performs poorly at the scale of 100 instances"; the same
 holds here, and the benchmarks exercise this solver at smaller scales.
+Placement constraints shrink the model instead of growing it: disallowed
+assignment variables are fixed out through the shared
+:class:`~repro.solvers.mip.deployment.DeploymentEncoding` hooks.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict
 
 import numpy as np
-from scipy.optimize import linear_sum_assignment
 
-from ...core.communication_graph import CommunicationGraph, augment_with_dummy_nodes
-from ...core.cost_matrix import CostMatrix
-from ...core.deployment import DeploymentPlan
-from ...core.evaluation import compile_problem
-from ...core.objectives import Objective, deployment_cost
-from ...core.problem import DeploymentProblem
-from ..base import (
-    ConvergenceTrace,
-    DeploymentSolver,
-    SearchBudget,
-    SolverResult,
-    Stopwatch,
-    best_random_plan,
-)
-from .branch_and_bound import (
-    BranchAndBound,
-    DeploymentRounder,
-    warm_start_assignment,
-)
-from .model import MipModel
-from .scipy_backend import solve_milp
+from ...core.objectives import Objective
+from .deployment import DeploymentEncoding, MipDeploymentSolver
 
 
-class LLNDPEncoding:
+class LLNDPEncoding(DeploymentEncoding):
     """Builds and decodes the longest-link MIP for one problem instance."""
 
-    def __init__(self, graph: CommunicationGraph, costs: CostMatrix):
-        self.graph = graph
-        self.costs = costs
-        self.instance_ids = list(costs.instance_ids)
-        self.cost_array = costs.as_array()
-        self.padded_graph = augment_with_dummy_nodes(graph, costs.num_instances)
-        self.nodes = list(self.padded_graph.nodes)
-        self.num_instances = costs.num_instances
-
-        self.model = MipModel()
-        self.x_index: Dict[Tuple[int, int], int] = {}
-        for node in self.nodes:
-            for j in range(self.num_instances):
-                self.x_index[(node, j)] = self.model.add_binary(f"x[{node},{j}]")
+    def _add_objective_variables(self) -> None:
         self.c_index = self.model.add_variable("c", lower=0.0)
-        # Variable indices of the x block as a (nodes, instances) gather map,
-        # so solution vectors can be reshaped into assignment weights without
-        # a per-entry Python loop.
-        self._x_block = np.array(
-            [[self.x_index[(node, j)] for j in range(self.num_instances)]
-             for node in self.nodes],
-            dtype=np.intp,
-        )
 
-        # Assignment constraints: each node on exactly one instance and each
-        # instance hosting exactly one (possibly dummy) node.
-        for node in self.nodes:
-            self.model.add_equality(
-                {self.x_index[(node, j)]: 1.0 for j in range(self.num_instances)}, 1.0
-            )
-        for j in range(self.num_instances):
-            self.model.add_equality(
-                {self.x_index[(node, j)]: 1.0 for node in self.nodes}, 1.0
-            )
-
+    def _add_objective_constraints(self) -> None:
         # Longest-link constraints: c >= CL(j, j') (x_ij + x_i'j' - 1).
-        for (i, i_prime) in graph.edges:
+        for (i, i_prime) in self.graph.edges:
             for j in range(self.num_instances):
                 for j_prime in range(self.num_instances):
                     if j == j_prime:
@@ -96,23 +48,7 @@ class LLNDPEncoding:
                         },
                         lower=-link_cost,
                     )
-
         self.model.set_objective({self.c_index: 1.0})
-
-    # ------------------------------------------------------------------ #
-
-    def decode(self, values: np.ndarray) -> DeploymentPlan:
-        """Extract an injective deployment plan from a solution vector.
-
-        A Hungarian assignment on the ``x`` block guards against slightly
-        fractional or degenerate solutions.
-        """
-        return self._assignment_to_plan(self._extract_assignment(values))
-
-    def rounding_callback(self, values: np.ndarray) -> Optional[np.ndarray]:
-        """Primal heuristic: round a fractional LP solution to a deployment."""
-        assignment = self._extract_assignment(values)
-        return self.solution_vector(assignment)
 
     def solution_vector(self, assignment: Dict[int, int]) -> np.ndarray:
         """Full variable vector realising the given node -> instance-index map."""
@@ -125,134 +61,15 @@ class LLNDPEncoding:
         vector[self.c_index] = worst
         return vector
 
-    def _extract_assignment(self, values: np.ndarray) -> Dict[int, int]:
-        weights = np.asarray(values)[self._x_block]
-        rows, cols = linear_sum_assignment(-weights)
-        return {self.nodes[int(r)]: int(c) for r, c in zip(rows, cols)}
 
-    def _assignment_to_plan(self, assignment: Dict[int, int]) -> DeploymentPlan:
-        return DeploymentPlan({
-            node: self.instance_ids[assignment[node]] for node in self.graph.nodes
-        })
-
-
-class MIPLongestLinkSolver(DeploymentSolver):
+class MIPLongestLinkSolver(MipDeploymentSolver):
     """Longest-link solver backed by the MIP encoding of Sect. 4.1.
 
-    Args:
-        backend: ``"bnb"`` uses the pure-Python branch and bound (produces an
-            incumbent convergence trace, like reading a CPLEX log);
-            ``"milp"`` hands the model to SciPy's HiGHS MILP solver.
-        k_clusters: optional cost clustering applied before encoding.
-        round_to: rounding grid for clustering.
-        node_limit: branch-and-bound node limit.
-        use_engine: score branch-and-bound incumbent roundings in batches
-            through the compiled evaluation engine (default); ``False``
-            keeps the scalar model-scored rounding path as the reference.
-        initial_random_plans: number of random plans drawn to seed the
-            incumbent when ``seed`` is given and no warm start is supplied
-            (the paper seeds its solvers with the best of 10 random
-            deployments, Sect. 6.3.1).
-        seed: RNG seed for the random warm start.  ``None`` (the default)
-            draws no warm start, preserving the historical behaviour.
+    A thin :class:`~repro.solvers.mip.deployment.MipDeploymentSolver`
+    subclass — see that class for the constructor arguments (backend
+    selection, clustering, warm starts, constraint lowering).
     """
 
     name = "MIP"
     supported_objectives = (Objective.LONGEST_LINK,)
-
-    def __init__(self, backend: str = "bnb", k_clusters: Optional[int] = None,
-                 round_to: float | None = 0.01, node_limit: int | None = 5000,
-                 use_engine: bool = True, initial_random_plans: int = 10,
-                 seed: int | None = None):
-        if backend not in ("bnb", "milp"):
-            raise ValueError("backend must be 'bnb' or 'milp'")
-        self.backend = backend
-        self.k_clusters = k_clusters
-        self.round_to = round_to
-        self.node_limit = node_limit
-        self.use_engine = use_engine
-        self.initial_random_plans = max(1, initial_random_plans)
-        self._seed = seed
-
-    def _solve(self, problem: DeploymentProblem,
-               budget: SearchBudget | None = None,
-               initial_plan: DeploymentPlan | None = None) -> SolverResult:
-        graph, costs, objective = problem.graph, problem.costs, problem.objective
-        budget = budget or SearchBudget.seconds(30.0)
-        watch = Stopwatch(budget)
-        trace = ConvergenceTrace()
-        if initial_plan is None and self._seed is not None:
-            initial_plan, _ = best_random_plan(
-                graph, costs, objective, self.initial_random_plans,
-                rng=self._seed,
-            )
-
-        clustered = costs.clustered(self.k_clusters, round_to=self.round_to) \
-            if self.k_clusters is not None else costs
-        encoding = LLNDPEncoding(graph, clustered)
-
-        if self.use_engine:
-            engine = compile_problem(graph, costs)
-
-            def score(plan: DeploymentPlan) -> float:
-                return engine.evaluate_plan(plan, objective)
-        else:
-            def score(plan: DeploymentPlan) -> float:
-                return deployment_cost(plan, graph, costs, objective)
-
-        if initial_plan is not None:
-            trace.record(watch.elapsed(), score(initial_plan))
-
-        if self.backend == "milp":
-            solution = solve_milp(encoding.model, time_limit_s=budget.time_limit_s)
-            optimal = solution.optimal
-            iterations = 1
-            incumbents: Tuple[Tuple[float, float], ...] = ()
-            values = solution.values
-        else:
-            if self.use_engine:
-                bnb = BranchAndBound(encoding.model, batch_rounder=DeploymentRounder(
-                    encoding, compile_problem(graph, clustered), objective))
-            else:
-                bnb = BranchAndBound(encoding.model,
-                                     rounding_callback=encoding.rounding_callback)
-            warm_vector = None
-            if initial_plan is not None:
-                warm_vector = encoding.solution_vector(
-                    warm_start_assignment(encoding, initial_plan))
-            result = bnb.solve(time_limit_s=budget.time_limit_s,
-                               node_limit=self.node_limit
-                               if budget.max_iterations is None
-                               else budget.max_iterations,
-                               initial_incumbent=warm_vector)
-            solution = result.solution
-            optimal = result.proven_optimal
-            iterations = result.nodes_explored
-            incumbents = result.incumbent_trace
-            values = solution.values
-
-        if values is None:
-            # No feasible solution produced within budget: fall back to the
-            # warm start or the identity plan so callers always get a plan.
-            plan = initial_plan if initial_plan is not None else \
-                DeploymentPlan.identity(graph.nodes,
-                                        costs.instance_ids[: graph.num_nodes])
-            optimal = False
-        else:
-            plan = encoding.decode(values)
-
-        cost = score(plan)
-        if initial_plan is not None:
-            warm_cost = score(initial_plan)
-            if warm_cost < cost:
-                plan, cost = initial_plan, warm_cost
-        for when, objective_value in incumbents:
-            trace.record(when, objective_value)
-        trace.record(watch.elapsed(), cost)
-
-        return SolverResult(
-            plan=plan, cost=cost, objective=objective, solver_name=self.name,
-            solve_time_s=watch.elapsed(), iterations=iterations,
-            optimal=optimal and self.k_clusters is None,
-            trace=trace.as_tuples(),
-        )
+    encoding_factory = LLNDPEncoding

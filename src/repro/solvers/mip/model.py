@@ -83,6 +83,28 @@ class MipModel:
         """Add a 0/1 variable."""
         return self.add_variable(name=name, lower=0.0, upper=1.0, integer=True)
 
+    def set_variable_bounds(self, index: int, lower: float | None = None,
+                            upper: float | None = None) -> None:
+        """Tighten a variable's bounds in place.
+
+        Used by the deployment encodings to fix assignment variables out of
+        (or into) the model when placement constraints disallow (or pin) a
+        node-instance pair — both backends and :meth:`is_feasible` read the
+        bound arrays, so a fixing removes the variable from the search
+        everywhere at once.
+        """
+        variable = self.variables[index]
+        new_lower = variable.lower if lower is None else float(lower)
+        new_upper = variable.upper if upper is None else float(upper)
+        if new_lower > new_upper:
+            raise SolverError(
+                f"variable {variable.name!r} would get empty bounds "
+                f"[{new_lower}, {new_upper}]"
+            )
+        variable.lower = new_lower
+        variable.upper = new_upper
+        self._invalidate_caches()
+
     def add_constraint(self, coefficients: Dict[int, float],
                        lower: float = -np.inf, upper: float = np.inf) -> int:
         """Add ``lower <= coeffs . x <= upper`` and return the constraint index."""

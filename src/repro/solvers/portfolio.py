@@ -37,6 +37,11 @@ class PortfolioSolver(DeploymentSolver):
     """
 
     name = "portfolio"
+    #: Members run through their public ``solve`` entry point, which
+    #: enforces constraints per member (natively for the built-ins, via
+    #: the repair fallback for custom legacy members), so every plan the
+    #: portfolio sees — and the one it returns — is feasible.
+    supports_constraints = True
 
     def __init__(self, solvers: Optional[Sequence[DeploymentSolver]] = None,
                  exact_fraction: float = 0.8, seed: int | None = None):
@@ -120,4 +125,8 @@ class PortfolioSolver(DeploymentSolver):
             solver_name=self.name, solve_time_s=watch.elapsed(),
             iterations=iterations, optimal=best.optimal,
             trace=merged.as_tuples(),
+            # A custom legacy member's plan may have been repaired by the
+            # base class; surface that honestly instead of defaulting to
+            # "native" (built-in members never set it).
+            repair_applied=best.repair_applied,
         )

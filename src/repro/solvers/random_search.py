@@ -4,6 +4,13 @@ R1 evaluates a fixed number of uniformly random deployment plans and keeps
 the best.  R2 keeps generating random plans until a wall-clock budget runs
 out, which is how the paper gives the randomized approach the same amount of
 time (and, conceptually, hardware) as the CP and MIP solvers.
+
+On a constrained problem every sample is drawn feasible through the
+compiled constraint view (:class:`~repro.core.evaluation.CompiledConstraints`),
+so no search budget is wasted on plans the constraints rule out and the
+returned plan never needs the base-class repair.  The unconstrained path is
+untouched — it consumes the RNG exactly as before, keeping seeded results
+bit-identical.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from .base import (
     SearchBudget,
     SolverResult,
     Stopwatch,
+    constrained_warm_start,
 )
 
 #: Batch sizes for vectorized plan evaluation.  Chunks start small so a
@@ -44,6 +52,7 @@ class RandomSearch(DeploymentSolver):
     """
 
     name = "random"
+    supports_constraints = True
 
     def __init__(self, num_samples: Optional[int] = 1000,
                  seed: int | None = None, parallel_factor: int = 1):
@@ -85,6 +94,8 @@ class RandomSearch(DeploymentSolver):
         trace = ConvergenceTrace()
         instances = list(costs.instance_ids)
         engine = self.compiled(graph, costs)
+        view = problem.compiled_constraints()
+        initial_plan = constrained_warm_start(problem, initial_plan)
 
         best_plan = initial_plan
         best_cost = (
@@ -113,15 +124,27 @@ class RandomSearch(DeploymentSolver):
             if watch.expired():
                 break
             size = chunk_size if remaining is None else min(chunk_size, remaining)
-            plans = [
-                DeploymentPlan.random(graph.nodes, instances, rng)
-                for _ in range(size)
-            ]
-            plan_costs = engine.evaluate_plans(plans, objective)
-            for plan, cost in zip(plans, plan_costs):
+            if view is None:
+                assignments = None
+                plans = [
+                    DeploymentPlan.random(graph.nodes, instances, rng)
+                    for _ in range(size)
+                ]
+                plan_costs = engine.evaluate_plans(plans, objective)
+            else:
+                # Constrained problems: every sample is feasible by
+                # construction (drawn from the allowed-index arrays).
+                assignments = view.random_assignments(size, rng)
+                plans = None
+                plan_costs = engine.evaluate_batch(assignments, objective)
+            for index, cost in enumerate(plan_costs):
                 iterations += 1
                 if cost < best_cost:
-                    best_plan, best_cost = plan, float(cost)
+                    best_plan = (
+                        plans[index] if assignments is None
+                        else engine.plan_from_assignment(assignments[index])
+                    )
+                    best_cost = float(cost)
                     trace.record(watch.elapsed(), best_cost)
                 if budget.target_cost is not None and best_cost <= budget.target_cost:
                     done = True
@@ -131,7 +154,11 @@ class RandomSearch(DeploymentSolver):
         if best_plan is None:
             # The loop ran zero iterations (e.g. expired budget); fall back to
             # a single random plan so callers always get a feasible result.
-            best_plan = DeploymentPlan.random(graph.nodes, instances, rng)
+            if view is None:
+                best_plan = DeploymentPlan.random(graph.nodes, instances, rng)
+            else:
+                best_plan = engine.plan_from_assignment(
+                    view.random_assignment(rng))
             best_cost = engine.evaluate_plan(best_plan, objective)
             trace.record(watch.elapsed(), best_cost)
 

@@ -59,6 +59,10 @@ class SolverSpec:
     #: as ``|E| * |S|^2`` and stop being practical long before the
     #: lightweight solvers do.
     max_nodes: Optional[int] = None
+    #: Whether the solver enforces placement constraints natively during
+    #: the search (every built-in does); third-party legacy solvers fall
+    #: back to the base class's post-hoc repair.
+    supports_constraints: bool = False
     _parameters: Tuple[str, ...] = field(init=False, repr=False, default=())
     _has_kwargs: bool = field(init=False, repr=False, default=False)
 
@@ -84,9 +88,17 @@ class SolverSpec:
         return self._has_kwargs or name in self._parameters
 
     def supports(self, objective: Objective,
-                 num_nodes: Optional[int] = None) -> bool:
-        """Capability check: objective and (optionally) problem size."""
+                 num_nodes: Optional[int] = None,
+                 constrained: Optional[bool] = None) -> bool:
+        """Capability check: objective, problem size, native constraints.
+
+        ``constrained=True`` filters to solvers that enforce placement
+        constraints natively inside their search; ``None`` (the default)
+        does not filter on the capability.
+        """
         if objective not in self.objectives:
+            return False
+        if constrained and not self.supports_constraints:
             return False
         if num_nodes is not None and self.max_nodes is not None:
             return num_nodes <= self.max_nodes
@@ -118,6 +130,7 @@ class SolverRegistry:
                  *, summary: str,
                  objectives: Optional[Tuple[Objective, ...]] = None,
                  max_nodes: Optional[int] = None,
+                 supports_constraints: Optional[bool] = None,
                  replace: bool = False) -> SolverSpec:
         """Register a solver factory under ``key``.
 
@@ -129,6 +142,10 @@ class SolverRegistry:
                 ``supported_objectives`` attribute when it is a solver
                 class.
             max_nodes: optional practical size ceiling.
+            supports_constraints: whether the solver enforces placement
+                constraints natively; defaults to the factory's
+                ``supports_constraints`` attribute (``False`` when the
+                factory carries none, e.g. a bare function).
             replace: allow overwriting an existing key (default refuses).
         """
         if key in self._specs and not replace:
@@ -140,8 +157,12 @@ class SolverRegistry:
                     f"cannot infer objectives for solver {key!r}; pass "
                     f"objectives= explicitly"
                 )
+        if supports_constraints is None:
+            supports_constraints = bool(
+                getattr(factory, "supports_constraints", False))
         spec = SolverSpec(key=key, factory=factory, summary=summary,
-                          objectives=tuple(objectives), max_nodes=max_nodes)
+                          objectives=tuple(objectives), max_nodes=max_nodes,
+                          supports_constraints=supports_constraints)
         self._specs[key] = spec
         return spec
 
@@ -188,20 +209,29 @@ class SolverRegistry:
         return tuple(self._specs[key] for key in self.available())
 
     def supporting(self, objective: Objective,
-                   num_nodes: Optional[int] = None) -> Tuple[str, ...]:
+                   num_nodes: Optional[int] = None,
+                   constrained: Optional[bool] = None) -> Tuple[str, ...]:
         """Keys of the solvers able to optimise ``objective``.
 
         When ``num_nodes`` is given, solvers whose practical size ceiling
-        is below it are filtered out as well.
+        is below it are filtered out as well; ``constrained=True``
+        additionally keeps only solvers that enforce placement constraints
+        natively inside their search.
         """
         return tuple(
             key for key in self.available()
-            if self._specs[key].supports(objective, num_nodes)
+            if self._specs[key].supports(objective, num_nodes, constrained)
         )
 
     def for_problem(self, problem: DeploymentProblem) -> Tuple[str, ...]:
-        """Keys of the solvers able to handle ``problem``."""
-        return self.supporting(problem.objective, problem.num_nodes)
+        """Keys of the solvers able to handle ``problem``.
+
+        Constrained problems are answered with natively constraint-aware
+        solvers only, so a caller picking from this list never pays the
+        repair fallback.
+        """
+        return self.supporting(problem.objective, problem.num_nodes,
+                               constrained=problem.constraints is not None)
 
     def default_key(self, objective: Objective) -> str:
         """The paper's default solver for an objective.
@@ -285,11 +315,13 @@ default_registry.register(
     "r1", RandomSearch.r1,
     summary="paper's R1: best of a fixed number of random plans",
     objectives=RandomSearch.supported_objectives,
+    supports_constraints=RandomSearch.supports_constraints,
 )
 default_registry.register(
     "r2", RandomSearch.r2,
     summary="paper's R2: random search bounded by wall-clock time",
     objectives=RandomSearch.supported_objectives,
+    supports_constraints=RandomSearch.supports_constraints,
 )
 default_registry.register(
     "local-search", SwapLocalSearch,

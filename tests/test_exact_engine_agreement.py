@@ -12,9 +12,7 @@ the reference oracle.  These tests pin the contract the rewire relies on:
   lower bounds on both paths, seed for seed;
 * branch and bound visits the same node sequence and produces the same
   incumbent trace whether roundings are scored one by one through the model
-  or in engine batches;
-* the :class:`DomainStore` bound cache stays consistent through removals,
-  restrictions and checkpoint restores.
+  or in engine batches.
 """
 
 import numpy as np
@@ -29,7 +27,6 @@ from repro.solvers import (
     MIPLongestPathSolver,
     SearchBudget,
 )
-from repro.solvers.cp.domains import DomainStore
 from repro.solvers.cp.labeling import (
     assignment_cost_lower_bounds_reference,
     compatibility_domains,
@@ -244,92 +241,3 @@ def test_deployment_rounder_costs_match_model_objective():
         assert encoding.model.is_feasible(vector)
         assert float(cost) == encoding.model.evaluate_objective(vector)
         assert np.array_equal(rounder.realize(assignment), vector)
-
-
-# --------------------------------------------------------------------------- #
-# DomainStore bound cache
-# --------------------------------------------------------------------------- #
-
-class TestDomainStoreBoundCache:
-    def _store(self):
-        bounds = {
-            "a": np.array([5.0, 1.0, 3.0]),
-            "b": np.array([2.0, 4.0, 6.0]),
-        }
-        return DomainStore({"a": {0, 1, 2}, "b": {0, 1, 2}},
-                           value_bounds=bounds)
-
-    def test_initial_bounds(self):
-        store = self._store()
-        assert store.tracks_bounds()
-        assert store.bound("a") == 1.0
-        assert store.bound("b") == 2.0
-        assert store.completion_bound() == 2.0
-
-    def test_bound_updates_on_removal(self):
-        store = self._store()
-        store.remove("a", 1)  # minimum realised by value 1
-        assert store.bound("a") == 3.0
-        store.remove("a", 0)  # non-minimal value: bound unchanged
-        assert store.bound("a") == 3.0
-        assert store.completion_bound() == 3.0
-
-    def test_bounds_restored_with_checkpoint(self):
-        store = self._store()
-        mark = store.checkpoint()
-        store.remove("a", 1)
-        store.restrict("b", {2})
-        assert store.bound("a") == 3.0
-        assert store.bound("b") == 6.0
-        store.restore(mark)
-        assert store.bound("a") == 1.0
-        assert store.bound("b") == 2.0
-        assert store.domain("a") == {0, 1, 2}
-        assert store.domain("b") == {0, 1, 2}
-
-    def test_assign_tightens_bound(self):
-        store = self._store()
-        mark = store.checkpoint()
-        assert store.assign("a", 2)
-        assert store.bound("a") == 3.0
-        store.restore(mark)
-        assert store.bound("a") == 1.0
-
-    def test_wiped_domain_has_infinite_bound(self):
-        store = self._store()
-        store.remove("a", 0)
-        store.remove("a", 1)
-        assert not store.remove("a", 2)
-        assert store.bound("a") == float("inf")
-
-    def test_untracked_store_reports_zero(self):
-        store = DomainStore({"a": {0, 1}})
-        assert not store.tracks_bounds()
-        assert store.bound("a") == 0.0
-        assert store.completion_bound() == 0.0
-
-    @given(seed=st.integers(0, 500))
-    @settings(max_examples=40, deadline=None)
-    def test_cached_bound_always_matches_recomputation(self, seed):
-        rng = np.random.default_rng(seed)
-        values = list(range(6))
-        bounds = {v: rng.uniform(0.0, 5.0, size=len(values)) for v in "abc"}
-        store = DomainStore({v: set(values) for v in "abc"},
-                            value_bounds=bounds)
-        marks = []
-        for _ in range(30):
-            action = rng.integers(0, 3)
-            var = "abc"[rng.integers(0, 3)]
-            if action == 0:
-                store.remove(var, int(rng.integers(0, len(values))))
-            elif action == 1:
-                marks.append(store.checkpoint())
-            elif action == 2 and marks:
-                store.restore(marks.pop())
-            for check in "abc":
-                domain = store.domain(check)
-                expected = (
-                    min(float(bounds[check][v]) for v in domain)
-                    if domain else float("inf")
-                )
-                assert store.bound(check) == expected
