@@ -34,13 +34,18 @@ from .core import (
 from .core.advisor import AdvisorConfig, AdvisorReport, ClouDiA, MeasurementConfig
 from .api import (
     AdvisorSession,
+    ResultCache,
     SessionStats,
     SolveRequest,
     SolverResponse,
     SolveTelemetry,
+    WatchPolicy,
+    WatchReport,
 )
 from .cloud import DatacenterTopology, ProviderProfile, SimulatedCloud
 from .netmeasure import (
+    CostRevision,
+    MeasurementStream,
     StagedMeasurement,
     TokenPassingMeasurement,
     UncoordinatedMeasurement,
@@ -77,6 +82,7 @@ __all__ = [
     "ClouDiA",
     "CommunicationGraph",
     "CostMatrix",
+    "CostRevision",
     "DatacenterTopology",
     "DeploymentPlan",
     "DeploymentProblem",
@@ -87,11 +93,13 @@ __all__ = [
     "MIPLongestLinkSolver",
     "MIPLongestPathSolver",
     "MeasurementConfig",
+    "MeasurementStream",
     "Objective",
     "PlacementConstraints",
     "PortfolioSolver",
     "ProviderProfile",
     "RandomSearch",
+    "ResultCache",
     "SearchBudget",
     "SessionStats",
     "SimulatedCloud",
@@ -102,6 +110,8 @@ __all__ = [
     "StagedMeasurement",
     "TokenPassingMeasurement",
     "UncoordinatedMeasurement",
+    "WatchPolicy",
+    "WatchReport",
     "compare_deployments",
     "default_plan",
     "default_registry",

@@ -26,19 +26,36 @@ things the paper's service framing needs at scale:
 
 from __future__ import annotations
 
+import hashlib
+import json
 import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..core.communication_graph import CommunicationGraph
 from ..core.cost_matrix import CostMatrix
-from ..core.errors import ClouDiAError
+from ..core.errors import ClouDiAError, InvalidDeploymentError
+from ..core.evaluation import CompileCacheStats, compile_cache_stats, peek_compiled
+from ..core.deployment import DeploymentPlan
 from ..core.problem import DeploymentProblem
+from ..netmeasure.stream import CostRevision, relative_link_drift
+from ..solvers.base import SolverResult
 from ..solvers.registry import SolverRegistry, default_registry
-from .schema import SolveRequest, SolverResponse, SolveTelemetry
+from .cache import ResultCache
+from .schema import AUTO_SOLVER, SolveRequest, SolverResponse, SolveTelemetry
+from .watch import (
+    REASON_DEGRADATION,
+    REASON_DRIFT,
+    REASON_HELD,
+    REASON_INITIAL,
+    WatchEvent,
+    WatchPolicy,
+    WatchReport,
+)
 
 #: Hard cap on worker threads; solving is CPU-bound, so more threads than
 #: a small multiple of the core count only adds contention.
@@ -55,6 +72,18 @@ class SessionStats:
     compilations: int = 0
     #: Requests that reused a previously compiled pair.
     compile_cache_hits: int = 0
+    #: Cost revisions adopted via an in-place engine refresh during
+    #: :meth:`AdvisorSession.watch` (the graph-side lowering was reused).
+    cost_refreshes: int = 0
+    #: Cost revisions that needed a full recompile (no live engine).
+    cost_recompiles: int = 0
+    #: Watch steps that ran a solver (initial solves and re-solves).
+    watch_resolves: int = 0
+    #: Watch steps answered by the persistent result cache.
+    result_cache_hits: int = 0
+    #: Process-wide compiled-engine LRU counters (shared by every session
+    #: in this process; see :func:`repro.core.compile_cache_stats`).
+    engine_cache: CompileCacheStats = field(default_factory=CompileCacheStats)
 
     @property
     def hit_rate(self) -> float:
@@ -78,11 +107,18 @@ class AdvisorSession:
             are evicted beyond it, so a long-lived serving session does not
             grow without bound.  An evicted instance is simply recompiled
             if it is submitted again.
+        result_cache: optional persistent solver-result cache (a
+            :class:`~repro.api.cache.ResultCache`, or a directory path one
+            is created at).  Used by :meth:`watch` to skip re-solving
+            revisions this or any sibling process already solved — entries
+            are keyed on the problem fingerprint plus solver key, so
+            restarted sessions resume where they left off.
     """
 
     def __init__(self, registry: Optional[SolverRegistry] = None,
                  max_workers: Optional[int] = None,
-                 max_cached_problems: int = 128):
+                 max_cached_problems: int = 128,
+                 result_cache: Optional[Union[ResultCache, str, Path]] = None):
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         if max_cached_problems < 1:
@@ -90,6 +126,9 @@ class AdvisorSession:
         self.registry = registry if registry is not None else default_registry
         self.max_workers = max_workers
         self.max_cached_problems = max_cached_problems
+        if result_cache is not None and not isinstance(result_cache, ResultCache):
+            result_cache = ResultCache(result_cache)
+        self.result_cache = result_cache
         self._lock = threading.Lock()
         #: Canonical (graph, costs) objects per instance content hash, in
         #: LRU order; the process-wide compile cache is keyed on object
@@ -106,17 +145,32 @@ class AdvisorSession:
         self._requests = 0
         self._compilations = 0
         self._cache_hits = 0
+        self._cost_refreshes = 0
+        self._cost_recompiles = 0
+        self._watch_resolves = 0
+        self._result_cache_hits = 0
 
     # ------------------------------------------------------------------ #
 
     @property
     def stats(self) -> SessionStats:
-        """Aggregate counters since the session was created."""
+        """Aggregate counters since the session was created.
+
+        ``engine_cache`` reports the process-wide compiled-engine LRU
+        (hits, misses, evictions, current size) — shared by every session
+        in the process, bounded so streaming workloads cannot leak one
+        compilation per cost revision.
+        """
         with self._lock:
             return SessionStats(
                 requests=self._requests,
                 compilations=self._compilations,
                 compile_cache_hits=self._cache_hits,
+                cost_refreshes=self._cost_refreshes,
+                cost_recompiles=self._cost_recompiles,
+                watch_resolves=self._watch_resolves,
+                result_cache_hits=self._result_cache_hits,
+                engine_cache=compile_cache_stats(),
             )
 
     def prepare(self, problem: DeploymentProblem
@@ -228,6 +282,217 @@ class AdvisorSession:
                                            capture_errors=True),
                 zip(batch, prepared),
             ))
+
+    # ------------------------------------------------------------------ #
+    # Live re-deployment
+    # ------------------------------------------------------------------ #
+
+    def watch(self, problem: DeploymentProblem,
+              revisions: Iterable[Union[CostRevision, CostMatrix]],
+              policy: Optional[WatchPolicy] = None,
+              initial_plan: Optional[DeploymentPlan] = None) -> WatchReport:
+        """Track a stream of cost revisions, re-solving only when it pays.
+
+        The live re-deployment loop: ``problem`` is solved once (warm from
+        ``initial_plan`` when given), then every revision — a
+        :class:`~repro.netmeasure.CostRevision` from a
+        :class:`~repro.netmeasure.MeasurementStream`, or a bare
+        :class:`~repro.core.CostMatrix` — is adopted by *refreshing* the
+        compiled engine in place (the graph-side lowering and compiled
+        constraints are reused; only the dense cost array changes), the
+        incumbent plan is re-scored under the revised costs, and a
+        re-solve runs only when the policy's drift or degradation
+        threshold is exceeded.  Re-solves are warm-started from the
+        incumbent (for solvers that support it) and short-circuited by the
+        session's persistent result cache, so a restarted watch — or a
+        sibling process — skips revisions that were already solved.
+
+        Args:
+            problem: the deployment problem as last solved/deployed.
+            revisions: cost revisions in arrival order.
+            policy: re-solve policy; defaults to :class:`WatchPolicy`.
+            initial_plan: the currently deployed plan, when one exists;
+                it seeds the initial solve.
+
+        Returns:
+            A :class:`WatchReport` with the final recommendation and the
+            full per-revision event log.
+        """
+        policy = policy if policy is not None else WatchPolicy()
+        solver_key = self.registry.resolve(
+            None if policy.solver == AUTO_SOLVER else policy.solver,
+            problem.objective,
+        )
+        warm_capable = self.registry.spec(solver_key).supports_warm_start
+        events: List[WatchEvent] = []
+
+        # Initial solve: establish the incumbent (never a "hold").
+        compile_started = time.perf_counter()
+        problem.compiled()
+        refresh_time = time.perf_counter() - compile_started
+        incumbent_cost = (problem.evaluate(initial_plan)
+                          if initial_plan is not None else float("inf"))
+        plan, cost, result, event = self._watch_step(
+            problem, solver_key, policy, warm_capable,
+            warm_plan=initial_plan, revision=0, reason=REASON_INITIAL,
+            drift=0.0, refresh_time_s=refresh_time, engine_refreshed=False,
+            incumbent_plan=initial_plan, incumbent_cost=incumbent_cost,
+        )
+        events.append(event)
+
+        for number, item in enumerate(revisions, start=1):
+            costs = item.costs if isinstance(item, CostRevision) else item
+            if costs.instance_ids != problem.costs.instance_ids:
+                # A changed instance pool is a re-allocation, not a cost
+                # drift: the incumbent plan may not even map onto it.
+                raise ClouDiAError(
+                    f"cost revision {number} covers a different instance "
+                    f"set; watch() tracks cost drift over a fixed "
+                    f"allocation — construct a new DeploymentProblem for "
+                    f"a re-allocation"
+                )
+            if isinstance(item, CostRevision):
+                drift = item.max_drift
+            else:
+                drift = float(relative_link_drift(problem.costs, costs).max())
+            refresh_started = time.perf_counter()
+            # Same instances (guaranteed above, and by construction for
+            # stream revisions), so revise() refreshes in place whenever a
+            # live engine exists — one condition, mirroring revise itself.
+            refreshable = peek_compiled(problem.graph, problem.costs) is not None
+            problem = problem.revise(costs=costs)
+            incumbent_cost = problem.evaluate(plan)  # compiles if needed
+            refresh_time = time.perf_counter() - refresh_started
+            with self._lock:
+                if refreshable:
+                    self._cost_refreshes += 1
+                else:
+                    self._cost_recompiles += 1
+
+            degradation = ((incumbent_cost - cost) / cost if cost > 0
+                           else float("inf") if incumbent_cost > cost
+                           else 0.0)
+            if drift >= policy.drift_threshold:
+                reason = REASON_DRIFT
+            elif degradation >= policy.degradation_threshold:
+                reason = REASON_DEGRADATION
+            else:
+                reason = REASON_HELD
+
+            if reason == REASON_HELD:
+                cost = incumbent_cost
+                events.append(WatchEvent(
+                    revision=number, reason=REASON_HELD, drift=drift,
+                    refresh_time_s=refresh_time,
+                    engine_refreshed=refreshable,
+                    incumbent_cost=incumbent_cost, resolved=False,
+                    cache_hit=False, warm_start=False, solve_time_s=0.0,
+                    cost=cost, redeployed=False, solver=solver_key,
+                    fingerprint=problem.fingerprint(),
+                ))
+                continue
+
+            plan, cost, result, event = self._watch_step(
+                problem, solver_key, policy, warm_capable, warm_plan=plan,
+                revision=number, reason=reason, drift=drift,
+                refresh_time_s=refresh_time, engine_refreshed=refreshable,
+                incumbent_plan=plan, incumbent_cost=incumbent_cost,
+            )
+            events.append(event)
+
+        return WatchReport(problem=problem, plan=plan, cost=cost,
+                           result=result, events=events)
+
+    def _watch_step(self, problem: DeploymentProblem, solver_key: str,
+                    policy: WatchPolicy, warm_capable: bool,
+                    warm_plan: Optional[DeploymentPlan], revision: int,
+                    reason: str, drift: float, refresh_time_s: float,
+                    engine_refreshed: bool,
+                    incumbent_plan: Optional[DeploymentPlan],
+                    incumbent_cost: float
+                    ) -> Tuple[DeploymentPlan, float,
+                               Optional[SolverResult], WatchEvent]:
+        """Solve one watch step (cache first), keeping the better incumbent."""
+        fingerprint = problem.fingerprint()
+        cache_tag = self._solver_cache_tag(solver_key, policy)
+        warm = policy.warm_start and warm_capable and warm_plan is not None
+        cached = self._cached_result(problem, fingerprint, cache_tag)
+        if cached is not None:
+            result, solve_time, cache_hit = cached, 0.0, True
+            candidate_cost = problem.evaluate(result.plan)
+            with self._lock:
+                self._result_cache_hits += 1
+        else:
+            request = SolveRequest(
+                problem=problem, solver=solver_key,
+                config=policy.config, budget=policy.budget,
+                initial_plan=warm_plan if warm else None,
+            )
+            response = self.solve(request)
+            result = response.result
+            solve_time = result.solve_time_s
+            cache_hit = False
+            candidate_cost = result.cost
+            with self._lock:
+                self._watch_resolves += 1
+            if self.result_cache is not None:
+                self.result_cache.put(fingerprint, cache_tag, result)
+
+        # Keep the incumbent when the step did not strictly improve on it
+        # (a cold or cached plan may be worse than the plan in production).
+        if incumbent_plan is not None and incumbent_cost <= candidate_cost:
+            plan, cost, redeployed = incumbent_plan, incumbent_cost, False
+        else:
+            plan, cost = result.plan, candidate_cost
+            redeployed = (incumbent_plan is not None
+                          and plan.as_dict() != incumbent_plan.as_dict())
+        event = WatchEvent(
+            revision=revision, reason=reason, drift=drift,
+            refresh_time_s=refresh_time_s, engine_refreshed=engine_refreshed,
+            incumbent_cost=incumbent_cost, resolved=True,
+            cache_hit=cache_hit, warm_start=warm and not cache_hit,
+            solve_time_s=solve_time, cost=cost, redeployed=redeployed,
+            solver=solver_key, fingerprint=fingerprint,
+        )
+        return plan, cost, result, event
+
+    @staticmethod
+    def _solver_cache_tag(solver_key: str, policy: WatchPolicy) -> str:
+        """The solver component of the persistent cache key.
+
+        The problem fingerprint covers everything solver-independent; this
+        tag covers the run configuration — solver key plus a digest of the
+        policy's solver config (seed included) and budget — so watches
+        sharing a cache directory only reuse each other's results when
+        they would have executed the same solve.
+        """
+        payload = json.dumps(
+            {
+                "config": {key: policy.config[key]
+                           for key in sorted(policy.config)},
+                "budget": None if policy.budget is None
+                else policy.budget.to_dict(),
+            },
+            sort_keys=True, default=repr,
+        )
+        digest = hashlib.sha256(payload.encode()).hexdigest()[:16]
+        return f"{solver_key}.{digest}"
+
+    def _cached_result(self, problem: DeploymentProblem, fingerprint: str,
+                       cache_tag: str) -> Optional[SolverResult]:
+        """A validated persistent-cache entry for the revision, or ``None``."""
+        if self.result_cache is None:
+            return None
+        result = self.result_cache.get(fingerprint, cache_tag)
+        if result is None:
+            return None
+        try:
+            problem.check_plan(result.plan)
+        except InvalidDeploymentError:
+            # A corrupt or foreign entry must degrade to a miss, never
+            # into recommending an infeasible plan.
+            return None
+        return result
 
     # ------------------------------------------------------------------ #
 

@@ -12,6 +12,12 @@ be exercised without writing Python:
   solve a serialized problem and write the response;
 * ``python -m repro solve-batch --requests batch.json`` — run a batch of
   serialized requests through one advisor session (shared compilations);
+* ``python -m repro make-trace --problem problem.json --out trace.json`` —
+  generate a replayable stream of drifted cost-matrix windows;
+* ``python -m repro watch --problem problem.json --trace trace.json`` —
+  replay a trace through the live re-deployment pipeline and print the
+  re-deployment log (in-place cost refreshes, warm re-solves, persistent
+  result-cache hits);
 * ``python -m repro solvers`` — list the registered solvers;
 * ``python -m repro measure --instances 20`` — run a pairwise latency
   measurement and print per-link statistics;
@@ -27,10 +33,18 @@ import json
 import sys
 from typing import Any, Dict, List, Optional, Sequence
 
+import numpy as np
+
 from .analysis import empirical_cdf, format_table
-from .api import AdvisorSession, SolveRequest, SolverResponse
+from .api import AdvisorSession, SolveRequest, SolverResponse, WatchPolicy
 from .cloud import ProviderProfile, SimulatedCloud
-from .core import CommunicationGraph, DeploymentProblem, LatencyMetric, Objective
+from .core import (
+    CommunicationGraph,
+    CostMatrix,
+    DeploymentProblem,
+    LatencyMetric,
+    Objective,
+)
 from .core.advisor import AdvisorConfig, ClouDiA, MeasurementConfig
 from .core.errors import ClouDiAError
 from .solvers import DeploymentSolver, SearchBudget
@@ -330,6 +344,127 @@ def command_solve_batch(args: argparse.Namespace) -> int:
     return 0 if all(response.ok for response in responses) else 1
 
 
+def command_make_trace(args: argparse.Namespace) -> int:
+    """Generate a replayable trace of drifted cost-matrix windows.
+
+    Each window applies per-link lognormal jitter (relative scale
+    ``--jitter``) to the problem's measured costs — the measurement noise a
+    periodic re-measurement would see — and, from ``--spike-window`` on,
+    multiplies ``--spike-links`` randomly chosen links by
+    ``--spike-factor``, modelling a persistent latency shift that should
+    trigger a re-deployment.
+    """
+    problem = DeploymentProblem.from_dict(_read_json(args.problem))
+    base = problem.costs.as_array()
+    ids = list(problem.costs.instance_ids)
+    m = len(ids)
+    rng = np.random.default_rng(args.seed)
+    off_diagonal = ~np.eye(m, dtype=bool)
+    spiked: List[Any] = []
+    if args.spike_links > 0 and 0 <= args.spike_window < args.windows:
+        pairs = np.argwhere(off_diagonal)
+        chosen = pairs[rng.choice(len(pairs),
+                                  size=min(args.spike_links, len(pairs)),
+                                  replace=False)]
+        spiked = [(int(a), int(b)) for a, b in chosen]
+    windows = []
+    for window in range(args.windows):
+        matrix = base.copy()
+        if args.jitter > 0:
+            jitter = rng.lognormal(mean=0.0, sigma=args.jitter, size=(m, m))
+            matrix[off_diagonal] *= jitter[off_diagonal]
+        if spiked and window >= args.spike_window:
+            for a, b in spiked:
+                matrix[a, b] *= args.spike_factor
+        windows.append(CostMatrix(ids, matrix).to_dict())
+    _write_json(args.out, {"version": 1, "windows": windows})
+    print(format_table(
+        ["quantity", "value"],
+        [
+            ("instances", m),
+            ("windows", args.windows),
+            ("jitter (lognormal sigma)", args.jitter),
+            ("spiked links", len(spiked)),
+            ("spike factor", args.spike_factor if spiked else "-"),
+            ("spike from window", args.spike_window if spiked else "-"),
+            ("trace written to", args.out),
+        ],
+        title="re-deployment trace",
+    ))
+    return 0
+
+
+def command_watch(args: argparse.Namespace) -> int:
+    """Replay a trace through the live pipeline; print the re-deploy log."""
+    problem = DeploymentProblem.from_dict(_read_json(args.problem))
+    payload = _read_json(args.trace)
+    if isinstance(payload, dict):
+        entries = payload.get("windows")
+        if entries is None:
+            raise ClouDiAError(
+                f"{args.trace} must contain a top-level 'windows' list "
+                f"(or be a bare JSON list of cost matrices)"
+            )
+    else:
+        entries = payload
+    if not isinstance(entries, list):
+        raise ClouDiAError(
+            f"'windows' in {args.trace} must be a list, got "
+            f"{type(entries).__name__}"
+        )
+    matrices = [CostMatrix.from_dict(entry) for entry in entries]
+    policy = WatchPolicy(
+        solver=args.solver,
+        config=default_registry.seeded_config(args.solver, args.seed),
+        budget=_budget_from_flag(args.time_limit),
+        drift_threshold=args.drift_threshold,
+        degradation_threshold=args.degradation_threshold,
+        warm_start=not args.cold,
+    )
+    session = AdvisorSession(result_cache=args.cache_dir)
+    report = session.watch(problem, matrices, policy)
+
+    rows = []
+    for event in report.events:
+        if not event.resolved:
+            action = "hold"
+        elif event.cache_hit:
+            action = f"{event.reason} (cached)"
+        else:
+            action = event.reason
+        rows.append((
+            event.revision,
+            action,
+            f"{event.drift:.1%}",
+            "-" if event.incumbent_cost == float("inf")
+            else f"{event.incumbent_cost:.4f}",
+            f"{event.cost:.4f}",
+            "refresh" if event.engine_refreshed else "compile",
+            "warm" if event.warm_start else
+            ("-" if not event.resolved or event.cache_hit else "cold"),
+            f"{event.solve_time_s:.3f}",
+            "yes" if event.redeployed else "no",
+        ))
+    print(format_table(
+        ["rev", "action", "drift", "incumbent", "cost", "engine", "start",
+         "solve [s]", "redeployed"],
+        rows, title=f"re-deployment log ({report.problem.objective.value}, "
+                    f"solver {report.events[0].solver})",
+    ))
+    stats = session.stats
+    print(f"revisions: {len(report.events) - 1}, "
+          f"re-solves: {report.resolves}, "
+          f"result-cache hits: {report.cache_hits}, "
+          f"holds: {report.holds}, "
+          f"redeployments: {report.redeployments}; "
+          f"engine refreshes: {stats.cost_refreshes}, "
+          f"recompiles: {stats.cost_recompiles}")
+    if args.out:
+        _write_json(args.out, report.to_dict())
+        print(f"re-deployment log written to {args.out}")
+    return 0
+
+
 def command_solvers(_args: argparse.Namespace) -> int:
     """List the solvers registered in the default registry."""
     rows = []
@@ -337,9 +472,12 @@ def command_solvers(_args: argparse.Namespace) -> int:
         objectives = ", ".join(obj.value for obj in spec.objectives)
         size = "-" if spec.max_nodes is None else f"<= {spec.max_nodes} nodes"
         constraints = "native" if spec.supports_constraints else "repair"
-        rows.append((spec.key, objectives, size, constraints, spec.summary))
+        warm = "yes" if spec.supports_warm_start else "no"
+        rows.append((spec.key, objectives, size, constraints, warm,
+                     spec.summary))
     print(format_table(
-        ["key", "objectives", "practical size", "constraints", "description"],
+        ["key", "objectives", "practical size", "constraints", "warm start",
+         "description"],
         rows, title="registered solvers",
     ))
     return 0
@@ -511,6 +649,56 @@ def build_parser() -> argparse.ArgumentParser:
     solve_batch.add_argument("--out", default=None,
                              help="path of the responses JSON to write")
     solve_batch.set_defaults(handler=command_solve_batch)
+
+    make_trace = subparsers.add_parser(
+        "make-trace",
+        help="generate a replayable trace of drifted cost windows")
+    make_trace.add_argument("--problem", required=True,
+                            help="problem JSON whose costs the trace drifts")
+    make_trace.add_argument("--out", required=True,
+                            help="path of the trace JSON to write")
+    make_trace.add_argument("--windows", type=int, default=6,
+                            help="number of measurement windows")
+    make_trace.add_argument("--jitter", type=float, default=0.01,
+                            help="per-link lognormal jitter sigma "
+                                 "(relative measurement noise)")
+    make_trace.add_argument("--spike-window", type=int, default=3,
+                            help="window from which spiked links stay "
+                                 "elevated (-1 disables spikes)")
+    make_trace.add_argument("--spike-links", type=int, default=5,
+                            help="number of links to spike")
+    make_trace.add_argument("--spike-factor", type=float, default=2.5,
+                            help="multiplicative latency shift on spiked links")
+    make_trace.add_argument("--seed", type=int, default=0, help="random seed")
+    make_trace.set_defaults(handler=command_make_trace)
+
+    watch = subparsers.add_parser(
+        "watch",
+        help="replay a cost trace through the live re-deployment pipeline")
+    watch.add_argument("--problem", required=True,
+                       help="problem JSON the deployment was solved against")
+    watch.add_argument("--trace", required=True,
+                       help="trace JSON with a 'windows' list of cost matrices")
+    watch.add_argument("--solver", default="auto", choices=solver_choices())
+    watch.add_argument("--seed", type=int, default=None, help="random seed")
+    watch.add_argument("--time-limit", type=float, default=5.0,
+                       help="solver time limit per (re-)solve in seconds "
+                            "(0 = solver default budget)")
+    watch.add_argument("--drift-threshold", type=float, default=0.05,
+                       help="re-solve when a window's largest per-link "
+                            "relative drift reaches this fraction")
+    watch.add_argument("--degradation-threshold", type=float, default=0.02,
+                       help="re-solve when the incumbent plan's cost "
+                            "degrades by this fraction")
+    watch.add_argument("--cold", action="store_true",
+                       help="disable warm-starting re-solves from the "
+                            "incumbent plan")
+    watch.add_argument("--cache-dir", default=None,
+                       help="directory of the persistent result cache "
+                            "(shared across processes; default: no cache)")
+    watch.add_argument("--out", default=None,
+                       help="path of the re-deployment log JSON to write")
+    watch.set_defaults(handler=command_watch)
 
     solvers = subparsers.add_parser("solvers",
                                     help="list the registered solvers")

@@ -13,6 +13,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from ..core.cost_matrix import CostMatrix
 from ..core.types import InstanceId, Link, make_rng
 from .provider import SimulatedCloud
 
@@ -56,6 +57,47 @@ class LatencyTrace:
         if mean == 0.0:
             return 0.0
         return float(np.abs(series - mean).max() / mean)
+
+    @property
+    def num_windows(self) -> int:
+        """Number of measurement windows in the trace."""
+        return len(self.times_hours)
+
+    def window_costs(self, index: int, baseline: CostMatrix,
+                     symmetric_fallback: bool = True) -> CostMatrix:
+        """One window's mean latencies overlaid on a baseline cost matrix.
+
+        The trace usually observes a subset of the directed links (the
+        paper probes a handful of representative pairs); this rebuilds a
+        full cost matrix for the window by replacing the observed links'
+        costs in ``baseline`` and keeping the baseline value everywhere
+        else.  With ``symmetric_fallback`` (the default, matching
+        :meth:`~repro.netmeasure.MeasurementResult.to_cost_matrix`), a
+        link observed in one direction only also updates the reverse
+        direction.
+
+        This is what turns a trace into a stream of cost revisions the
+        live re-deployment pipeline can replay (see
+        :class:`repro.netmeasure.MeasurementStream`).
+        """
+        if not 0 <= index < self.num_windows:
+            raise IndexError(
+                f"window index {index} out of range "
+                f"(trace has {self.num_windows} windows)"
+            )
+        matrix = baseline.as_array()
+        observed = set(self.links)
+        for row, (a, b) in enumerate(self.links):
+            matrix[baseline.index_of(a), baseline.index_of(b)] = (
+                self.means_ms[row, index]
+            )
+        if symmetric_fallback:
+            for row, (a, b) in enumerate(self.links):
+                if (b, a) not in observed:
+                    matrix[baseline.index_of(b), baseline.index_of(a)] = (
+                        self.means_ms[row, index]
+                    )
+        return CostMatrix(baseline.instance_ids, matrix)
 
 
 def collect_latency_trace(cloud: SimulatedCloud, links: Sequence[Link],

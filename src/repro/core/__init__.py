@@ -5,11 +5,15 @@ from .communication_graph import CommunicationGraph, augment_with_dummy_nodes
 from .cost_matrix import CostMatrix, LatencyMetric
 from .deployment import DeploymentPlan
 from .evaluation import (
+    CompileCacheStats,
     CompiledConstraints,
     CompiledProblem,
     DeltaEvaluator,
     IndexedPlan,
+    compile_cache_stats,
     compile_problem,
+    configure_compile_cache,
+    peek_compiled,
 )
 from .errors import (
     AllocationError,
@@ -44,6 +48,7 @@ __all__ = [
     "ClouDiAError",
     "ClusteringResult",
     "CommunicationGraph",
+    "CompileCacheStats",
     "CompiledConstraints",
     "CompiledProblem",
     "CostMatrix",
@@ -64,12 +69,15 @@ __all__ = [
     "SolverError",
     "augment_with_dummy_nodes",
     "cluster_costs",
+    "compile_cache_stats",
     "compile_problem",
+    "configure_compile_cache",
     "critical_path",
     "deployment_cost",
     "improvement_ratio",
     "kmeans_1d",
     "longest_link_cost",
     "longest_path_cost",
+    "peek_compiled",
     "worst_link",
 ]

@@ -44,7 +44,10 @@ stays in place as the reference implementation the tests compare against.
 from __future__ import annotations
 
 import operator
+import threading
 import weakref
+from collections import OrderedDict
+from dataclasses import dataclass
 from itertools import chain
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -151,6 +154,7 @@ class CompiledProblem:
         self._profiles: Optional[np.ndarray] = None
         self._sorted_link_costs: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._assignment_lb: Optional[np.ndarray] = None
+        self._cost_epoch = 0
 
     @property
     def costs(self) -> Optional[CostMatrix]:
@@ -160,6 +164,69 @@ class CompiledProblem:
         copied); it is exposed for introspection only.
         """
         return self._costs_ref()
+
+    @property
+    def cost_epoch(self) -> int:
+        """Monotonic counter bumped by every :meth:`refresh_costs`.
+
+        :class:`DeltaEvaluator` records the epoch it was primed at and
+        refuses to score moves after a refresh until it is explicitly
+        re-primed, so stale incremental state can never leak across a cost
+        revision.
+        """
+        return self._cost_epoch
+
+    def refresh_costs(self, costs: CostMatrix) -> "CompiledProblem":
+        """Swap in a revised cost matrix in place, keeping the lowering.
+
+        The expensive graph-side lowering — node/instance index maps, edge
+        endpoint arrays, incident-edge lists, topological level groups,
+        degree profiles — depends only on the graph and the instance id
+        layout, neither of which a cost revision changes.  Refreshing
+        therefore replaces just the dense cost array and drops the
+        cost-derived bound caches (sorted link costs, per-assignment lower
+        bounds); everything else, including any
+        :class:`CompiledConstraints` built against this problem, stays
+        valid because the object identity and index space are unchanged.
+
+        The process-wide compile cache is re-keyed from the old cost
+        matrix to ``costs`` (when this compilation is cached), so
+        :func:`compile_problem` with the revised matrix finds the
+        refreshed engine while the old matrix honestly recompiles.
+
+        Refreshing is a *single-writer* operation: each evaluation call
+        reads one consistent cost array, but a solver interleaving many
+        calls against this object while another thread refreshes it would
+        mix pre- and post-revision scores.  The live pipeline's watch
+        loop runs refreshes and re-solves sequentially for exactly this
+        reason; do not refresh an engine a concurrent solve is using.
+
+        Args:
+            costs: revised matrix covering the same instances in the same
+                order as the one this problem was compiled from.
+
+        Returns:
+            ``self``, refreshed in place.
+
+        Raises:
+            InvalidDeploymentError: if ``costs`` covers different
+                instances (that requires a full recompile).
+        """
+        if costs.instance_ids != self.instance_ids:
+            raise InvalidDeploymentError(
+                "refresh_costs requires a matrix over the same instances "
+                "in the same order; compile a new problem instead"
+            )
+        old_costs = self._costs_ref()
+        if old_costs is costs:
+            return self
+        self.cost_array = np.ascontiguousarray(costs.as_array())
+        self._costs_ref = weakref.ref(costs)
+        self._sorted_link_costs = None
+        self._assignment_lb = None
+        self._cost_epoch += 1
+        _COMPILE_CACHE.rehome(self, old_costs, costs)
+        return self
 
     # ------------------------------------------------------------------ #
     # Index translation
@@ -745,6 +812,12 @@ class DeltaEvaluator:
     mask, and scoring or committing a disallowed move raises
     :class:`InvalidDeploymentError` — constraint-aware solvers cannot
     silently wander out of the feasible region.
+
+    The cached edge costs embed the cost array the evaluator was primed
+    against.  After a :meth:`CompiledProblem.refresh_costs` every scoring
+    and committing method raises :class:`SolverError` until
+    :meth:`reprime` re-derives the incremental state — a stale evaluator
+    can never silently mix old and new costs.
     """
 
     def __init__(self, problem: CompiledProblem, assignment: np.ndarray,
@@ -757,20 +830,60 @@ class DeltaEvaluator:
         self._node_of_instance = np.full(problem.num_instances, -1, dtype=np.intp)
         self._node_of_instance[self.assignment] = np.arange(problem.num_nodes)
         self._incremental = objective is Objective.LONGEST_LINK
-        if self._incremental:
-            self._edge_costs = problem.edge_costs(self.assignment)
-            self._cost = float(self._edge_costs.max()) if problem.num_edges else 0.0
-        else:
-            self._edge_costs = None
-            self._cost = problem.evaluate(self.assignment, objective)
         # Last scored candidate, so the common peek-then-apply sequence in
         # the solvers does not evaluate the same move twice.
         self._last_peek: Optional[Tuple[Tuple[Tuple[int, int], ...], float,
                                         Optional[np.ndarray], Optional[np.ndarray]]] = None
+        self._prime()
+
+    def _prime(self) -> None:
+        """(Re)derive all cost-dependent state from the problem's cost array."""
+        if self._incremental:
+            self._edge_costs = self.problem.edge_costs(self.assignment)
+            self._cost = (float(self._edge_costs.max())
+                          if self.problem.num_edges else 0.0)
+        else:
+            self._edge_costs = None
+            self._cost = self.problem.evaluate(self.assignment, self.objective)
+        self._last_peek = None
+        self._epoch = self.problem.cost_epoch
+
+    def reprime(self, assignment: Optional[np.ndarray] = None) -> float:
+        """Re-derive cached costs after a :meth:`CompiledProblem.refresh_costs`.
+
+        Cached edge costs, the incumbent cost and the last peeked candidate
+        all embed the cost array the evaluator was primed against; after a
+        refresh they are stale, and every scoring method refuses to run
+        until this is called.  Optionally repositions the evaluator at a
+        different ``assignment`` in the same call.
+
+        Returns:
+            The current cost under the refreshed cost array.
+        """
+        if assignment is not None:
+            assignment = np.array(assignment, dtype=np.intp)
+            if assignment.shape != self.assignment.shape:
+                raise InvalidDeploymentError(
+                    f"assignment must have shape {self.assignment.shape}"
+                )
+            self.assignment = assignment
+            self._node_of_instance.fill(-1)
+            self._node_of_instance[self.assignment] = np.arange(
+                self.problem.num_nodes)
+        self._prime()
+        return self._cost
+
+    def _check_epoch(self) -> None:
+        if self._epoch != self.problem.cost_epoch:
+            raise SolverError(
+                "the compiled problem's costs were refreshed; call "
+                "DeltaEvaluator.reprime() before scoring or committing moves"
+            )
 
     @property
     def current_cost(self) -> float:
         """Cost of the current assignment."""
+        self._check_epoch()
         return self._cost
 
     def free_instance_indices(self, node: Optional[int] = None) -> np.ndarray:
@@ -837,6 +950,7 @@ class DeltaEvaluator:
         return max(untouched_max, float(new_costs.max()))
 
     def _candidate_cost(self, moves: Dict[int, int]) -> Tuple[float, Optional[np.ndarray], Optional[np.ndarray]]:
+        self._check_epoch()
         if self.allowed_mask is not None:
             for node, instance in moves.items():
                 if not self.allowed_mask[node, instance]:
@@ -923,25 +1037,192 @@ class DeltaEvaluator:
 # Shared compilation cache
 # --------------------------------------------------------------------------- #
 
-_COMPILE_CACHE: "weakref.WeakKeyDictionary[CostMatrix, Dict[CommunicationGraph, CompiledProblem]]" = (
-    weakref.WeakKeyDictionary()
-)
+#: Default bound on cached compilations.  Streaming workloads push a fresh
+#: cost matrix through the cache per revision; without a bound the identity
+#: cache is a slow leak (each entry pins a CompiledProblem and its graph).
+DEFAULT_COMPILE_CACHE_ENTRIES = 128
+
+
+@dataclass(frozen=True)
+class CompileCacheStats:
+    """Counters of the process-wide compilation cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+    max_entries: int = DEFAULT_COMPILE_CACHE_ENTRIES
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class _CompileCache:
+    """Bounded LRU of shared compilations, keyed on object identity.
+
+    Entries are keyed on ``(id(graph), id(costs))`` with weak validity
+    checks (an id can be recycled after its object dies), hold the
+    compiled problem strongly, and are dropped eagerly when their cost
+    matrix is garbage collected — so the cache never outlives the data it
+    indexes, and never grows beyond ``max_entries`` compilations even
+    under a streaming workload that mints a new cost matrix per revision.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_COMPILE_CACHE_ENTRIES):
+        self._lock = threading.RLock()
+        self._max_entries = max_entries
+        self._entries: "OrderedDict[Tuple[int, int], Tuple[weakref.ref, weakref.ref, CompiledProblem]]" = (
+            OrderedDict()
+        )
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @staticmethod
+    def _key(graph: CommunicationGraph, costs: CostMatrix) -> Tuple[int, int]:
+        return (id(graph), id(costs))
+
+    def _drop(self, key: Tuple[int, int]) -> None:
+        """Finalizer hook: remove a dead cost matrix's entry (no eviction count)."""
+        with self._lock:
+            self._entries.pop(key, None)
+
+    def _get_valid(self, key: Tuple[int, int], graph: CommunicationGraph,
+                   costs: CostMatrix) -> Optional[CompiledProblem]:
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        graph_ref, costs_ref, problem = entry
+        if graph_ref() is not graph or costs_ref() is not costs:
+            # Recycled id pair: the original owners died; discard the
+            # stale entry instead of serving a wrong compilation.
+            del self._entries[key]
+            return None
+        self._entries.move_to_end(key)
+        return problem
+
+    def peek(self, graph: CommunicationGraph,
+             costs: CostMatrix) -> Optional[CompiledProblem]:
+        """Cached compilation for the pair, without compiling or counting."""
+        with self._lock:
+            return self._get_valid(self._key(graph, costs), graph, costs)
+
+    def get_or_compile(self, graph: CommunicationGraph,
+                       costs: CostMatrix) -> CompiledProblem:
+        key = self._key(graph, costs)
+        with self._lock:
+            problem = self._get_valid(key, graph, costs)
+            if problem is not None:
+                self._hits += 1
+                return problem
+            self._misses += 1
+        # Compile outside the lock: lowering is the expensive part, and the
+        # advisor session already serialises same-instance compiles while
+        # letting distinct instances compile concurrently.
+        problem = CompiledProblem(graph, costs)
+        with self._lock:
+            raced = self._get_valid(key, graph, costs)
+            if raced is not None:
+                return raced
+            self._insert(key, graph, costs, problem)
+        return problem
+
+    def _insert(self, key: Tuple[int, int], graph: CommunicationGraph,
+                costs: CostMatrix, problem: CompiledProblem) -> None:
+        self._entries[key] = (weakref.ref(graph), weakref.ref(costs), problem)
+        weakref.finalize(costs, self._drop, key)
+        while len(self._entries) > self._max_entries:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def rehome(self, problem: CompiledProblem,
+               old_costs: Optional[CostMatrix],
+               new_costs: CostMatrix) -> None:
+        """Re-key a refreshed compilation from its old cost matrix to the new.
+
+        Only compilations that were actually cached are re-keyed; a
+        privately constructed ``CompiledProblem`` refreshing its costs
+        does not enter the shared cache through the back door.
+        """
+        if old_costs is None:
+            return
+        with self._lock:
+            old_key = self._key(problem.graph, old_costs)
+            entry = self._entries.get(old_key)
+            if entry is None or entry[2] is not problem:
+                return
+            del self._entries[old_key]
+            self._insert(self._key(problem.graph, new_costs),
+                         problem.graph, new_costs, problem)
+
+    def stats(self) -> CompileCacheStats:
+        with self._lock:
+            return CompileCacheStats(
+                hits=self._hits, misses=self._misses,
+                evictions=self._evictions, size=len(self._entries),
+                max_entries=self._max_entries,
+            )
+
+    def configure(self, max_entries: Optional[int] = None,
+                  reset_stats: bool = False) -> None:
+        with self._lock:
+            if max_entries is not None:
+                if max_entries < 1:
+                    raise ValueError("max_entries must be >= 1")
+                self._max_entries = max_entries
+                while len(self._entries) > self._max_entries:
+                    self._entries.popitem(last=False)
+                    self._evictions += 1
+            if reset_stats:
+                self._hits = self._misses = self._evictions = 0
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+_COMPILE_CACHE = _CompileCache()
 
 
 def compile_problem(graph: CommunicationGraph, costs: CostMatrix) -> CompiledProblem:
     """Compile (or fetch a cached compilation of) a problem instance.
 
-    The cache is keyed weakly on the cost matrix, so compilations are
-    reclaimed with the matrices they describe; both objects are immutable
-    after construction, which makes sharing safe across solvers (the
-    portfolio warms this cache once for all of its members).
+    Compilations are shared process-wide per ``(graph, costs)`` object
+    pair; both objects are treated as immutable after construction, which
+    makes sharing safe across solvers (the portfolio warms this cache once
+    for all of its members).  The cache is a bounded LRU
+    (:data:`DEFAULT_COMPILE_CACHE_ENTRIES` entries by default — see
+    :func:`configure_compile_cache`), so long-lived streaming sessions
+    cannot leak one compilation per cost revision; an evicted pair is
+    simply recompiled on next use.
     """
-    per_costs = _COMPILE_CACHE.get(costs)
-    if per_costs is None:
-        per_costs = {}
-        _COMPILE_CACHE[costs] = per_costs
-    problem = per_costs.get(graph)
-    if problem is None:
-        problem = CompiledProblem(graph, costs)
-        per_costs[graph] = problem
-    return problem
+    return _COMPILE_CACHE.get_or_compile(graph, costs)
+
+
+def peek_compiled(graph: CommunicationGraph,
+                  costs: CostMatrix) -> Optional[CompiledProblem]:
+    """The cached compilation of a pair, or ``None`` — never compiles.
+
+    Used by :meth:`repro.core.problem.DeploymentProblem.revise` to decide
+    whether a cost revision can refresh an existing engine in place.
+    """
+    return _COMPILE_CACHE.peek(graph, costs)
+
+
+def compile_cache_stats() -> CompileCacheStats:
+    """Hit / miss / eviction counters of the process-wide compile cache."""
+    return _COMPILE_CACHE.stats()
+
+
+def configure_compile_cache(max_entries: Optional[int] = None,
+                            reset_stats: bool = False) -> CompileCacheStats:
+    """Adjust the compile cache bound and/or reset its counters.
+
+    Shrinking the bound evicts least-recently-used compilations
+    immediately.  Returns the stats after reconfiguration.
+    """
+    _COMPILE_CACHE.configure(max_entries=max_entries, reset_stats=reset_stats)
+    return _COMPILE_CACHE.stats()

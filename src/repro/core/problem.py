@@ -42,7 +42,12 @@ from .errors import (
     InvalidDeploymentError,
     InvalidGraphError,
 )
-from .evaluation import CompiledConstraints, CompiledProblem, compile_problem
+from .evaluation import (
+    CompiledConstraints,
+    CompiledProblem,
+    compile_problem,
+    peek_compiled,
+)
 from .objectives import Objective
 from .types import InstanceId, NodeId
 
@@ -525,6 +530,52 @@ class DeploymentProblem:
                 digest.update(repr(self._constraints.to_dict()).encode())
             self._fingerprint = digest.hexdigest()
         return self._fingerprint
+
+    def revise(self, costs: CostMatrix,
+               metadata: Optional[Mapping[str, Any]] = None
+               ) -> "DeploymentProblem":
+        """This problem under a revised cost matrix, reusing the lowering.
+
+        The live re-deployment pipeline's entry point for cost drift: when
+        the revised matrix covers the same instances in the same order —
+        the graph and allocation are unchanged, only measured latencies
+        moved — the shared :class:`CompiledProblem` is *refreshed in
+        place* (:meth:`CompiledProblem.refresh_costs`): all graph-side
+        index arrays, level groups and the compiled constraints view are
+        preserved, only the dense cost array and the cost-derived bound
+        caches are replaced.  No re-lowering, no re-validation of the
+        constraint structure.
+
+        The revised problem has a new :meth:`instance_key` /
+        :meth:`fingerprint` (the costs changed); the original problem
+        object remains structurally valid, but its compiled engine is
+        considered superseded — asking it to compile again lowers a fresh
+        engine for the old costs.
+
+        Args:
+            costs: the revised cost matrix.
+            metadata: optional replacement metadata; the original
+                problem's metadata is carried over when omitted.
+
+        Returns:
+            A new validated :class:`DeploymentProblem`; ``self`` when
+            ``costs`` is the very matrix this problem already holds.
+        """
+        if costs is self._costs:
+            return self
+        revised = DeploymentProblem(
+            self._graph, costs, objective=self._objective,
+            constraints=self._constraints,
+            metadata=self._metadata if metadata is None else metadata,
+        )
+        if costs.instance_ids == self._costs.instance_ids:
+            engine = peek_compiled(self._graph, self._costs)
+            if engine is not None:
+                engine.refresh_costs(costs)
+                # The constraints view is indexed against that same engine
+                # object and is cost-independent, so it migrates as-is.
+                revised._compiled_constraints = self._compiled_constraints
+        return revised
 
     def rebound(self, graph: CommunicationGraph,
                 costs: CostMatrix) -> "DeploymentProblem":

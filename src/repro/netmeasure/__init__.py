@@ -22,13 +22,16 @@ from .probing import (
     round_robin_pairings,
 )
 from .staged import StagedMeasurement
+from .stream import CostRevision, MeasurementStream, relative_link_drift
 from .token_passing import TokenPassingMeasurement
 from .uncoordinated import UncoordinatedMeasurement
 
 __all__ = [
+    "CostRevision",
     "InterferenceModel",
     "MeasurementResult",
     "MeasurementScheme",
+    "MeasurementStream",
     "NO_INTERFERENCE",
     "ProbeEngine",
     "ProxyQuality",
@@ -43,6 +46,7 @@ __all__ = [
     "normalized_latency_vector",
     "proxy_quality",
     "relative_error_cdf_input",
+    "relative_link_drift",
     "rmse_convergence",
     "round_robin_pairings",
 ]

@@ -1,0 +1,230 @@
+"""Streaming measurement-to-problem adapter: the live side of the advisor.
+
+The paper's pipeline is measure-once-then-optimise; a long-running
+deployment keeps measuring.  This module closes the loop between the
+measurement layer (:class:`~repro.netmeasure.estimator.MeasurementResult`,
+:class:`~repro.cloud.traces.LatencyTrace`) and the solving pipeline
+(:class:`~repro.core.problem.DeploymentProblem`):
+
+* :class:`MeasurementStream` holds the *current* cost matrix and folds
+  incoming observations into it — a full or partial
+  ``MeasurementResult`` (only the measured links are updated), an
+  already-summarised ``CostMatrix``, or the windows of a ``LatencyTrace``.
+* Each fold runs a **drift detector**: the per-link relative drift of the
+  folded matrix against the current one (the same relative-deviation
+  notion as :meth:`LatencyTrace.max_relative_drift`, applied between
+  consecutive estimates).  Folds whose largest drift stays below the
+  stream's threshold are absorbed silently — measurement noise does not
+  become a revision — while significant folds are emitted as
+  :class:`CostRevision` objects and become the new current matrix.
+* A :class:`CostRevision` is what the re-solve loop consumes
+  (:meth:`repro.api.AdvisorSession.watch`): the revised matrix plus the
+  drift statistics the watch policy thresholds against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..cloud.traces import LatencyTrace
+from ..core.cost_matrix import CostMatrix, LatencyMetric
+from ..core.errors import MeasurementError
+from ..core.types import Link
+from .estimator import MeasurementResult
+
+
+def relative_link_drift(current: CostMatrix, revised: CostMatrix) -> np.ndarray:
+    """Per-link relative drift between two cost matrices.
+
+    Entry ``[i, j]`` is ``|revised - current| / current`` for the directed
+    link ``i -> j``; the diagonal is 0 by construction.  A link whose
+    current cost is zero drifts infinitely when it becomes non-zero and
+    not at all otherwise.
+
+    Raises:
+        MeasurementError: if the matrices cover different instances.
+    """
+    if revised.instance_ids != current.instance_ids:
+        raise MeasurementError(
+            "cost revision covers different instances than the current "
+            "matrix; rebuild the problem instead of folding"
+        )
+    old = current.as_array()
+    new = revised.as_array()
+    with np.errstate(divide="ignore", invalid="ignore"):
+        drift = np.abs(new - old) / old
+    # 0/0 (including the diagonal) is no drift; x/0 with x > 0 stays inf.
+    return np.nan_to_num(drift, nan=0.0, posinf=np.inf)
+
+
+@dataclass(frozen=True)
+class CostRevision:
+    """One significant cost-matrix revision emitted by a stream.
+
+    Attributes:
+        index: 0-based sequence number among *emitted* revisions.
+        costs: the revised cost matrix (the stream's new current matrix).
+        max_drift: largest per-link relative drift against the previous
+            current matrix.
+        mean_drift: mean per-link relative drift (off-diagonal links).
+        num_changed: number of directed links whose cost changed at all.
+        worst_link: the directed link realising ``max_drift`` (``None``
+            when nothing changed).
+    """
+
+    index: int
+    costs: CostMatrix
+    max_drift: float
+    mean_drift: float
+    num_changed: int
+    worst_link: Optional[Link]
+
+
+class MeasurementStream:
+    """Folds incoming measurements into cost-matrix revisions.
+
+    Args:
+        baseline: the cost matrix the deployment was last solved against
+            (usually ``problem.costs``).
+        drift_threshold: smallest per-link relative drift that makes a
+            fold *significant*.  Sub-threshold folds are absorbed — the
+            current matrix stays as is and no revision is emitted — so
+            plain measurement noise does not churn the re-solve loop.
+            The default of ``0.0`` emits every fold that changes any
+            link, leaving filtering entirely to the watch policy.
+        metric: latency metric applied when folding raw
+            :class:`MeasurementResult` samples.
+    """
+
+    def __init__(self, baseline: CostMatrix, drift_threshold: float = 0.0,
+                 metric: LatencyMetric = LatencyMetric.MEAN):
+        if drift_threshold < 0:
+            raise ValueError("drift_threshold must be >= 0")
+        self._current = baseline
+        self.drift_threshold = float(drift_threshold)
+        self.metric = metric
+        self._emitted = 0
+        self._absorbed = 0
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def current(self) -> CostMatrix:
+        """The current cost matrix (baseline plus every emitted revision)."""
+        return self._current
+
+    @property
+    def revisions_emitted(self) -> int:
+        """Number of significant revisions emitted so far."""
+        return self._emitted
+
+    @property
+    def folds_absorbed(self) -> int:
+        """Number of folds absorbed below the drift threshold."""
+        return self._absorbed
+
+    # ------------------------------------------------------------------ #
+
+    def fold_costs(self, costs: CostMatrix) -> Optional[CostRevision]:
+        """Fold an already-summarised cost matrix.
+
+        Returns the emitted :class:`CostRevision`, or ``None`` when the
+        fold was absorbed (largest relative drift below the threshold, or
+        no link changed at all).
+        """
+        drift = relative_link_drift(self._current, costs)
+        max_drift = float(drift.max()) if drift.size else 0.0
+        # A link's drift is nonzero exactly when its cost changed (a cost
+        # dropping to 0 drifts by 1, one appearing from 0 by inf).
+        changed = int(np.count_nonzero(drift))
+        if changed == 0 or max_drift < self.drift_threshold:
+            self._absorbed += 1
+            return None
+        off_diag = ~np.eye(costs.num_instances, dtype=bool)
+        flat_index = int(np.argmax(drift))
+        src, dst = np.unravel_index(flat_index, drift.shape)
+        revision = CostRevision(
+            index=self._emitted,
+            costs=costs,
+            max_drift=max_drift,
+            mean_drift=float(drift[off_diag].mean()) if off_diag.any() else 0.0,
+            num_changed=changed,
+            worst_link=(costs.instance_ids[int(src)],
+                        costs.instance_ids[int(dst)]),
+        )
+        self._current = costs
+        self._emitted += 1
+        return revision
+
+    def fold_measurement(self, result: MeasurementResult,
+                         until_ms: Optional[float] = None
+                         ) -> Optional[CostRevision]:
+        """Fold the links a measurement run actually observed.
+
+        Unlike :meth:`MeasurementResult.to_cost_matrix`, a *partial*
+        measurement is fine here: links without samples keep their current
+        cost, so an incremental probing round over a few suspect links
+        still produces a well-formed revision.
+
+        Raises:
+            MeasurementError: if the measurement covers instances the
+                current matrix does not know.
+        """
+        known = set(self._current.instance_ids)
+        unknown = [i for i in result.instance_ids if i not in known]
+        if unknown:
+            raise MeasurementError(
+                f"measurement covers unknown instance(s) {unknown[:5]}; "
+                f"the stream's matrix spans {len(known)} instances"
+            )
+        matrix = self._current.as_array()
+        for (src, dst), _ in result.samples.items():
+            values = result.rtt_values((src, dst), until_ms)
+            if values:
+                matrix[self._current.index_of(src),
+                       self._current.index_of(dst)] = (
+                    self.metric.summarise(values)
+                )
+        return self.fold_costs(CostMatrix(self._current.instance_ids, matrix))
+
+    def fold_trace(self, trace: LatencyTrace) -> List[CostRevision]:
+        """Fold every window of a latency trace, in time order.
+
+        Each window is overlaid on the then-current matrix
+        (:meth:`LatencyTrace.window_costs`), run through the drift
+        detector, and emitted when significant.
+        """
+        revisions: List[CostRevision] = []
+        for index in range(trace.num_windows):
+            revision = self.fold_costs(
+                trace.window_costs(index, self._current))
+            if revision is not None:
+                revisions.append(revision)
+        return revisions
+
+    def fold_all(self, matrices: Iterable[CostMatrix]
+                 ) -> List[CostRevision]:
+        """Fold a sequence of cost matrices; convenience for replays."""
+        revisions = []
+        for costs in matrices:
+            revision = self.fold_costs(costs)
+            if revision is not None:
+                revisions.append(revision)
+        return revisions
+
+    def __repr__(self) -> str:
+        return (
+            f"MeasurementStream(instances={self._current.num_instances}, "
+            f"threshold={self.drift_threshold}, emitted={self._emitted}, "
+            f"absorbed={self._absorbed})"
+        )
+
+
+__all__: Tuple[str, ...] = (
+    "CostRevision",
+    "MeasurementStream",
+    "relative_link_drift",
+)

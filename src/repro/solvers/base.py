@@ -248,6 +248,17 @@ class DeploymentSolver(abc.ABC):
     #: through :class:`~repro.solvers.registry.SolverSpec` as a capability.
     supports_constraints: bool = False
 
+    #: Whether this solver class makes productive use of ``initial_plan``:
+    #: search solvers start from it, exact solvers seed their incumbent /
+    #: initial upper bound with it, constructive solvers treat its cost as
+    #: an upper bound on the result they return.  This is what makes
+    #: re-solving after a small cost drift cost a fraction of a cold solve.
+    #: Registered through :class:`~repro.solvers.registry.SolverSpec` as a
+    #: capability; a legacy solver that ignores ``initial_plan`` should
+    #: leave this ``False`` so the watch loop knows a warm start buys
+    #: nothing.
+    supports_warm_start: bool = False
+
     def handles_constraints(self, problem: DeploymentProblem) -> bool:
         """Whether this *instance* natively enforces ``problem``'s constraints.
 

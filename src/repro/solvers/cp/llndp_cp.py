@@ -68,6 +68,11 @@ class CPLongestLinkSolver(DeploymentSolver):
     name = "CP"
     supported_objectives = (Objective.LONGEST_LINK,)
     supports_constraints = True
+    #: The incumbent seeds the threshold loop: a warm start at cost ``c``
+    #: means the first satisfaction search already runs at the next
+    #: distinct cost below ``c``, so a near-optimal incumbent (the usual
+    #: case after a small drift) skips almost the whole threshold descent.
+    supports_warm_start = True
 
     def handles_constraints(self, problem: DeploymentProblem) -> bool:
         """Constraints are lowered into the search on the engine path only.

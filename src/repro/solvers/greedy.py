@@ -44,7 +44,35 @@ from ..core.errors import SolverError
 from ..core.evaluation import CompiledConstraints, CompiledProblem, compile_problem
 from ..core.problem import DeploymentProblem
 from ..core.types import InstanceId, NodeId
-from .base import DeploymentSolver, SearchBudget, SolverResult, Stopwatch
+from .base import (
+    DeploymentSolver,
+    SearchBudget,
+    SolverResult,
+    Stopwatch,
+    constrained_warm_start,
+)
+
+
+def _incumbent_bounded(plan: DeploymentPlan, cost: float,
+                       problem: DeploymentProblem,
+                       initial_plan: Optional[DeploymentPlan],
+                       engine: CompiledProblem) -> Tuple[DeploymentPlan, float]:
+    """Apply warm-start upper-bound semantics to a constructed plan.
+
+    A greedy construction cannot be steered by an incumbent, but its
+    *result* can be bounded by one: when the caller supplies an
+    ``initial_plan`` (e.g. the plan currently deployed, during a drift
+    re-solve), the solver never returns anything worse than it.  Violating
+    incumbents are repaired up front on constrained problems, mirroring
+    the search solvers' warm-start handling.
+    """
+    if initial_plan is None:
+        return plan, cost
+    incumbent = constrained_warm_start(problem, initial_plan)
+    incumbent_cost = engine.evaluate_plan(incumbent, problem.objective)
+    if incumbent_cost < cost:
+        return incumbent, incumbent_cost
+    return plan, cost
 
 
 class _GreedyState:
@@ -270,6 +298,7 @@ class GreedyG1(DeploymentSolver):
 
     name = "G1"
     supports_constraints = True
+    supports_warm_start = True
 
     def _solve(self, problem: DeploymentProblem,
                budget: SearchBudget | None = None,
@@ -316,6 +345,8 @@ class GreedyG1(DeploymentSolver):
         else:
             plan = _finalize_constrained(state, problem)
         cost = engine.evaluate_plan(plan, objective)
+        plan, cost = _incumbent_bounded(plan, cost, problem, initial_plan,
+                                        engine)
         return SolverResult(
             plan=plan, cost=cost, objective=objective, solver_name=self.name,
             solve_time_s=watch.elapsed(), iterations=iterations, optimal=False,
@@ -328,6 +359,7 @@ class GreedyG2(DeploymentSolver):
 
     name = "G2"
     supports_constraints = True
+    supports_warm_start = True
 
     def _solve(self, problem: DeploymentProblem,
                budget: SearchBudget | None = None,
@@ -363,6 +395,8 @@ class GreedyG2(DeploymentSolver):
         else:
             plan = _finalize_constrained(state, problem)
         cost = engine.evaluate_plan(plan, objective)
+        plan, cost = _incumbent_bounded(plan, cost, problem, initial_plan,
+                                        engine)
         return SolverResult(
             plan=plan, cost=cost, objective=objective, solver_name=self.name,
             solve_time_s=watch.elapsed(), iterations=iterations, optimal=False,

@@ -129,6 +129,7 @@ class SwapLocalSearch(DeploymentSolver):
 
     name = "local-search"
     supports_constraints = True
+    supports_warm_start = True
 
     def __init__(self, restarts: int = 3, seed: int | None = None,
                  max_moves_without_improvement: int = 2000):
@@ -158,8 +159,17 @@ class SwapLocalSearch(DeploymentSolver):
         )
         iterations = 0
 
+        def target_reached() -> bool:
+            # Early-exit contract shared with the other search solvers: a
+            # warm re-solve under SearchBudget.target_cost stops the moment
+            # the incumbent is good enough instead of burning the rest of
+            # the budget polishing it.
+            return (budget.target_cost is not None
+                    and best_plan is not None
+                    and best_cost <= budget.target_cost)
+
         for restart in range(self.restarts):
-            if watch.expired():
+            if watch.expired() or target_reached():
                 break
             if restart == 0 and initial_plan is not None:
                 plan, cost = initial_plan, best_cost
@@ -192,6 +202,8 @@ class SwapLocalSearch(DeploymentSolver):
                     if cost < best_cost:
                         best_plan, best_cost = evaluator.plan(), cost
                         trace.record(watch.elapsed(), cost)
+                        if target_reached():
+                            break
                 else:
                     stall += 1
                 if budget.max_iterations is not None and iterations >= budget.max_iterations:
@@ -199,6 +211,8 @@ class SwapLocalSearch(DeploymentSolver):
             if cost < best_cost:
                 best_plan, best_cost = evaluator.plan(), cost
                 trace.record(watch.elapsed(), cost)
+            if target_reached():
+                break
             if budget.max_iterations is not None and iterations >= budget.max_iterations:
                 break
 
@@ -229,6 +243,7 @@ class SimulatedAnnealing(DeploymentSolver):
 
     name = "annealing"
     supports_constraints = True
+    supports_warm_start = True
 
     def __init__(self, initial_temperature: float = 0.3, cooling: float = 0.995,
                  seed: int | None = None):

@@ -247,6 +247,11 @@ class MipDeploymentSolver(DeploymentSolver):
     #: Encoding class instantiated per problem; set by subclasses.
     encoding_factory = None
     supports_constraints = True
+    #: The warm start becomes the branch-and-bound's initial incumbent
+    #: (its objective value prunes every node whose LP bound cannot beat
+    #: it), so a near-optimal incumbent after a small drift turns the
+    #: re-solve into mostly bound checks.
+    supports_warm_start = True
 
     def __init__(self, backend: str = "bnb", k_clusters: Optional[int] = None,
                  round_to: float | None = 0.01, node_limit: int | None = 5000,

@@ -42,6 +42,9 @@ class PortfolioSolver(DeploymentSolver):
     #: the repair fallback for custom legacy members), so every plan the
     #: portfolio sees — and the one it returns — is feasible.
     supports_constraints = True
+    #: The caller's warm start is handed to the first member and the best
+    #: incumbent so far is threaded into every later member.
+    supports_warm_start = True
 
     def __init__(self, solvers: Optional[Sequence[DeploymentSolver]] = None,
                  exact_fraction: float = 0.8, seed: int | None = None):

@@ -53,6 +53,7 @@ class RandomSearch(DeploymentSolver):
 
     name = "random"
     supports_constraints = True
+    supports_warm_start = True
 
     def __init__(self, num_samples: Optional[int] = 1000,
                  seed: int | None = None, parallel_factor: int = 1):

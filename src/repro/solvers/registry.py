@@ -63,6 +63,12 @@ class SolverSpec:
     #: the search (every built-in does); third-party legacy solvers fall
     #: back to the base class's post-hoc repair.
     supports_constraints: bool = False
+    #: Whether the solver makes productive use of an ``initial_plan`` warm
+    #: start (search solvers start from it, exact solvers seed their
+    #: incumbent with it, constructive solvers bound their result by it).
+    #: The live re-deployment watch loop filters on this so drift
+    #: re-solves are only warm-started where that actually helps.
+    supports_warm_start: bool = False
     _parameters: Tuple[str, ...] = field(init=False, repr=False, default=())
     _has_kwargs: bool = field(init=False, repr=False, default=False)
 
@@ -89,16 +95,20 @@ class SolverSpec:
 
     def supports(self, objective: Objective,
                  num_nodes: Optional[int] = None,
-                 constrained: Optional[bool] = None) -> bool:
-        """Capability check: objective, problem size, native constraints.
+                 constrained: Optional[bool] = None,
+                 warm_start: Optional[bool] = None) -> bool:
+        """Capability check: objective, size, constraints, warm starts.
 
         ``constrained=True`` filters to solvers that enforce placement
-        constraints natively inside their search; ``None`` (the default)
-        does not filter on the capability.
+        constraints natively inside their search; ``warm_start=True``
+        filters to solvers that make productive use of an ``initial_plan``.
+        ``None`` (the default) does not filter on either capability.
         """
         if objective not in self.objectives:
             return False
         if constrained and not self.supports_constraints:
+            return False
+        if warm_start and not self.supports_warm_start:
             return False
         if num_nodes is not None and self.max_nodes is not None:
             return num_nodes <= self.max_nodes
@@ -131,6 +141,7 @@ class SolverRegistry:
                  objectives: Optional[Tuple[Objective, ...]] = None,
                  max_nodes: Optional[int] = None,
                  supports_constraints: Optional[bool] = None,
+                 supports_warm_start: Optional[bool] = None,
                  replace: bool = False) -> SolverSpec:
         """Register a solver factory under ``key``.
 
@@ -146,6 +157,9 @@ class SolverRegistry:
                 constraints natively; defaults to the factory's
                 ``supports_constraints`` attribute (``False`` when the
                 factory carries none, e.g. a bare function).
+            supports_warm_start: whether the solver makes productive use
+                of an ``initial_plan``; defaults to the factory's
+                ``supports_warm_start`` attribute, like constraints.
             replace: allow overwriting an existing key (default refuses).
         """
         if key in self._specs and not replace:
@@ -160,9 +174,13 @@ class SolverRegistry:
         if supports_constraints is None:
             supports_constraints = bool(
                 getattr(factory, "supports_constraints", False))
+        if supports_warm_start is None:
+            supports_warm_start = bool(
+                getattr(factory, "supports_warm_start", False))
         spec = SolverSpec(key=key, factory=factory, summary=summary,
                           objectives=tuple(objectives), max_nodes=max_nodes,
-                          supports_constraints=supports_constraints)
+                          supports_constraints=supports_constraints,
+                          supports_warm_start=supports_warm_start)
         self._specs[key] = spec
         return spec
 
@@ -210,28 +228,35 @@ class SolverRegistry:
 
     def supporting(self, objective: Objective,
                    num_nodes: Optional[int] = None,
-                   constrained: Optional[bool] = None) -> Tuple[str, ...]:
+                   constrained: Optional[bool] = None,
+                   warm_start: Optional[bool] = None) -> Tuple[str, ...]:
         """Keys of the solvers able to optimise ``objective``.
 
         When ``num_nodes`` is given, solvers whose practical size ceiling
         is below it are filtered out as well; ``constrained=True``
         additionally keeps only solvers that enforce placement constraints
-        natively inside their search.
+        natively inside their search, and ``warm_start=True`` only those
+        that make productive use of an ``initial_plan``.
         """
         return tuple(
             key for key in self.available()
-            if self._specs[key].supports(objective, num_nodes, constrained)
+            if self._specs[key].supports(objective, num_nodes, constrained,
+                                         warm_start)
         )
 
-    def for_problem(self, problem: DeploymentProblem) -> Tuple[str, ...]:
+    def for_problem(self, problem: DeploymentProblem,
+                    warm_start: Optional[bool] = None) -> Tuple[str, ...]:
         """Keys of the solvers able to handle ``problem``.
 
         Constrained problems are answered with natively constraint-aware
         solvers only, so a caller picking from this list never pays the
-        repair fallback.
+        repair fallback.  Pass ``warm_start=True`` when the solve will be
+        warm-started from an incumbent (as the live re-deployment watch
+        loop does), to keep only solvers where that actually helps.
         """
         return self.supporting(problem.objective, problem.num_nodes,
-                               constrained=problem.constraints is not None)
+                               constrained=problem.constraints is not None,
+                               warm_start=warm_start)
 
     def default_key(self, objective: Objective) -> str:
         """The paper's default solver for an objective.
@@ -316,12 +341,14 @@ default_registry.register(
     summary="paper's R1: best of a fixed number of random plans",
     objectives=RandomSearch.supported_objectives,
     supports_constraints=RandomSearch.supports_constraints,
+    supports_warm_start=RandomSearch.supports_warm_start,
 )
 default_registry.register(
     "r2", RandomSearch.r2,
     summary="paper's R2: random search bounded by wall-clock time",
     objectives=RandomSearch.supported_objectives,
     supports_constraints=RandomSearch.supports_constraints,
+    supports_warm_start=RandomSearch.supports_warm_start,
 )
 default_registry.register(
     "local-search", SwapLocalSearch,

@@ -95,3 +95,43 @@ class TestSimulatedAnnealing:
             graph, costs, budget=SearchBudget.seconds(0.5), initial_plan=initial.plan
         )
         assert result.cost <= initial.cost
+
+
+class TestTargetCost:
+    """SearchBudget.target_cost support, the warm re-solve early exit."""
+
+    def test_stops_once_target_reached(self, problem):
+        graph, costs = problem
+        unbounded = SwapLocalSearch(seed=6, restarts=1).solve(
+            graph, costs, budget=SearchBudget(max_iterations=2000))
+        target = unbounded.cost * 1.05  # a cost the descent passes through
+        bounded = SwapLocalSearch(seed=6, restarts=1).solve(
+            graph, costs,
+            budget=SearchBudget(max_iterations=2000, target_cost=target))
+        assert bounded.cost <= target
+        assert bounded.iterations < unbounded.iterations
+
+    def test_warm_start_meeting_target_returns_immediately(self, problem):
+        graph, costs = problem
+        incumbent = SwapLocalSearch(seed=7, restarts=1).solve(
+            graph, costs, budget=SearchBudget(max_iterations=2000))
+        warm = SwapLocalSearch(seed=7, restarts=3).solve(
+            graph, costs,
+            budget=SearchBudget(max_iterations=2000,
+                                target_cost=incumbent.cost),
+            initial_plan=incumbent.plan)
+        assert warm.iterations == 0
+        assert warm.cost == incumbent.cost
+
+    def test_no_target_keeps_historical_iteration_counts(self, problem):
+        graph, costs = problem
+        budget = SearchBudget(max_iterations=500)
+        first = SwapLocalSearch(seed=8).solve(graph, costs, budget=budget)
+        second = SwapLocalSearch(seed=8).solve(graph, costs, budget=budget)
+        assert first.iterations == second.iterations == 500
+        assert first.cost == second.cost
+        assert first.plan.as_dict() == second.plan.as_dict()
+
+    def test_declares_warm_start_capability(self):
+        assert SwapLocalSearch.supports_warm_start
+        assert SimulatedAnnealing.supports_warm_start

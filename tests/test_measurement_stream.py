@@ -1,0 +1,243 @@
+"""The measurement→problem seam: streams, traces, and the problem round trip.
+
+Covers the live pipeline's input side: ``MeasurementStream`` folding raw
+measurements / trace windows into ``CostRevision`` objects behind a drift
+detector, ``LatencyTrace.window_costs`` overlays, and the
+``MeasurementResult.to_cost_matrix`` → ``DeploymentProblem`` → JSON round
+trip with ``fingerprint()`` changing iff the revised costs change.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cloud.traces import collect_latency_trace, representative_links
+from repro.core import (
+    CommunicationGraph,
+    CostMatrix,
+    DeploymentProblem,
+    Objective,
+)
+from repro.core.errors import MeasurementError
+from repro.netmeasure import (
+    MeasurementResult,
+    MeasurementStream,
+    relative_link_drift,
+)
+
+
+def simple_costs(values=None) -> CostMatrix:
+    matrix = np.array([
+        [0.0, 1.0, 2.0],
+        [1.5, 0.0, 3.0],
+        [2.5, 3.5, 0.0],
+    ]) if values is None else np.asarray(values, dtype=float)
+    return CostMatrix([0, 1, 2], matrix)
+
+
+def measured(samples) -> MeasurementResult:
+    result = MeasurementResult(scheme="test", instance_ids=(0, 1, 2))
+    for link, values in samples.items():
+        for moment, value in enumerate(values):
+            result.record(link, float(moment), float(value))
+    return result
+
+
+class TestRelativeLinkDrift:
+    def test_zero_for_identical_matrices(self):
+        costs = simple_costs()
+        assert relative_link_drift(costs, costs).max() == 0.0
+
+    def test_relative_per_link(self):
+        base = simple_costs()
+        revised = simple_costs([[0, 1.1, 2], [1.5, 0, 3], [2.5, 3.5, 0]])
+        drift = relative_link_drift(base, revised)
+        assert drift[0, 1] == pytest.approx(0.1)
+        assert np.count_nonzero(drift) == 1
+
+    def test_zero_cost_link_semantics(self):
+        base = simple_costs([[0, 0.0, 2], [1.5, 0, 3], [2.5, 3.5, 0]])
+        appearing = simple_costs([[0, 0.5, 2], [1.5, 0, 3], [2.5, 3.5, 0]])
+        assert relative_link_drift(base, appearing)[0, 1] == np.inf
+        assert relative_link_drift(base, base)[0, 1] == 0.0
+
+    def test_rejects_mismatched_instances(self):
+        base = simple_costs()
+        other = CostMatrix([7, 8, 9], base.as_array())
+        with pytest.raises(MeasurementError):
+            relative_link_drift(base, other)
+
+
+class TestMeasurementStreamFolding:
+    def test_subthreshold_folds_are_absorbed(self):
+        stream = MeasurementStream(simple_costs(), drift_threshold=0.05)
+        nearly = simple_costs([[0, 1.01, 2], [1.5, 0, 3], [2.5, 3.5, 0]])
+        assert stream.fold_costs(nearly) is None
+        assert stream.folds_absorbed == 1
+        assert stream.revisions_emitted == 0
+        assert stream.current.cost(0, 1) == 1.0  # baseline unchanged
+
+    def test_significant_folds_emit_and_advance(self):
+        stream = MeasurementStream(simple_costs(), drift_threshold=0.05)
+        revised = simple_costs([[0, 1.2, 2], [1.5, 0, 3], [2.5, 3.5, 0]])
+        revision = stream.fold_costs(revised)
+        assert revision is not None
+        assert revision.index == 0
+        assert revision.max_drift == pytest.approx(0.2)
+        assert revision.worst_link == (0, 1)
+        assert revision.num_changed == 1
+        assert stream.current is revised
+        # Drift is now measured against the new current matrix.
+        assert stream.fold_costs(revised) is None
+
+    def test_zero_threshold_emits_any_change_but_not_identity(self):
+        stream = MeasurementStream(simple_costs())
+        assert stream.fold_costs(simple_costs()) is None
+        tweaked = simple_costs([[0, 1.0001, 2], [1.5, 0, 3], [2.5, 3.5, 0]])
+        assert stream.fold_costs(tweaked) is not None
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ValueError):
+            MeasurementStream(simple_costs(), drift_threshold=-0.1)
+
+    def test_fold_measurement_updates_only_observed_links(self):
+        stream = MeasurementStream(simple_costs())
+        partial = measured({(0, 1): [2.0, 2.2], (2, 0): [5.0]})
+        revision = stream.fold_measurement(partial)
+        assert revision is not None
+        assert revision.costs.cost(0, 1) == pytest.approx(2.1)  # mean
+        assert revision.costs.cost(2, 0) == pytest.approx(5.0)
+        assert revision.costs.cost(1, 2) == 3.0  # unobserved: kept
+
+    def test_fold_measurement_respects_until_ms(self):
+        stream = MeasurementStream(simple_costs())
+        partial = measured({(0, 1): [2.0, 4.0]})  # observed at t=0 and t=1
+        revision = stream.fold_measurement(partial, until_ms=0.5)
+        assert revision.costs.cost(0, 1) == pytest.approx(2.0)
+
+    def test_fold_measurement_rejects_unknown_instances(self):
+        stream = MeasurementStream(simple_costs())
+        foreign = MeasurementResult(scheme="test", instance_ids=(0, 9))
+        foreign.record((0, 9), 0.0, 1.0)
+        with pytest.raises(MeasurementError):
+            stream.fold_measurement(foreign)
+
+    def test_fold_all_replays_matrices_in_order(self):
+        stream = MeasurementStream(simple_costs(), drift_threshold=0.05)
+        quiet = simple_costs([[0, 1.01, 2], [1.5, 0, 3], [2.5, 3.5, 0]])
+        loud = simple_costs([[0, 1.5, 2], [1.5, 0, 3], [2.5, 3.5, 0]])
+        revisions = stream.fold_all([quiet, loud, loud])
+        assert [revision.index for revision in revisions] == [0]
+        assert stream.folds_absorbed == 2
+
+
+class TestLatencyTraceWindows:
+    @pytest.fixture(scope="class")
+    def trace_setup(self):
+        from repro.cloud import ProviderProfile, SimulatedCloud
+        cloud = SimulatedCloud(profile=ProviderProfile.ec2(), seed=5)
+        ids = [inst.instance_id for inst in cloud.allocate(6)]
+        links = representative_links(cloud, count=3, instance_ids=ids)
+        trace = collect_latency_trace(cloud, links, duration_hours=2.0,
+                                      window_hours=1.0,
+                                      samples_per_window=10, seed=5)
+        baseline = cloud.true_cost_matrix(ids)
+        return trace, baseline
+
+    def test_window_costs_overlays_observed_links(self, trace_setup):
+        trace, baseline = trace_setup
+        window = trace.window_costs(0, baseline)
+        assert window.instance_ids == baseline.instance_ids
+        observed = set(trace.links)
+        for row, (a, b) in enumerate(trace.links):
+            assert window.cost(a, b) == pytest.approx(trace.means_ms[row, 0])
+            if (b, a) not in observed:  # symmetric fallback
+                assert window.cost(b, a) == pytest.approx(
+                    trace.means_ms[row, 0])
+        untouched = [
+            (a, b) for a in baseline.instance_ids for b in baseline.instance_ids
+            if a != b and (a, b) not in observed and (b, a) not in observed
+        ]
+        for a, b in untouched:
+            assert window.cost(a, b) == baseline.cost(a, b)
+
+    def test_window_costs_without_symmetric_fallback(self, trace_setup):
+        trace, baseline = trace_setup
+        window = trace.window_costs(0, baseline, symmetric_fallback=False)
+        observed = set(trace.links)
+        for a, b in observed:
+            if (b, a) not in observed:
+                assert window.cost(b, a) == baseline.cost(b, a)
+
+    def test_window_index_bounds(self, trace_setup):
+        trace, baseline = trace_setup
+        assert trace.num_windows == 2
+        with pytest.raises(IndexError):
+            trace.window_costs(2, baseline)
+        with pytest.raises(IndexError):
+            trace.window_costs(-1, baseline)
+
+    def test_fold_trace_runs_the_drift_detector_per_window(self, trace_setup):
+        trace, baseline = trace_setup
+        emit_all = MeasurementStream(baseline)
+        revisions = emit_all.fold_trace(trace)
+        assert len(revisions) == trace.num_windows
+        # An impossibly high threshold absorbs every window.
+        absorb_all = MeasurementStream(baseline, drift_threshold=1e9)
+        assert absorb_all.fold_trace(trace) == []
+        assert absorb_all.folds_absorbed == trace.num_windows
+
+
+class TestMeasurementToProblemSeam:
+    """Satellite: netmeasure → DeploymentProblem round trip."""
+
+    def test_measurement_to_problem_json_round_trip(self):
+        result = measured({
+            (0, 1): [1.0, 1.2], (1, 0): [1.1],
+            (0, 2): [2.0], (2, 0): [2.2],
+            (1, 2): [3.0, 3.4], (2, 1): [3.3],
+        })
+        costs = result.to_cost_matrix()
+        graph = CommunicationGraph.ring(3)
+        problem = DeploymentProblem(graph, costs,
+                                    metadata={"scheme": result.scheme})
+        payload = json.loads(json.dumps(problem.to_dict()))
+        restored = DeploymentProblem.from_dict(payload)
+        assert restored.fingerprint() == problem.fingerprint()
+        assert restored.instance_key() == problem.instance_key()
+        plan = problem.default_plan()
+        assert restored.evaluate(plan) == problem.evaluate(plan)
+
+    def test_fingerprint_changes_iff_revised_costs_change(self):
+        samples = {
+            (0, 1): [1.0], (1, 0): [1.1],
+            (0, 2): [2.0], (2, 0): [2.2],
+            (1, 2): [3.0], (2, 1): [3.3],
+        }
+        graph = CommunicationGraph.ring(3)
+        problem = DeploymentProblem(graph, measured(samples).to_cost_matrix())
+
+        identical = problem.revise(
+            costs=measured(samples).to_cost_matrix())
+        assert identical.fingerprint() == problem.fingerprint()
+
+        drifted_samples = dict(samples)
+        drifted_samples[(0, 1)] = [1.5]
+        revised = problem.revise(
+            costs=measured(drifted_samples).to_cost_matrix())
+        assert revised.fingerprint() != problem.fingerprint()
+
+    def test_stream_revision_feeds_revise_directly(self):
+        base = simple_costs()
+        graph = CommunicationGraph.ring(3)
+        problem = DeploymentProblem(graph, base,
+                                    objective=Objective.LONGEST_LINK)
+        stream = MeasurementStream(base, drift_threshold=0.05)
+        revision = stream.fold_costs(
+            simple_costs([[0, 1.4, 2], [1.5, 0, 3], [2.5, 3.5, 0]]))
+        revised = problem.revise(costs=revision.costs)
+        assert revised.costs is revision.costs
+        assert revised.fingerprint() != problem.fingerprint()

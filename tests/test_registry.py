@@ -181,3 +181,47 @@ class TestRegistration:
         registry = SolverRegistry()
         spec = registry.register("cp", CPLongestLinkSolver, summary="x")
         assert spec.objectives == (Objective.LONGEST_LINK,)
+
+
+class TestWarmStartCapability:
+    def test_every_builtin_declares_warm_start(self):
+        for spec in default_registry.specs():
+            assert spec.supports_warm_start, \
+                f"{spec.key} should declare warm-start support"
+
+    def test_supporting_filters_on_warm_start(self):
+        registry = SolverRegistry()
+        registry.register("cp", CPLongestLinkSolver, summary="warm")
+
+        def legacy_factory():
+            return CPLongestLinkSolver()
+
+        registry.register("legacy", legacy_factory, summary="cold",
+                          objectives=(Objective.LONGEST_LINK,))
+        assert registry.spec("legacy").supports_warm_start is False
+        assert registry.supporting(Objective.LONGEST_LINK) == ("cp", "legacy")
+        assert registry.supporting(Objective.LONGEST_LINK,
+                                   warm_start=True) == ("cp",)
+        # warm_start=None / False do not filter, mirroring `constrained`.
+        assert registry.supporting(Objective.LONGEST_LINK,
+                                   warm_start=False) == ("cp", "legacy")
+
+    def test_for_problem_warm_start_filter(self, mesh_graph):
+        costs = deterministic_cost_matrix(12, seed=31)
+        problem = DeploymentProblem(mesh_graph, costs)
+        registry = SolverRegistry()
+        registry.register("cp", CPLongestLinkSolver, summary="warm")
+
+        def legacy_factory():
+            return CPLongestLinkSolver()
+
+        registry.register("legacy", legacy_factory, summary="cold",
+                          objectives=(Objective.LONGEST_LINK,))
+        assert "legacy" in registry.for_problem(problem)
+        assert registry.for_problem(problem, warm_start=True) == ("cp",)
+
+    def test_explicit_registration_overrides_factory_attribute(self):
+        registry = SolverRegistry()
+        spec = registry.register("cp", CPLongestLinkSolver, summary="x",
+                                 supports_warm_start=False)
+        assert spec.supports_warm_start is False
