@@ -17,7 +17,10 @@ over-allocated instance pools).  It compares, on an n = 100 problem:
 * the live re-deployment hot path: adopting a drifted cost matrix through
   ``CompiledProblem.refresh_costs`` versus a full recompile, and a warm
   re-solve (local search started from the incumbent plan, stopping at the
-  cold solve's cost) versus a cold re-solve of the drifted instance.
+  cold solve's cost) versus a cold re-solve of the drifted instance;
+* the durable result store: serving an already-solved revision from the
+  SQLite WAL store (one indexed lookup + JSON decode) versus re-running
+  the solver on the same fingerprint.
 
 Every comparison also asserts the results agree exactly, so the speedup is
 never bought with a drifting objective.
@@ -39,6 +42,7 @@ remain comparable).
 import json
 import os
 import pathlib
+import tempfile
 import time
 
 import numpy as np
@@ -62,6 +66,7 @@ from repro.solvers.cp.labeling import (
 )
 from repro.solvers.mip.llndp_mip import LLNDPEncoding
 from repro.solvers.mip.branch_and_bound import DeploymentRounder
+from repro.store import SQLiteResultCache
 
 NUM_NODES = 100
 NUM_INSTANCES = 110  # 10 % over-allocation, as in the paper's experiments
@@ -318,6 +323,37 @@ def bench_warm_resolve(repeats=2):
     return cold_s, warm_s, cold_s / warm_s
 
 
+def bench_result_store(repeats=5):
+    """(solve_s, lookup_s, speedup) for serving an already-solved revision.
+
+    The watch loop's restart / sibling-process scenario: a revision whose
+    fingerprint is already in the durable store should be served by one
+    indexed SQLite lookup plus a JSON decode instead of a solver run.  The
+    baseline is the seeded local-search solve of the tracked n=100
+    instance; the store path is ``SQLiteResultCache.get`` against a
+    WAL-mode database holding that result.  The served plan is asserted
+    identical to the solver's, so the speedup never hides a wrong answer.
+    """
+    graph, costs = build_problem(Objective.LONGEST_LINK)
+    problem = DeploymentProblem(graph, costs)
+    budget = SearchBudget(max_iterations=6000)
+    solve_s, result = _best_of(1, lambda: SwapLocalSearch(
+        restarts=1, seed=SEED + 8).solve(problem, budget=budget))
+
+    with tempfile.TemporaryDirectory() as scratch:
+        store = SQLiteResultCache(pathlib.Path(scratch) / "bench-store.db")
+        fingerprint = problem.fingerprint()
+        store.put(fingerprint, "local-search", result)
+        lookup_s, served = _best_of(
+            repeats, lambda: store.get(fingerprint, "local-search"))
+        store.close()
+
+    assert served is not None and served.cost == result.cost, \
+        "store-served result disagrees with the solver run"
+    assert served.plan.as_dict() == result.plan.as_dict()
+    return solve_s, lookup_s, solve_s / lookup_s
+
+
 def bench_mip_rounding(repeats=3):
     """(scalar_s, batch_s, speedup) for scoring LP-candidate roundings.
 
@@ -422,6 +458,14 @@ def build_report():
     lines.append(
         f"warm re-solve after 1% drift (n={NUM_NODES}): "
         f"cold   {cold_s * 1e3:7.1f} ms  warm  {warm_s * 1e3:7.1f} ms  "
+        f"speedup {speedup:7.1f}x"
+    )
+
+    solve_s, lookup_s, speedup = bench_result_store()
+    metrics["result_store"] = speedup
+    lines.append(
+        f"result store lookup (n={NUM_NODES}): "
+        f"solve  {solve_s * 1e3:7.1f} ms  store {lookup_s * 1e3:7.2f} ms  "
         f"speedup {speedup:7.1f}x"
     )
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Union
@@ -30,6 +31,12 @@ from ..solvers.base import SolverResult
 #: Version tag embedded in every cache entry; bumping it invalidates all
 #: previously written entries at once.
 RESULT_CACHE_VERSION = 1
+
+#: Age beyond which a ``.write-*`` temp file is considered litter from a
+#: crashed writer and swept on cache open.  Generously above any realistic
+#: write duration, so a live sibling writer's temp file is never deleted
+#: out from under its ``os.replace``.
+STALE_TEMP_AGE_S = 3600.0
 
 
 @dataclass(frozen=True)
@@ -71,6 +78,25 @@ class ResultCache:
         self._hits = 0
         self._misses = 0
         self._writes = 0
+        self._sweep_stale_temp_files()
+
+    def _sweep_stale_temp_files(self) -> int:
+        """Remove ``.write-*`` litter left behind by crashed writers.
+
+        Only files older than :data:`STALE_TEMP_AGE_S` are removed: a
+        recent temp file may belong to a live writer in a sibling process,
+        whose atomic ``os.replace`` must not be sabotaged.
+        """
+        cutoff = time.time() - STALE_TEMP_AGE_S
+        removed = 0
+        for stale in self.path.glob(".write-*"):
+            try:
+                if stale.stat().st_mtime < cutoff:
+                    stale.unlink()
+                    removed += 1
+            except OSError:
+                pass
+        return removed
 
     # ------------------------------------------------------------------ #
 
@@ -113,9 +139,12 @@ class ResultCache:
             dir=self.path, prefix=".write-", suffix=".json")
         try:
             with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle)
+                json.dump(payload, handle, allow_nan=False)
             os.replace(temp_name, self._entry_path(fingerprint, solver))
-        except OSError:
+        except BaseException:
+            # Any failure — not just OSError: json.dump raising TypeError /
+            # ValueError on an unserializable result (or a KeyboardInterrupt
+            # mid-dump) used to leak the temp file.
             try:
                 os.unlink(temp_name)
             except OSError:

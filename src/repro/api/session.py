@@ -34,11 +34,19 @@ from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..core.communication_graph import CommunicationGraph
 from ..core.cost_matrix import CostMatrix
-from ..core.errors import ClouDiAError, InvalidDeploymentError
+from ..core.errors import ClouDiAError, InvalidDeploymentError, StoreError
 from ..core.evaluation import CompileCacheStats, compile_cache_stats, peek_compiled
 from ..core.deployment import DeploymentPlan
 from ..core.problem import DeploymentProblem
@@ -56,6 +64,9 @@ from .watch import (
     WatchPolicy,
     WatchReport,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only, avoids a cycle
+    from ..store import SQLiteResultCache
 
 #: Hard cap on worker threads; solving is CPU-bound, so more threads than
 #: a small multiple of the core count only adds contention.
@@ -107,18 +118,23 @@ class AdvisorSession:
             are evicted beyond it, so a long-lived serving session does not
             grow without bound.  An evicted instance is simply recompiled
             if it is submitted again.
-        result_cache: optional persistent solver-result cache (a
-            :class:`~repro.api.cache.ResultCache`, or a directory path one
-            is created at).  Used by :meth:`watch` to skip re-solving
-            revisions this or any sibling process already solved — entries
-            are keyed on the problem fingerprint plus solver key, so
-            restarted sessions resume where they left off.
+        result_cache: optional persistent solver-result cache — a
+            :class:`~repro.api.cache.ResultCache`, a durable
+            :class:`~repro.store.SQLiteResultCache` (or anything else
+            satisfying their ``get`` / ``put`` / ``stats`` protocol), or a
+            directory path a JSON ``ResultCache`` is created at.  Used by
+            :meth:`watch` to skip re-solving revisions this or any sibling
+            process already solved — entries are keyed on the problem
+            fingerprint plus solver key, so restarted sessions resume
+            where they left off.  A store-backed cache additionally
+            persists watch history and solve telemetry.
     """
 
     def __init__(self, registry: Optional[SolverRegistry] = None,
                  max_workers: Optional[int] = None,
                  max_cached_problems: int = 128,
-                 result_cache: Optional[Union[ResultCache, str, Path]] = None):
+                 result_cache: Optional[Union[
+                     ResultCache, "SQLiteResultCache", str, Path]] = None):
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         if max_cached_problems < 1:
@@ -126,7 +142,7 @@ class AdvisorSession:
         self.registry = registry if registry is not None else default_registry
         self.max_workers = max_workers
         self.max_cached_problems = max_cached_problems
-        if result_cache is not None and not isinstance(result_cache, ResultCache):
+        if isinstance(result_cache, (str, Path)):
             result_cache = ResultCache(result_cache)
         self.result_cache = result_cache
         self._lock = threading.Lock()
@@ -325,6 +341,9 @@ class AdvisorSession:
         )
         warm_capable = self.registry.spec(solver_key).supports_warm_start
         events: List[WatchEvent] = []
+        #: The fingerprint the run is keyed on in durable watch history
+        #: (each adopted revision gets its own, recorded per event).
+        root_fingerprint = problem.fingerprint()
 
         # Initial solve: establish the incumbent (never a "hold").
         compile_started = time.perf_counter()
@@ -400,8 +419,15 @@ class AdvisorSession:
             )
             events.append(event)
 
-        return WatchReport(problem=problem, plan=plan, cost=cost,
-                           result=result, events=events)
+        report = WatchReport(problem=problem, plan=plan, cost=cost,
+                             result=result, events=events)
+        # A store-backed result cache keeps the re-deployment log durable:
+        # the events become queryable history rows, not just this report.
+        history = getattr(self.result_cache, "history", None)
+        if history is not None:
+            history.record_report(report, solver=solver_key,
+                                  root_fingerprint=root_fingerprint)
+        return report
 
     def _watch_step(self, problem: DeploymentProblem, solver_key: str,
                     policy: WatchPolicy, warm_capable: bool,
@@ -436,6 +462,10 @@ class AdvisorSession:
             with self._lock:
                 self._watch_resolves += 1
             if self.result_cache is not None:
+                record_problem = getattr(self.result_cache,
+                                         "record_problem", None)
+                if record_problem is not None:
+                    record_problem(problem)
                 self.result_cache.put(fingerprint, cache_tag, result)
 
         # Keep the incumbent when the step did not strictly improve on it
@@ -527,7 +557,7 @@ class AdvisorSession:
                 total_time_s=time.perf_counter() - started,
                 repair_applied=result.repair_applied,
             )
-            return SolverResponse(
+            response = SolverResponse(
                 request_id=request.request_id, solver=solver_key,
                 status="ok", result=result, telemetry=telemetry,
             )
@@ -539,11 +569,29 @@ class AdvisorSession:
                 compile_time_s=compile_time,
                 total_time_s=time.perf_counter() - started,
             )
-            return SolverResponse(
+            response = SolverResponse(
                 request_id=request.request_id, solver=solver_key,
                 status="error", error=f"{type(exc).__name__}: {exc}",
                 telemetry=telemetry,
             )
+        self._record_telemetry(problem, response)
+        return response
+
+    def _record_telemetry(self, problem: DeploymentProblem,
+                          response: SolverResponse) -> None:
+        """Append the response to a store-backed cache's telemetry stream.
+
+        Best effort: telemetry is observability, so a store failure (lock
+        timeout, full disk) must not fail the solve that produced the
+        response.
+        """
+        recorder = getattr(self.result_cache, "record_telemetry", None)
+        if recorder is None:
+            return
+        try:
+            recorder(problem.fingerprint(), response)
+        except StoreError:
+            pass
 
 
 def solve_requests(requests: Sequence[SolveRequest],

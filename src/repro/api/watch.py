@@ -14,6 +14,7 @@ and serializes as the re-deployment log.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
@@ -27,6 +28,24 @@ REASON_INITIAL = "initial"
 REASON_DRIFT = "drift"
 REASON_DEGRADATION = "degradation"
 REASON_HELD = "held"
+
+
+def _finite_or_none(value: float) -> Optional[float]:
+    """A float as RFC 8259 JSON can carry it: finite, or ``None``.
+
+    The initial solve's incumbent cost is ``inf`` (no plan exists yet) and
+    a zero-cost link turning non-zero drifts infinitely;
+    ``json.dump(..., allow_nan=True)`` would serialize those as the bare
+    token ``Infinity``, which strict parsers (jq, RFC 8259 consumers)
+    reject.  ``null`` is the interchange-safe spelling of "no finite
+    value"; :func:`json_to_float` inverts it.
+    """
+    return float(value) if math.isfinite(value) else None
+
+
+def json_to_float(value: Optional[float]) -> float:
+    """Invert :func:`_finite_or_none` when deserializing a log entry."""
+    return float("inf") if value is None else float(value)
 
 
 @dataclass(frozen=True)
@@ -115,23 +134,49 @@ class WatchEvent:
     fingerprint: str
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-serializable representation (one re-deployment log line)."""
+        """JSON-serializable representation (one re-deployment log line).
+
+        Strictly RFC 8259: non-finite floats (the initial solve's ``inf``
+        incumbent cost, an infinite drift) are mapped to ``null`` so the
+        log parses under ``allow_nan=False`` / jq / any non-Python
+        consumer; :meth:`from_dict` restores them.
+        """
         return {
             "revision": self.revision,
             "reason": self.reason,
-            "drift": self.drift,
+            "drift": _finite_or_none(self.drift),
             "refresh_time_s": self.refresh_time_s,
             "engine_refreshed": self.engine_refreshed,
-            "incumbent_cost": self.incumbent_cost,
+            "incumbent_cost": _finite_or_none(self.incumbent_cost),
             "resolved": self.resolved,
             "cache_hit": self.cache_hit,
             "warm_start": self.warm_start,
             "solve_time_s": self.solve_time_s,
-            "cost": self.cost,
+            "cost": _finite_or_none(self.cost),
             "redeployed": self.redeployed,
             "solver": self.solver,
             "fingerprint": self.fingerprint,
         }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "WatchEvent":
+        """Rebuild an event from :meth:`to_dict` output (``null`` → ``inf``)."""
+        return cls(
+            revision=payload["revision"],
+            reason=payload["reason"],
+            drift=json_to_float(payload["drift"]),
+            refresh_time_s=payload["refresh_time_s"],
+            engine_refreshed=payload["engine_refreshed"],
+            incumbent_cost=json_to_float(payload["incumbent_cost"]),
+            resolved=payload["resolved"],
+            cache_hit=payload["cache_hit"],
+            warm_start=payload["warm_start"],
+            solve_time_s=payload["solve_time_s"],
+            cost=json_to_float(payload["cost"]),
+            redeployed=payload["redeployed"],
+            solver=payload["solver"],
+            fingerprint=payload["fingerprint"],
+        )
 
 
 @dataclass
@@ -181,10 +226,10 @@ class WatchReport:
         return sum(1 for event in self.events if event.engine_refreshed)
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-serializable re-deployment log."""
+        """JSON-serializable re-deployment log (strict RFC 8259 floats)."""
         return {
             "plan": self.plan.to_dict(),
-            "cost": self.cost,
+            "cost": _finite_or_none(self.cost),
             "objective": self.problem.objective.value,
             "events": [event.to_dict() for event in self.events],
             "resolves": self.resolves,
@@ -203,4 +248,5 @@ __all__: Tuple[str, ...] = (
     "WatchEvent",
     "WatchPolicy",
     "WatchReport",
+    "json_to_float",
 )

@@ -49,6 +49,7 @@ from .core.advisor import AdvisorConfig, ClouDiA, MeasurementConfig
 from .core.errors import ClouDiAError
 from .solvers import DeploymentSolver, SearchBudget
 from .solvers.registry import default_registry
+from .store import SQLiteResultCache
 
 #: Graph templates the CLI can build, mapping name -> builder description.
 TEMPLATE_DESCRIPTIONS = {
@@ -162,8 +163,13 @@ def command_advise(args: argparse.Namespace) -> int:
 
 
 def _write_json(path: str, payload: Dict[str, Any]) -> None:
+    # allow_nan=False: every artifact the CLI emits must be strict RFC 8259
+    # JSON (jq and non-Python consumers reject the bare Infinity/NaN tokens
+    # Python would otherwise write).  Payload builders map non-finite
+    # floats to null themselves; a regression fails loudly here instead of
+    # producing an unparseable file.
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2)
+        json.dump(payload, handle, indent=2, allow_nan=False)
         handle.write("\n")
 
 
@@ -421,7 +427,15 @@ def command_watch(args: argparse.Namespace) -> int:
         degradation_threshold=args.degradation_threshold,
         warm_start=not args.cold,
     )
-    session = AdvisorSession(result_cache=args.cache_dir)
+    if args.store and args.cache_dir:
+        print("error: --store and --cache-dir are alternative result "
+              "caches; pass one of them", file=sys.stderr)
+        return 2
+    if args.store:
+        result_cache = SQLiteResultCache(args.store)
+    else:
+        result_cache = args.cache_dir
+    session = AdvisorSession(result_cache=result_cache)
     report = session.watch(problem, matrices, policy)
 
     rows = []
@@ -459,6 +473,12 @@ def command_watch(args: argparse.Namespace) -> int:
           f"redeployments: {report.redeployments}; "
           f"engine refreshes: {stats.cost_refreshes}, "
           f"recompiles: {stats.cost_recompiles}")
+    if args.store:
+        runs = len(session.result_cache.history.runs())
+        print(f"durable store {args.store}: "
+              f"{len(session.result_cache)} results, "
+              f"{runs} recorded watch runs")
+        session.result_cache.close()
     if args.out:
         _write_json(args.out, report.to_dict())
         print(f"re-deployment log written to {args.out}")
@@ -694,8 +714,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable warm-starting re-solves from the "
                             "incumbent plan")
     watch.add_argument("--cache-dir", default=None,
-                       help="directory of the persistent result cache "
+                       help="directory of the persistent JSON result cache "
                             "(shared across processes; default: no cache)")
+    watch.add_argument("--store", default=None,
+                       help="path of the durable SQLite result + history "
+                            "store (WAL mode, shared across processes; "
+                            "also records the re-deployment history; "
+                            "alternative to --cache-dir)")
     watch.add_argument("--out", default=None,
                        help="path of the re-deployment log JSON to write")
     watch.set_defaults(handler=command_watch)

@@ -40,6 +40,16 @@ class SolverError(ClouDiAError):
     """Raised when a deployment solver is misconfigured or fails internally."""
 
 
+class StoreError(ClouDiAError):
+    """Raised when the durable SQLite result/history store fails.
+
+    Wraps ``sqlite3`` failures on the *write* paths (schema migration,
+    result inserts, history recording, eviction); read paths degrade to
+    cache misses instead, keeping the store an accelerator rather than a
+    correctness dependency.
+    """
+
+
 class InfeasibleProblemError(SolverError):
     """Raised when a node deployment problem admits no feasible deployment.
 

@@ -1,0 +1,95 @@
+"""SQLite connection discipline for the durable result + history store.
+
+One place owns how the store opens its database: WAL journaling so the
+serving layer's readers never block behind a writer, ``synchronous=NORMAL``
+(the WAL-safe durability/throughput trade), a generous ``busy_timeout`` so
+sibling processes queue instead of failing with ``database is locked``, and
+foreign keys enforced — SQLite ships with them off.  Every handle the store
+package hands out goes through :func:`connect`, so the pragmas cannot
+silently drift between the result cache, the history log and the eviction
+sweeps.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, Union
+
+from ..core.errors import StoreError
+
+#: How long a writer waits on a locked database before giving up (ms).
+#: Well above any solve-adjacent write burst; matches the WAL discipline
+#: documented for append-heavy monitoring stores.
+DEFAULT_BUSY_TIMEOUT_MS = 30_000
+
+#: Pragmas applied to every connection, in order.  ``journal_mode=WAL`` is
+#: persistent (stored in the database header); the rest are per-connection
+#: and must be re-applied on every open.
+_PRAGMAS = (
+    "PRAGMA journal_mode=WAL",
+    "PRAGMA synchronous=NORMAL",
+    "PRAGMA foreign_keys=ON",
+)
+
+
+def connect(path: Union[str, Path],
+            busy_timeout_ms: int = DEFAULT_BUSY_TIMEOUT_MS
+            ) -> sqlite3.Connection:
+    """Open ``path`` with the store's pragma discipline applied.
+
+    Parent directories are created when missing.  The connection is in
+    autocommit mode (``isolation_level=None``); multi-statement writes go
+    through :func:`transaction`, which issues an explicit
+    ``BEGIN IMMEDIATE`` so the write lock is taken up front instead of on
+    the first write (avoiding mid-transaction ``SQLITE_BUSY`` upgrades).
+
+    ``check_same_thread`` is disabled because a session may touch its
+    result cache from worker threads; callers serialise access with their
+    own lock (SQLite itself is compiled threadsafe).
+
+    Raises:
+        StoreError: when the database cannot be opened or a pragma fails.
+    """
+    path = Path(path)
+    if path.parent and not path.parent.exists():
+        path.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        conn = sqlite3.connect(os.fspath(path), timeout=busy_timeout_ms / 1000.0,
+                               isolation_level=None, check_same_thread=False)
+    except sqlite3.Error as exc:
+        raise StoreError(f"cannot open result store at {path}: {exc}") from exc
+    try:
+        conn.execute(f"PRAGMA busy_timeout={int(busy_timeout_ms)}")
+        for pragma in _PRAGMAS:
+            conn.execute(pragma)
+    except sqlite3.Error as exc:
+        conn.close()
+        raise StoreError(
+            f"cannot apply store pragmas on {path}: {exc}") from exc
+    return conn
+
+
+@contextmanager
+def transaction(conn: sqlite3.Connection) -> Iterator[sqlite3.Connection]:
+    """An immediate write transaction: commit on success, roll back on error.
+
+    ``BEGIN IMMEDIATE`` acquires the write lock at entry (waiting up to the
+    connection's busy timeout), so a transaction either starts with the
+    lock held or fails before touching anything — never half-way.
+    """
+    conn.execute("BEGIN IMMEDIATE")
+    try:
+        yield conn
+    except BaseException:
+        conn.execute("ROLLBACK")
+        raise
+    conn.execute("COMMIT")
+
+
+def pragma_value(conn: sqlite3.Connection, name: str):
+    """The current value of a pragma (e.g. ``journal_mode``)."""
+    row = conn.execute(f"PRAGMA {name}").fetchone()
+    return None if row is None else row[0]

@@ -1,0 +1,128 @@
+"""Size and age eviction sweeps over the durable store.
+
+The store is append-heavy: every watch revision inserts a result row and a
+handful of history rows.  Left alone it grows without bound, so the sweeps
+here enforce two retention knobs:
+
+* **age** — result rows whose ``last_used_at`` is older than ``max_age_s``
+  are dropped (an entry nobody read for that long is stale capacity, and a
+  re-solve recreates it);
+* **size** — beyond ``max_results`` rows, least-recently-used results are
+  dropped first (``last_used_at`` ascending, insertion order as the
+  tie-break).
+
+History retention mirrors it with ``max_runs`` / ``max_age_s`` over watch
+runs (events cascade via the foreign key).  Problems that no longer anchor
+any result, revision or run row are pruned opportunistically — they are
+metadata, recreated on the next ``put``.
+
+Each sweep is one write transaction: a reader either sees the store before
+the sweep or after it, never a half-evicted state.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from .connection import transaction
+
+
+@dataclass(frozen=True)
+class SweepStats:
+    """What one eviction sweep removed."""
+
+    results_by_age: int = 0
+    results_by_size: int = 0
+    runs_by_age: int = 0
+    runs_by_size: int = 0
+    revisions_by_age: int = 0
+    orphan_problems: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total rows removed (cascaded event rows not counted)."""
+        return (self.results_by_age + self.results_by_size
+                + self.runs_by_age + self.runs_by_size
+                + self.revisions_by_age + self.orphan_problems)
+
+
+def sweep(conn: sqlite3.Connection,
+          max_results: Optional[int] = None,
+          max_age_s: Optional[float] = None,
+          max_runs: Optional[int] = None,
+          now: Optional[float] = None) -> SweepStats:
+    """Run one eviction sweep; limits that are ``None`` are not enforced.
+
+    Args:
+        conn: a store connection (see :func:`repro.store.connect`).
+        max_results: keep at most this many result rows (LRU beyond it).
+        max_age_s: drop result rows not used — and watch runs not recorded
+            — within this many seconds.
+        max_runs: keep at most this many watch runs (oldest first).
+        now: reference clock (epoch seconds); defaults to ``time.time()``,
+            injectable for tests.
+
+    Returns:
+        Counts of removed rows per category.
+    """
+    now = time.time() if now is None else now
+    results_by_age = results_by_size = 0
+    runs_by_age = runs_by_size = revisions_by_age = 0
+    with transaction(conn):
+        if max_age_s is not None:
+            cutoff = now - max_age_s
+            results_by_age = conn.execute(
+                "DELETE FROM results WHERE last_used_at < ?", (cutoff,)
+            ).rowcount
+            runs_by_age = conn.execute(
+                "DELETE FROM watch_runs WHERE created_at < ?", (cutoff,)
+            ).rowcount
+            revisions_by_age = conn.execute(
+                "DELETE FROM cost_revisions WHERE created_at < ?", (cutoff,)
+            ).rowcount
+        if max_results is not None:
+            results_by_size = conn.execute(
+                """
+                DELETE FROM results WHERE rowid IN (
+                    SELECT rowid FROM results
+                    ORDER BY last_used_at DESC, rowid DESC
+                    LIMIT -1 OFFSET ?
+                )
+                """,
+                (max(0, max_results),),
+            ).rowcount
+        if max_runs is not None:
+            runs_by_size = conn.execute(
+                """
+                DELETE FROM watch_runs WHERE run_id IN (
+                    SELECT run_id FROM watch_runs
+                    ORDER BY created_at DESC, run_id DESC
+                    LIMIT -1 OFFSET ?
+                )
+                """,
+                (max(0, max_runs),),
+            ).rowcount
+        orphan_problems = conn.execute(
+            """
+            DELETE FROM problems WHERE
+                NOT EXISTS (SELECT 1 FROM results
+                            WHERE results.fingerprint = problems.fingerprint)
+                AND NOT EXISTS (SELECT 1 FROM cost_revisions
+                                WHERE cost_revisions.fingerprint
+                                      = problems.fingerprint)
+                AND NOT EXISTS (SELECT 1 FROM watch_runs
+                                WHERE watch_runs.root_fingerprint
+                                      = problems.fingerprint)
+            """
+        ).rowcount
+    return SweepStats(
+        results_by_age=results_by_age,
+        results_by_size=results_by_size,
+        runs_by_age=runs_by_age,
+        runs_by_size=runs_by_size,
+        revisions_by_age=revisions_by_age,
+        orphan_problems=orphan_problems,
+    )

@@ -1,0 +1,230 @@
+"""The persisted re-deployment log: watch runs, events and revisions.
+
+:meth:`repro.api.AdvisorSession.watch` produces an in-memory
+:class:`~repro.api.watch.WatchReport`; this module makes that log durable.
+One :meth:`WatchHistory.record_report` call writes, in a single
+transaction, a ``watch_runs`` summary row, one ``watch_events`` row per
+:class:`~repro.api.watch.WatchEvent`, and the ``cost_revisions`` lineage
+(which fingerprint each revision was drifted from, and by how much) — so a
+serving layer can answer "what happened to deployment X?" from any sibling
+process, across restarts.
+
+Non-finite floats (the initial solve's ``inf`` incumbent cost, an infinite
+drift on a zero-cost link) are stored as SQL ``NULL`` — the same mapping
+the strict-JSON serialization uses — and surface back as ``inf`` when rows
+are rebuilt into :class:`WatchEvent` objects.
+"""
+
+from __future__ import annotations
+
+import math
+import sqlite3
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..api.watch import WatchEvent, WatchReport
+from ..core.errors import StoreError
+from .connection import transaction
+
+
+def _stored(value: float) -> Optional[float]:
+    """A float as stored: finite values pass, non-finite become NULL."""
+    return float(value) if math.isfinite(value) else None
+
+
+def _loaded(value: Optional[float]) -> float:
+    """Invert :func:`_stored` (NULL means "no finite value", i.e. ``inf``)."""
+    return float("inf") if value is None else float(value)
+
+
+@dataclass(frozen=True)
+class WatchRunSummary:
+    """One recorded watch run (the ``watch_runs`` row)."""
+
+    run_id: int
+    root_fingerprint: str
+    solver: str
+    objective: str
+    final_cost: Optional[float]
+    resolves: int
+    cache_hits: int
+    redeployments: int
+    holds: int
+    created_at: float
+    num_events: int
+
+
+class WatchHistory:
+    """Query/record interface over the store's watch-history tables.
+
+    Produced by :attr:`repro.store.SQLiteResultCache.history`; shares the
+    cache's connection and lock, so history writes and result writes go
+    through the same WAL.
+    """
+
+    def __init__(self, conn: sqlite3.Connection, lock) -> None:
+        self._conn = conn
+        self._lock = lock
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+
+    def record_report(self, report: WatchReport, *, solver: str,
+                      root_fingerprint: str) -> int:
+        """Persist a finished watch run; returns the new ``run_id``.
+
+        Args:
+            report: the report :meth:`AdvisorSession.watch` returned.
+            solver: resolved solver registry key the run used.
+            root_fingerprint: fingerprint of the problem the watch
+                *started* from (each revision has its own fingerprint,
+                recorded per event).
+
+        Raises:
+            StoreError: when the write fails (disk full, lock timeout).
+        """
+        now = time.time()
+        try:
+            with self._lock, transaction(self._conn):
+                cursor = self._conn.execute(
+                    """
+                    INSERT INTO watch_runs (root_fingerprint, solver,
+                        objective, final_cost, resolves, cache_hits,
+                        redeployments, holds, created_at)
+                    VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)
+                    """,
+                    (root_fingerprint, solver,
+                     report.problem.objective.value, _stored(report.cost),
+                     report.resolves, report.cache_hits,
+                     report.redeployments, report.holds, now),
+                )
+                run_id = int(cursor.lastrowid)
+                self._conn.executemany(
+                    """
+                    INSERT INTO watch_events (run_id, revision, fingerprint,
+                        reason, drift, refresh_time_s, engine_refreshed,
+                        incumbent_cost, resolved, cache_hit, warm_start,
+                        solve_time_s, cost, redeployed, solver)
+                    VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                    """,
+                    [(run_id, event.revision, event.fingerprint,
+                      event.reason, _stored(event.drift),
+                      event.refresh_time_s, int(event.engine_refreshed),
+                      _stored(event.incumbent_cost), int(event.resolved),
+                      int(event.cache_hit), int(event.warm_start),
+                      event.solve_time_s, _stored(event.cost),
+                      int(event.redeployed), event.solver)
+                     for event in report.events],
+                )
+                self._conn.executemany(
+                    """
+                    INSERT INTO cost_revisions (fingerprint,
+                        parent_fingerprint, revision, max_drift, created_at)
+                    VALUES (?, ?, ?, ?, ?)
+                    """,
+                    [(event.fingerprint, previous.fingerprint,
+                      event.revision, _stored(event.drift), now)
+                     for previous, event in zip(report.events,
+                                                report.events[1:])],
+                )
+        except sqlite3.Error as exc:
+            raise StoreError(
+                f"cannot record watch history: {exc}") from exc
+        return run_id
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def runs(self, root_fingerprint: Optional[str] = None
+             ) -> List[WatchRunSummary]:
+        """Recorded runs, oldest first, optionally for one root problem."""
+        query = """
+            SELECT r.run_id, r.root_fingerprint, r.solver, r.objective,
+                   r.final_cost, r.resolves, r.cache_hits, r.redeployments,
+                   r.holds, r.created_at,
+                   (SELECT COUNT(*) FROM watch_events e
+                    WHERE e.run_id = r.run_id)
+            FROM watch_runs r
+        """
+        params: Tuple = ()
+        if root_fingerprint is not None:
+            query += " WHERE r.root_fingerprint = ?"
+            params = (root_fingerprint,)
+        query += " ORDER BY r.created_at, r.run_id"
+        with self._lock:
+            rows = self._conn.execute(query, params).fetchall()
+        return [WatchRunSummary(*row) for row in rows]
+
+    def events(self, run_id: int) -> List[WatchEvent]:
+        """The full event log of one run, in revision order."""
+        with self._lock:
+            rows = self._conn.execute(
+                """
+                SELECT revision, reason, drift, refresh_time_s,
+                       engine_refreshed, incumbent_cost, resolved, cache_hit,
+                       warm_start, solve_time_s, cost, redeployed, solver,
+                       fingerprint
+                FROM watch_events WHERE run_id = ? ORDER BY revision
+                """,
+                (run_id,),
+            ).fetchall()
+        return [self._event_from_row(row) for row in rows]
+
+    def redeployments(self, root_fingerprint: str,
+                      since_revision: int = 0) -> List[WatchEvent]:
+        """Plan-changing events of a deployment since a revision number.
+
+        The indexed query behind "all redeployments for fingerprint X since
+        revision N": every event that changed the recommended plan, across
+        all recorded runs rooted at ``root_fingerprint``, with revision
+        number strictly greater than ``since_revision`` — ordered by run,
+        then revision.
+        """
+        with self._lock:
+            rows = self._conn.execute(
+                """
+                SELECT e.revision, e.reason, e.drift, e.refresh_time_s,
+                       e.engine_refreshed, e.incumbent_cost, e.resolved,
+                       e.cache_hit, e.warm_start, e.solve_time_s, e.cost,
+                       e.redeployed, e.solver, e.fingerprint
+                FROM watch_events e
+                JOIN watch_runs r ON r.run_id = e.run_id
+                WHERE r.root_fingerprint = ? AND e.redeployed = 1
+                      AND e.revision > ?
+                ORDER BY r.created_at, r.run_id, e.revision
+                """,
+                (root_fingerprint, since_revision),
+            ).fetchall()
+        return [self._event_from_row(row) for row in rows]
+
+    def revision_lineage(self, fingerprint: str) -> List[Tuple[str, int, float]]:
+        """Revisions drifted *from* ``fingerprint``:
+        ``(child fingerprint, revision number, max drift)`` tuples."""
+        with self._lock:
+            rows = self._conn.execute(
+                """
+                SELECT fingerprint, revision, max_drift FROM cost_revisions
+                WHERE parent_fingerprint = ? ORDER BY revision, id
+                """,
+                (fingerprint,),
+            ).fetchall()
+        return [(row[0], int(row[1]), _loaded(row[2])) for row in rows]
+
+    @staticmethod
+    def _event_from_row(row) -> WatchEvent:
+        (revision, reason, drift, refresh_time_s, engine_refreshed,
+         incumbent_cost, resolved, cache_hit, warm_start, solve_time_s,
+         cost, redeployed, solver, fingerprint) = row
+        return WatchEvent(
+            revision=int(revision), reason=reason, drift=_loaded(drift),
+            refresh_time_s=float(refresh_time_s),
+            engine_refreshed=bool(engine_refreshed),
+            incumbent_cost=_loaded(incumbent_cost), resolved=bool(resolved),
+            cache_hit=bool(cache_hit), warm_start=bool(warm_start),
+            solve_time_s=float(solve_time_s), cost=_loaded(cost),
+            redeployed=bool(redeployed), solver=solver,
+            fingerprint=fingerprint,
+        )

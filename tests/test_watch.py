@@ -19,6 +19,8 @@ from repro.api.watch import (
     REASON_DRIFT,
     REASON_HELD,
     REASON_INITIAL,
+    WatchEvent,
+    json_to_float,
 )
 from repro.cli import main as cli_main
 from repro.core import (
@@ -391,3 +393,106 @@ class TestWatchCli:
         ])
         assert code == 0
         assert "re-deployment trace" in capsys.readouterr().out
+
+
+class TestStrictJsonLogs:
+    """Regression: non-finite floats must never reach a JSON artifact."""
+
+    def test_initial_incumbent_cost_serializes_as_null(self, watch_problem):
+        session = AdvisorSession()
+        report = session.watch(watch_problem, [], fast_policy())
+        initial = report.events[0]
+        assert initial.incumbent_cost == float("inf")  # no plan stood yet
+        payload = initial.to_dict()
+        assert payload["incumbent_cost"] is None
+        # The whole report passes the strict serializer the CLI now uses.
+        encoded = json.dumps(report.to_dict(), allow_nan=False)
+        assert "Infinity" not in encoded and "NaN" not in encoded
+
+    def test_infinite_drift_serializes_as_null(self):
+        event = WatchEvent(
+            revision=1, reason=REASON_DRIFT, drift=float("inf"),
+            refresh_time_s=0.0, engine_refreshed=True,
+            incumbent_cost=2.0, resolved=True, cache_hit=False,
+            warm_start=True, solve_time_s=0.1, cost=float("nan"),
+            redeployed=True, solver="local-search", fingerprint="f",
+        )
+        payload = event.to_dict()
+        assert payload["drift"] is None
+        assert payload["cost"] is None
+        json.dumps(payload, allow_nan=False)
+
+    def test_from_dict_restores_non_finite_floats(self, watch_problem):
+        session = AdvisorSession()
+        report = session.watch(
+            watch_problem, [drifted(watch_problem.costs, 5, 0.4)],
+            fast_policy())
+        for event in report.events:
+            clone = WatchEvent.from_dict(
+                json.loads(json.dumps(event.to_dict(), allow_nan=False)))
+            assert clone == event
+
+    def test_json_to_float_inverts_null(self):
+        assert json_to_float(None) == float("inf")
+        assert json_to_float(1.5) == 1.5
+
+
+class TestCacheTempFileHygiene:
+    """Regression: ``put`` failures must not leak ``.write-*`` litter."""
+
+    def _unserializable_result(self, watch_problem):
+        return SolverResult(
+            plan=watch_problem.default_plan(), cost=object(),  # type: ignore[arg-type]
+            objective=Objective.LONGEST_LINK, solver_name="G2",
+            solve_time_s=0.0, iterations=1, optimal=False,
+        )
+
+    def test_failed_dump_leaves_no_temp_file(self, tmp_path, watch_problem):
+        cache = ResultCache(tmp_path / "cache")
+        with pytest.raises(TypeError):
+            cache.put(watch_problem.fingerprint(), "greedy",
+                      self._unserializable_result(watch_problem))
+        assert list(cache.path.glob(".write-*")) == []
+        assert len(cache) == 0
+
+    def test_non_finite_result_rejected_without_litter(self, tmp_path,
+                                                       watch_problem):
+        cache = ResultCache(tmp_path / "cache")
+        bad = SolverResult(
+            plan=watch_problem.default_plan(), cost=float("inf"),
+            objective=Objective.LONGEST_LINK, solver_name="G2",
+            solve_time_s=0.0, iterations=1, optimal=False,
+        )
+        with pytest.raises(ValueError):
+            cache.put(watch_problem.fingerprint(), "greedy", bad)
+        assert list(cache.path.glob(".write-*")) == []
+
+    def test_cache_still_works_after_failed_put(self, tmp_path,
+                                                watch_problem):
+        cache = ResultCache(tmp_path / "cache")
+        with pytest.raises(TypeError):
+            cache.put(watch_problem.fingerprint(), "greedy",
+                      self._unserializable_result(watch_problem))
+        good = SolverResult(
+            plan=watch_problem.default_plan(), cost=1.0,
+            objective=Objective.LONGEST_LINK, solver_name="G2",
+            solve_time_s=0.0, iterations=1, optimal=False,
+        )
+        cache.put(watch_problem.fingerprint(), "greedy", good)
+        assert cache.get(watch_problem.fingerprint(), "greedy").cost == 1.0
+
+    def test_stale_litter_swept_on_open(self, tmp_path):
+        import os as _os
+        import time as _time
+        directory = tmp_path / "cache"
+        directory.mkdir()
+        stale = directory / ".write-stale.json"
+        stale.write_text("{", encoding="utf-8")
+        _os.utime(stale, (1.0, 1.0))  # ancient: a crashed writer's litter
+        fresh = directory / ".write-fresh.json"
+        fresh.write_text("{", encoding="utf-8")
+        now = _time.time()
+        _os.utime(fresh, (now, now))  # recent: may be a live sibling write
+        ResultCache(directory)
+        assert not stale.exists()
+        assert fresh.exists()
