@@ -10,6 +10,8 @@ Fig. 15 finding that R2 is surprisingly competitive for this objective.
 Run it with ``python examples/aggregation_service_deployment.py``.
 """
 
+import os
+
 from repro import (
     AggregationQueryWorkload,
     DeploymentProblem,
@@ -23,6 +25,18 @@ from repro import (
     default_plan,
 )
 from repro.core.objectives import critical_path
+
+
+
+def _time_limit(default: float) -> float:
+    """Solver time budget, overridable for CI smoke runs.
+
+    The ``EXAMPLE_TIME_LIMIT`` environment variable caps every solver
+    budget in the examples so the CI ``examples-smoke`` job can run them
+    in seconds; unset, each example keeps its illustrative default.
+    """
+    override = os.environ.get("EXAMPLE_TIME_LIMIT")
+    return min(default, float(override)) if override else default
 
 
 def main() -> None:
@@ -42,7 +56,7 @@ def main() -> None:
     print(f"measured {measurement.num_probes} probes in "
           f"{measurement.elapsed_ms:.0f} simulated ms")
 
-    budget = SearchBudget.seconds(6.0)
+    budget = SearchBudget.seconds(_time_limit(6.0))
     problem = DeploymentProblem(graph, costs, objective=Objective.LONGEST_PATH)
     mip = MIPLongestPathSolver(backend="bnb").solve(problem, budget=budget)
     r2 = RandomSearch.r2(seed=0).solve(problem, budget=budget)

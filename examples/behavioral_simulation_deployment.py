@@ -9,6 +9,8 @@ plan — and the resulting time-to-solution is compared.
 Run it with ``python examples/behavioral_simulation_deployment.py``.
 """
 
+import os
+
 from repro import (
     AdvisorConfig,
     BehavioralSimulationWorkload,
@@ -21,6 +23,18 @@ from repro import (
 from repro.core.objectives import worst_link
 
 
+
+def _time_limit(default: float) -> float:
+    """Solver time budget, overridable for CI smoke runs.
+
+    The ``EXAMPLE_TIME_LIMIT`` environment variable caps every solver
+    budget in the examples so the CI ``examples-smoke`` job can run them
+    in seconds; unset, each example keeps its illustrative default.
+    """
+    override = os.environ.get("EXAMPLE_TIME_LIMIT")
+    return min(default, float(override)) if override else default
+
+
 def main() -> None:
     cloud = SimulatedCloud(seed=11)
 
@@ -31,7 +45,7 @@ def main() -> None:
     advisor = ClouDiA(cloud, AdvisorConfig(
         objective=Objective.LONGEST_LINK,
         over_allocation_ratio=0.15,
-        solver_time_limit_s=8.0,
+        solver_time_limit_s=_time_limit(8.0),
         measurement=MeasurementConfig(target_samples_per_link=10),
         terminate_unused=False,   # keep instances so we can also run the baseline
         seed=1,

@@ -11,6 +11,8 @@ search, to show the value of the exact solver even under objective mismatch.
 Run it with ``python examples/keyvalue_store_deployment.py``.
 """
 
+import os
+
 from repro import (
     AdvisorConfig,
     ClouDiA,
@@ -28,7 +30,7 @@ def run_once(cloud, workload, solver, label, seed):
         objective=Objective.LONGEST_LINK,
         over_allocation_ratio=0.20,
         solver=solver,
-        solver_time_limit_s=5.0,
+        solver_time_limit_s=_time_limit(5.0),
         measurement=MeasurementConfig(target_samples_per_link=8),
         terminate_unused=False,
         seed=seed,
@@ -41,6 +43,18 @@ def run_once(cloud, workload, solver, label, seed):
           f"measured response-time reduction {comparison.reduction_percent:5.1f} %")
     cloud.terminate(report.allocated_instances)
     return comparison
+
+
+
+def _time_limit(default: float) -> float:
+    """Solver time budget, overridable for CI smoke runs.
+
+    The ``EXAMPLE_TIME_LIMIT`` environment variable caps every solver
+    budget in the examples so the CI ``examples-smoke`` job can run them
+    in seconds; unset, each example keeps its illustrative default.
+    """
+    override = os.environ.get("EXAMPLE_TIME_LIMIT")
+    return min(default, float(override)) if override else default
 
 
 def main() -> None:

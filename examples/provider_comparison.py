@@ -9,12 +9,26 @@ heterogeneous providers leave more room for improvement.
 Run it with ``python examples/provider_comparison.py``.
 """
 
+import os
+
 from repro import (CommunicationGraph, CPLongestLinkSolver, DeploymentProblem,
                    SearchBudget, SimulatedCloud)
 from repro.analysis import empirical_cdf, format_table
 from repro.cloud import ProviderProfile
 from repro.core.objectives import longest_link_cost
 from repro.solvers import default_plan
+
+
+
+def _time_limit(default: float) -> float:
+    """Solver time budget, overridable for CI smoke runs.
+
+    The ``EXAMPLE_TIME_LIMIT`` environment variable caps every solver
+    budget in the examples so the CI ``examples-smoke`` job can run them
+    in seconds; unset, each example keeps its illustrative default.
+    """
+    override = os.environ.get("EXAMPLE_TIME_LIMIT")
+    return min(default, float(override)) if override else default
 
 
 def main() -> None:
@@ -29,7 +43,7 @@ def main() -> None:
         baseline = longest_link_cost(default_plan(graph, costs), graph, costs)
         optimized = CPLongestLinkSolver(seed=0).solve(
             DeploymentProblem(graph, costs),
-            budget=SearchBudget.seconds(4.0)).cost
+            budget=SearchBudget.seconds(_time_limit(4.0))).cost
         improvement = 100.0 * (baseline - optimized) / baseline
         rows.append((provider, cdf.quantile(0.10), cdf.quantile(0.90),
                      cdf.spread(0.1, 0.9), baseline, optimized,

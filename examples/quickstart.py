@@ -17,6 +17,8 @@ serializable service API:
 Run it with ``python examples/quickstart.py``.
 """
 
+import os
+
 from repro import (
     AdvisorConfig,
     AdvisorSession,
@@ -28,6 +30,18 @@ from repro import (
     SimulatedCloud,
     SolveRequest,
 )
+
+
+
+def _time_limit(default: float) -> float:
+    """Solver time budget, overridable for CI smoke runs.
+
+    The ``EXAMPLE_TIME_LIMIT`` environment variable caps every solver
+    budget in the examples so the CI ``examples-smoke`` job can run them
+    in seconds; unset, each example keeps its illustrative default.
+    """
+    override = os.environ.get("EXAMPLE_TIME_LIMIT")
+    return min(default, float(override)) if override else default
 
 
 def main() -> None:
@@ -43,7 +57,7 @@ def main() -> None:
         objective=Objective.LONGEST_LINK,
         over_allocation_ratio=0.10,
         solver="cp",  # a registry key; "auto" / None picks the paper default
-        solver_time_limit_s=5.0,
+        solver_time_limit_s=_time_limit(5.0),
         measurement=MeasurementConfig(scheme="staged", target_samples_per_link=10),
         seed=0,
     )

@@ -32,7 +32,7 @@ import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import (
     TYPE_CHECKING,
@@ -47,11 +47,16 @@ from typing import (
 from ..core.communication_graph import CommunicationGraph
 from ..core.cost_matrix import CostMatrix
 from ..core.errors import ClouDiAError, InvalidDeploymentError, StoreError
-from ..core.evaluation import CompileCacheStats, compile_cache_stats, peek_compiled
+from ..core.evaluation import (
+    CompileCacheStats,
+    compile_cache_stats,
+    peek_compiled,
+    resolve_workers,
+)
 from ..core.deployment import DeploymentPlan
 from ..core.problem import DeploymentProblem
 from ..netmeasure.stream import CostRevision, relative_link_drift
-from ..solvers.base import SolverResult
+from ..solvers.base import SearchBudget, SolverResult
 from ..solvers.registry import SolverRegistry, default_registry
 from .cache import ResultCache
 from .schema import AUTO_SOLVER, SolveRequest, SolverResponse, SolveTelemetry
@@ -128,19 +133,30 @@ class AdvisorSession:
             fingerprint plus solver key, so restarted sessions resume
             where they left off.  A store-backed cache additionally
             persists watch history and solve telemetry.
+        eval_workers: session-wide default for the evaluation-parallelism
+            knob of :class:`~repro.solvers.base.SearchBudget` (``"auto"``
+            or a positive int).  Applied to every request whose budget does
+            not set ``workers`` itself (including requests without a
+            budget); a request budget with an explicit ``workers`` wins.
+            Batch scoring stays bit-identical at any setting, so this only
+            changes wall-clock, never results.
     """
 
     def __init__(self, registry: Optional[SolverRegistry] = None,
                  max_workers: Optional[int] = None,
                  max_cached_problems: int = 128,
                  result_cache: Optional[Union[
-                     ResultCache, "SQLiteResultCache", str, Path]] = None):
+                     ResultCache, "SQLiteResultCache", str, Path]] = None,
+                 eval_workers: Optional[Union[int, str]] = None):
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         if max_cached_problems < 1:
             raise ValueError("max_cached_problems must be >= 1")
+        if eval_workers is not None:
+            resolve_workers(eval_workers)  # validate at construction time
         self.registry = registry if registry is not None else default_registry
         self.max_workers = max_workers
+        self.eval_workers = eval_workers
         self.max_cached_problems = max_cached_problems
         if isinstance(result_cache, (str, Path)):
             result_cache = ResultCache(result_cache)
@@ -526,6 +542,26 @@ class AdvisorSession:
 
     # ------------------------------------------------------------------ #
 
+    def _effective_budget(self,
+                          budget: Optional[SearchBudget]
+                          ) -> Optional[SearchBudget]:
+        """Fold the session's ``eval_workers`` default into a request budget.
+
+        A budget that already pins ``workers`` passes through untouched, as
+        does everything when the session has no default.  A ``None`` budget
+        becomes a budget carrying only the workers knob; solvers default
+        the missing limits through
+        :func:`~repro.solvers.base.default_limits`, which recognises a
+        workers-only budget and keeps their usual time caps in place.
+        """
+        if self.eval_workers is None:
+            return budget
+        if budget is None:
+            return SearchBudget(workers=self.eval_workers)
+        if budget.workers is not None:
+            return budget
+        return replace(budget, workers=self.eval_workers)
+
     def _with_assigned_id(self, request: SolveRequest) -> SolveRequest:
         with self._lock:
             sequence = self._requests
@@ -548,7 +584,8 @@ class AdvisorSession:
                 compile_time = time.perf_counter() - compile_started
             solver_key = request.resolved_solver_key(self.registry)
             solver = self.registry.make(solver_key, **dict(request.config))
-            result = solver.solve(problem, budget=request.budget,
+            result = solver.solve(problem,
+                                  budget=self._effective_budget(request.budget),
                                   initial_plan=request.initial_plan)
             telemetry = SolveTelemetry(
                 compile_cache_hit=cache_hit,

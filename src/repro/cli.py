@@ -31,7 +31,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -261,6 +261,21 @@ def _budget_from_flag(time_limit: float) -> Optional[SearchBudget]:
     return SearchBudget.seconds(time_limit)
 
 
+def _eval_workers_flag(value: Optional[str]) -> Optional[Union[int, str]]:
+    """``--eval-workers`` semantics: ``auto``, a positive int, or unset."""
+    if value is None:
+        return None
+    if value == "auto":
+        return "auto"
+    try:
+        return int(value)
+    except ValueError:
+        raise ClouDiAError(
+            f"--eval-workers must be 'auto' or a positive integer, "
+            f"got {value!r}"
+        ) from None
+
+
 def command_solve(args: argparse.Namespace) -> int:
     """Solve a serialized problem JSON and optionally write the response."""
     problem = DeploymentProblem.from_dict(_read_json(args.problem))
@@ -271,7 +286,7 @@ def command_solve(args: argparse.Namespace) -> int:
         config=default_registry.seeded_config(args.solver, args.seed, extra),
         budget=_budget_from_flag(args.time_limit),
     )
-    session = AdvisorSession()
+    session = AdvisorSession(eval_workers=_eval_workers_flag(args.eval_workers))
     try:
         response = session.solve(request)
     except (ClouDiAError, ValueError, TypeError) as exc:
@@ -319,7 +334,8 @@ def command_solve_batch(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
 
-    session = AdvisorSession(max_workers=args.workers)
+    session = AdvisorSession(max_workers=args.workers,
+                             eval_workers=_eval_workers_flag(args.eval_workers))
     responses = session.solve_many(requests)
 
     rows = []
@@ -641,6 +657,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "(0 = solver default budget)")
     solve.add_argument("--solver-config", default=None,
                        help="extra solver config as a JSON object")
+    solve.add_argument("--eval-workers", default=None,
+                       help="evaluation parallelism for batch-scoring "
+                            "solvers: 'auto' or a positive integer "
+                            "(default: serial; results are bit-identical "
+                            "either way)")
     solve.add_argument("--out", default=None,
                        help="path of the response JSON to write")
     solve.set_defaults(handler=command_solve)
@@ -666,6 +687,11 @@ def build_parser() -> argparse.ArgumentParser:
                              help="worker threads (default: sequential, "
                                   "which keeps wall-clock solver budgets "
                                   "reproducible)")
+    solve_batch.add_argument("--eval-workers", default=None,
+                             help="evaluation parallelism for batch-scoring "
+                                  "solvers: 'auto' or a positive integer "
+                                  "(default: serial; results are "
+                                  "bit-identical either way)")
     solve_batch.add_argument("--out", default=None,
                              help="path of the responses JSON to write")
     solve_batch.set_defaults(handler=command_solve_batch)

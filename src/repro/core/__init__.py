@@ -10,10 +10,13 @@ from .evaluation import (
     CompiledProblem,
     DeltaEvaluator,
     IndexedPlan,
+    ParallelEvaluator,
+    available_workers,
     compile_cache_stats,
     compile_problem,
     configure_compile_cache,
     peek_compiled,
+    resolve_workers,
 )
 from .errors import (
     AllocationError,
@@ -65,9 +68,11 @@ __all__ = [
     "MeasurementError",
     "Objective",
     "PROBLEM_SCHEMA_VERSION",
+    "ParallelEvaluator",
     "PlacementConstraints",
     "SolverError",
     "augment_with_dummy_nodes",
+    "available_workers",
     "cluster_costs",
     "compile_cache_stats",
     "compile_problem",
@@ -79,5 +84,6 @@ __all__ = [
     "longest_link_cost",
     "longest_path_cost",
     "peek_compiled",
+    "resolve_workers",
     "worst_link",
 ]

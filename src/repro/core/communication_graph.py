@@ -236,6 +236,7 @@ class CommunicationGraph:
         edges: List[Edge] = []
 
         def nid(r: int, c: int) -> int:
+            """Node id of grid cell ``(r, c)`` in row-major order."""
             return r * cols + c
 
         for r in range(rows):
@@ -261,6 +262,7 @@ class CommunicationGraph:
         edges: List[Edge] = []
 
         def nid(x: int, y: int, z: int) -> int:
+            """Node id of grid cell ``(x, y, z)`` in row-major order."""
             return (x * ny + y) * nz + z
 
         for x in range(nx_):

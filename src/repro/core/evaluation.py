@@ -29,10 +29,17 @@ then evaluates plans with a handful of vectorized operations:
   For the longest-link objective a move only changes the edges incident to
   the moved nodes, so a candidate is scored in O(degree) (with an O(|E|)
   vectorized fallback only when the current critical edge is itself
-  touched).  The longest-path objective has no exact O(degree) delta — a
-  move can re-route the critical path arbitrarily — so deltas fall back to
-  the vectorized full relaxation, which is still orders of magnitude faster
-  than the dict-based oracle.
+  touched).  The longest-path objective is scored through a sparse
+  level-ordered re-relaxation: the per-node longest-path-ending-here maxima
+  (and the in-edge realising each maximum) are cached, a move re-relaxes
+  only the nodes its perturbation actually reaches, and everything
+  downstream of a washed-out change is reused untouched — the full DAG is
+  never re-relaxed unless the move genuinely re-routes it.
+* :class:`ParallelEvaluator` — multi-core batch evaluation.  Chunks the
+  rows of an assignment matrix across a shared thread pool; the batch
+  kernels gather through ``np.take`` and combine with ufuncs, both of
+  which release the GIL under NumPy, so threads scale on multi-core hosts
+  while small batches fall back to the serial path untouched.
 
 All evaluators return bit-identical costs to the pure-Python oracle in
 :mod:`repro.core.objectives`: they gather the same float64 cost entries and
@@ -44,9 +51,11 @@ stays in place as the reference implementation the tests compare against.
 from __future__ import annotations
 
 import operator
+import os
 import threading
 import weakref
 from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from itertools import chain
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -71,6 +80,12 @@ from .types import InstanceId, NodeId, make_rng
 #: allocations are dominated by page faults, not the gather itself.
 _BATCH_GATHER_BUDGET = 262_144
 
+#: Cap (in cells) on the nested-list mirror of the cost array kept for the
+#: pure-Python incremental longest-path delta.  A 1024x1024 matrix of floats
+#: is ~8 MiB as a list-of-lists; beyond that the delta falls back to
+#: ``ndarray.item`` gathers instead of doubling the cost array's footprint.
+_COST_ROWS_MAX_CELLS = 1 << 20
+
 
 class _LevelGroup:
     """Edges of a DAG whose source nodes share the same topological level.
@@ -89,6 +104,26 @@ class _LevelGroup:
         unique_dst, starts = np.unique(self.dst, return_index=True)
         self.unique_dst = unique_dst
         self.starts = starts
+
+
+class _LpDeltaStructure:
+    """Graph-side adjacency for the incremental longest-path delta.
+
+    Everything here is plain Python (lists of ints and ``(neighbor, edge)``
+    tuples): the delta's sparse re-relaxation touches a handful of nodes per
+    move, where list indexing beats NumPy gathers by an order of magnitude.
+    Depends only on the graph, so it survives :meth:`CompiledProblem.refresh_costs`.
+    """
+
+    __slots__ = ("levels", "order", "in_edges", "out_edges")
+
+    def __init__(self, levels: List[int], order: List[int],
+                 in_edges: List[List[Tuple[int, int]]],
+                 out_edges: List[List[Tuple[int, int]]]):
+        self.levels = levels
+        self.order = order
+        self.in_edges = in_edges
+        self.out_edges = out_edges
 
 
 class CompiledProblem:
@@ -150,6 +185,9 @@ class CompiledProblem:
         )
 
         self._levels: Optional[Tuple[_LevelGroup, ...]] = None
+        self._node_level: Optional[np.ndarray] = None
+        self._lp_struct: Optional[_LpDeltaStructure] = None
+        self._cost_rows_cache: Optional[List[List[float]]] = None
         self._degrees: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
         self._profiles: Optional[np.ndarray] = None
         self._sorted_link_costs: Optional[Tuple[np.ndarray, np.ndarray]] = None
@@ -224,6 +262,7 @@ class CompiledProblem:
         self._costs_ref = weakref.ref(costs)
         self._sorted_link_costs = None
         self._assignment_lb = None
+        self._cost_rows_cache = None
         self._cost_epoch += 1
         _COMPILE_CACHE.rehome(self, old_costs, costs)
         return self
@@ -283,8 +322,14 @@ class CompiledProblem:
     # Longest-path machinery (built lazily: only DAG problems need it)
     # ------------------------------------------------------------------ #
 
-    def _level_groups(self) -> Tuple[_LevelGroup, ...]:
-        if self._levels is None:
+    def _node_levels(self) -> np.ndarray:
+        """Topological level per node index (longest edge-count from a source).
+
+        Raises:
+            InvalidGraphError: if the graph is cyclic (the longest-path
+                objective is undefined on cyclic graphs).
+        """
+        if self._node_level is None:
             if not self.graph.is_dag():
                 raise InvalidGraphError(
                     "longest-path objective requires an acyclic graph"
@@ -296,6 +341,12 @@ class CompiledProblem:
                     j = self.node_index[succ]
                     if level[i] + 1 > level[j]:
                         level[j] = level[i] + 1
+            self._node_level = level
+        return self._node_level
+
+    def _level_groups(self) -> Tuple[_LevelGroup, ...]:
+        if self._levels is None:
+            level = self._node_levels()
             src_levels = level[self.edge_src]
             groups = []
             for lvl in np.unique(src_levels):
@@ -303,6 +354,46 @@ class CompiledProblem:
                 groups.append(_LevelGroup(self.edge_src[sel], self.edge_dst[sel]))
             self._levels = tuple(groups)
         return self._levels
+
+    def _lp_delta_structure(self) -> _LpDeltaStructure:
+        """Pure-Python adjacency used by the incremental longest-path delta.
+
+        Built once per compilation (graph-only, survives
+        :meth:`refresh_costs`): node levels, a level-sorted topological node
+        order, and per-node in/out edge lists as ``(neighbor, edge)`` pairs.
+        """
+        if self._lp_struct is None:
+            levels = self._node_levels().tolist()
+            order = sorted(range(self.num_nodes), key=levels.__getitem__)
+            in_edges: List[List[Tuple[int, int]]] = [
+                [] for _ in range(self.num_nodes)
+            ]
+            out_edges: List[List[Tuple[int, int]]] = [
+                [] for _ in range(self.num_nodes)
+            ]
+            src_list = self.edge_src.tolist()
+            dst_list = self.edge_dst.tolist()
+            for e in range(self.num_edges):
+                u = src_list[e]
+                w = dst_list[e]
+                out_edges[u].append((w, e))
+                in_edges[w].append((u, e))
+            self._lp_struct = _LpDeltaStructure(levels, order, in_edges,
+                                                out_edges)
+        return self._lp_struct
+
+    def _cost_rows(self) -> Optional[List[List[float]]]:
+        """Nested-list mirror of the cost array for Python-loop gathers.
+
+        Returns ``None`` for matrices beyond :data:`_COST_ROWS_MAX_CELLS`
+        (callers fall back to ``cost_array.item``).  Dropped by
+        :meth:`refresh_costs` alongside the other cost-derived caches.
+        """
+        if self._cost_rows_cache is None:
+            if self.cost_array.size > _COST_ROWS_MAX_CELLS:
+                return None
+            self._cost_rows_cache = self.cost_array.tolist()
+        return self._cost_rows_cache
 
     # ------------------------------------------------------------------ #
     # Bound helpers for the exact solvers (CP labeling, MIP bounding)
@@ -484,10 +575,14 @@ class CompiledProblem:
         for start in range(0, count, chunk):
             block = assignments[start:start + chunk]
             # One flat gather over linearized (src, dst) pairs beats a
-            # two-array fancy index on large batches.
-            linear = block[:, self.edge_src] * self.num_instances
-            linear += block[:, self.edge_dst]
-            out[start:start + chunk] = flat_cost[linear].max(axis=1)
+            # two-array fancy index on large batches.  All gathers go
+            # through np.take, which (unlike plain fancy indexing) releases
+            # the GIL — that is what lets ParallelEvaluator's thread chunks
+            # run concurrently on multi-core hosts.
+            linear = np.take(block, self.edge_src, axis=1)
+            linear *= self.num_instances
+            linear += np.take(block, self.edge_dst, axis=1)
+            out[start:start + chunk] = np.take(flat_cost, linear).max(axis=1)
         return out
 
     def _batch_longest_path(self, assignments: np.ndarray) -> np.ndarray:
@@ -498,17 +593,22 @@ class CompiledProblem:
         groups = self._level_groups()
         out = np.empty(count)
         chunk = max(1, _BATCH_GATHER_BUDGET // max(1, self.num_edges + self.num_nodes))
-        cost = self.cost_array
+        flat_cost = self.cost_array.ravel()
         for start in range(0, count, chunk):
             block = assignments[start:start + chunk]
             best = np.zeros((block.shape[0], self.num_nodes))
             for group in groups:
-                vals = best[:, group.src] + cost[
-                    block[:, group.src], block[:, group.dst]
-                ]
+                # Same relaxation as before, but every gather routed
+                # through GIL-releasing np.take (see _batch_longest_link);
+                # only the small unique_dst scatter still holds the GIL.
+                linear = np.take(block, group.src, axis=1)
+                linear *= self.num_instances
+                linear += np.take(block, group.dst, axis=1)
+                vals = np.take(best, group.src, axis=1)
+                vals += np.take(flat_cost, linear)
                 reduced = np.maximum.reduceat(vals, group.starts, axis=1)
                 best[:, group.unique_dst] = np.maximum(
-                    best[:, group.unique_dst], reduced
+                    np.take(best, group.unique_dst, axis=1), reduced
                 )
             out[start:start + chunk] = best.max(axis=1)
         return out
@@ -531,11 +631,18 @@ class CompiledProblem:
             return self._batch_longest_path(assignments)
         raise ValueError(f"unknown objective {objective!r}")
 
-    def evaluate_plans(self, plans: Sequence[DeploymentPlan],
-                       objective: Objective) -> np.ndarray:
-        """Lower and batch-evaluate a sequence of deployment plans."""
+    def index_plans(self, plans: Sequence[DeploymentPlan]) -> np.ndarray:
+        """Lower a sequence of plans to a ``(k, n)`` index-assignment array.
+
+        The batch counterpart of :meth:`index_plan`: one C-level extraction
+        per plan instead of a per-node Python loop.
+
+        Raises:
+            InvalidDeploymentError: if any plan misses a node of the graph
+                or maps one to an instance outside the cost matrix.
+        """
         if not plans:
-            return np.empty(0)
+            return np.empty((0, self.num_nodes), dtype=np.intp)
         if self._plan_getter is None:
             node = self.node_ids[0]
             flat_ids = np.fromiter(
@@ -555,8 +662,14 @@ class CompiledProblem:
                     f"node {exc.args[0]} is not mapped"
                 ) from exc
         instance_ids = flat_ids.reshape(len(plans), self.num_nodes)
-        assignments = self._instance_indices(instance_ids)
-        return self.evaluate_batch(assignments, objective)
+        return self._instance_indices(instance_ids)
+
+    def evaluate_plans(self, plans: Sequence[DeploymentPlan],
+                       objective: Objective) -> np.ndarray:
+        """Lower and batch-evaluate a sequence of deployment plans."""
+        if not plans:
+            return np.empty(0)
+        return self.evaluate_batch(self.index_plans(plans), objective)
 
     def random_assignments(self, count: int,
                            rng: np.random.Generator | int | None = None
@@ -801,9 +914,21 @@ class DeltaEvaluator:
     cost is ``max(untouched maximum, new incident costs)``.  The untouched
     maximum is the cached global maximum unless the move touches the
     current critical edge, in which case one vectorized masked max over the
-    cached edge costs recomputes it.  The longest-path objective is scored
-    with the full vectorized relaxation (no exact O(degree) delta exists),
-    which the tests still verify against the oracle move-by-move.
+    cached edge costs recomputes it.
+
+    The longest-path objective is scored incrementally as well: the
+    evaluator caches, per node, the longest path *ending* at that node
+    (``finish``) and the in-edge realising it (``argmax``).  A move recosts
+    only the edges incident to the moved nodes, then re-relaxes a sparse
+    frontier in topological-level order — a node is fully recomputed only
+    when moved or when the edge realising its cached maximum got cheaper;
+    any other touched in-edge is a constant-time "does it beat the cached
+    maximum" test, and a node whose value washes out stops the propagation
+    dead.  Commits are O(touched): the peeked ``finish``/``argmax`` vectors
+    and edge-cost updates are installed without re-relaxing anything.  Both
+    objectives return costs bit-identical to re-evaluating from scratch
+    (the same float64 adds and max reductions over the same entries),
+    which the tests pin against the oracle move-by-move.
 
     When constructed with an ``allowed_mask`` (see
     :class:`CompiledConstraints`), the evaluator also filters move
@@ -829,24 +954,61 @@ class DeltaEvaluator:
         self.assignment = np.array(assignment, dtype=np.intp)
         self._node_of_instance = np.full(problem.num_instances, -1, dtype=np.intp)
         self._node_of_instance[self.assignment] = np.arange(problem.num_nodes)
-        self._incremental = objective is Objective.LONGEST_LINK
         # Last scored candidate, so the common peek-then-apply sequence in
-        # the solvers does not evaluate the same move twice.
-        self._last_peek: Optional[Tuple[Tuple[Tuple[int, int], ...], float,
-                                        Optional[np.ndarray], Optional[np.ndarray]]] = None
+        # the solvers does not evaluate the same move twice.  Holds
+        # (move key, cost, objective-specific commit payload).
+        self._last_peek: Optional[Tuple[Tuple[Tuple[int, int], ...],
+                                        float, tuple]] = None
         self._prime()
 
     def _prime(self) -> None:
         """(Re)derive all cost-dependent state from the problem's cost array."""
-        if self._incremental:
+        if self.objective is Objective.LONGEST_LINK:
             self._edge_costs = self.problem.edge_costs(self.assignment)
             self._cost = (float(self._edge_costs.max())
                           if self.problem.num_edges else 0.0)
-        else:
+        elif self.objective is Objective.LONGEST_PATH:
             self._edge_costs = None
-            self._cost = self.problem.evaluate(self.assignment, self.objective)
+            self._prime_longest_path()
+        else:
+            raise ValueError(f"unknown objective {self.objective!r}")
         self._last_peek = None
         self._epoch = self.problem.cost_epoch
+
+    def _prime_longest_path(self) -> None:
+        """Build the incremental longest-path state from scratch.
+
+        One full relaxation in topological-level order, tracking per node
+        the longest path ending there (``finish``) and the in-edge
+        realising it (``argmax``, -1 for sources).  Edge costs live in a
+        plain Python list: the sparse deltas touch a handful of entries
+        per move, where list indexing beats array access hands down.
+        """
+        problem = self.problem
+        struct = problem._lp_delta_structure()
+        self._lp_struct = struct
+        self._lp_rows = problem._cost_rows()
+        self._lp_item = problem.cost_array.item
+        self._asg: List[int] = self.assignment.tolist()
+        ec: List[float] = (problem.edge_costs(self.assignment).tolist()
+                           if problem.num_edges else [])
+        self._lp_ec = ec
+        finish = [0.0] * problem.num_nodes
+        argmax = [-1] * problem.num_nodes
+        in_edges = struct.in_edges
+        for v in struct.order:
+            best = 0.0
+            arg = -1
+            for u, e in in_edges[v]:
+                cand = finish[u] + ec[e]
+                if cand > best:
+                    best = cand
+                    arg = e
+            finish[v] = best
+            argmax[v] = arg
+        self._lp_finish = finish
+        self._lp_argmax = argmax
+        self._cost = max(finish) if finish else 0.0
 
     def reprime(self, assignment: Optional[np.ndarray] = None) -> float:
         """Re-derive cached costs after a :meth:`CompiledProblem.refresh_costs`.
@@ -949,7 +1111,145 @@ class DeltaEvaluator:
             untouched_max = float(remaining.max()) if remaining.size else 0.0
         return max(untouched_max, float(new_costs.max()))
 
-    def _candidate_cost(self, moves: Dict[int, int]) -> Tuple[float, Optional[np.ndarray], Optional[np.ndarray]]:
+    def _candidate_cost_lp(self, moves: Dict[int, int]) -> Tuple[float, tuple]:
+        """Incremental longest-path cost of ``moves`` plus its commit payload.
+
+        Recosts the incident edges in place (restored before returning),
+        then re-relaxes only the affected frontier in level order — see the
+        class docstring for the argmax-test / recompute / washout rules.
+        Returns ``(cost, (finish, argmax, edge updates))``; the payload is
+        exactly what :meth:`_commit` installs, so committing a peeked move
+        costs O(touched edges).
+        """
+        struct = self._lp_struct
+        asg = self._asg
+        ec = self._lp_ec
+        finish = self._lp_finish
+        argmax = self._lp_argmax
+        rows = self._lp_rows
+        item = self._lp_item
+        in_edges = struct.in_edges
+        out_edges = struct.out_edges
+        levels = struct.levels
+
+        # Phase 1 — recost every edge incident to a moved node, in place
+        # (restored before returning).  Each touched edge is visited
+        # exactly once: an edge between two moved nodes is handled by the
+        # source's out-edge pass and skipped by the in-edge pass.
+        touched: List[Tuple[int, float, float]] = []  # (edge, old, new)
+        recompute = set(moves)
+        pending: Dict[int, List[Tuple[int, int]]] = {}
+        for v, inst in moves.items():
+            row = rows[inst] if rows is not None else None
+            for w, e in out_edges[v]:
+                wi = moves.get(w)
+                if wi is None:
+                    wi = asg[w]
+                c = row[wi] if row is not None else item(inst, wi)
+                touched.append((e, ec[e], c))
+                ec[e] = c
+                if w not in recompute:
+                    tests = pending.get(w)
+                    if tests is None:
+                        pending[w] = [(v, e)]
+                    else:
+                        tests.append((v, e))
+            for u, e in in_edges[v]:
+                if u in moves:
+                    continue
+                ui = asg[u]
+                c = rows[ui][inst] if rows is not None else item(ui, inst)
+                touched.append((e, ec[e], c))
+                ec[e] = c
+
+        # Phase 2 — sparse re-relaxation over the affected frontier, in
+        # level order so every node sees final predecessor values.  The
+        # O(n) list copies are the fixed cost of the peek; everything else
+        # is proportional to the frontier actually reached.
+        finish2 = finish[:]
+        argmax2 = argmax[:]
+        buckets: Dict[int, List[int]] = {}
+        scheduled = set(recompute)
+        for v in recompute:
+            bucket = buckets.get(levels[v])
+            if bucket is None:
+                buckets[levels[v]] = [v]
+            else:
+                bucket.append(v)
+        for v in pending:
+            if v not in scheduled:
+                scheduled.add(v)
+                bucket = buckets.get(levels[v])
+                if bucket is None:
+                    buckets[levels[v]] = [v]
+                else:
+                    bucket.append(v)
+        while buckets:
+            for v in buckets.pop(min(buckets)):
+                if v in recompute:
+                    best = 0.0
+                    arg = -1
+                    for u, e in in_edges[v]:
+                        cand = finish2[u] + ec[e]
+                        if cand > best:
+                            best = cand
+                            arg = e
+                    finish2[v] = best
+                    argmax2[v] = arg
+                else:
+                    cur = finish2[v]
+                    for u, e in pending.get(v, ()):
+                        cand = finish2[u] + ec[e]
+                        if cand > cur:
+                            cur = cand
+                            finish2[v] = cand
+                            argmax2[v] = e
+                        elif argmax2[v] == e and cand < cur:
+                            # The edge realising v's cached maximum got
+                            # cheaper; nothing else is cached, so fall
+                            # back to a full recompute of this node.
+                            best = 0.0
+                            arg = -1
+                            for u2, e2 in in_edges[v]:
+                                cand2 = finish2[u2] + ec[e2]
+                                if cand2 > best:
+                                    best = cand2
+                                    arg = e2
+                            cur = best
+                            finish2[v] = best
+                            argmax2[v] = arg
+                fv = finish2[v]
+                if fv != finish[v]:
+                    for w, e in out_edges[v]:
+                        cand = fv + ec[e]
+                        fw = finish2[w]
+                        if cand > fw:
+                            finish2[w] = cand
+                            argmax2[w] = e
+                        elif argmax2[w] == e and cand < fw:
+                            recompute.add(w)
+                        else:
+                            continue
+                        if w not in scheduled:
+                            scheduled.add(w)
+                            bucket = buckets.get(levels[w])
+                            if bucket is None:
+                                buckets[levels[w]] = [w]
+                            else:
+                                bucket.append(w)
+
+        for e, old, _ in touched:
+            ec[e] = old
+        cost = max(finish2) if finish2 else 0.0
+        return cost, (finish2, argmax2, touched)
+
+    def _candidate_cost(self, moves: Dict[int, int]) -> Tuple[float, tuple]:
+        """Cost of applying ``moves`` plus the payload a commit would install.
+
+        Validates the move against the allowed mask and the cost epoch,
+        and memoises the last scored candidate so the solvers' ubiquitous
+        peek-then-apply sequence evaluates each move once.
+        """
         self._check_epoch()
         if self.allowed_mask is not None:
             for node, instance in moves.items():
@@ -959,34 +1259,35 @@ class DeltaEvaluator:
                         f"instance index {instance}"
                     )
         key = tuple(sorted(moves.items()))
-        if self._last_peek is not None and self._last_peek[0] == key:
-            return self._last_peek[1:]
-        if self._incremental:
+        peek = self._last_peek
+        if peek is not None and peek[0] == key:
+            return peek[1], peek[2]
+        if self.objective is Objective.LONGEST_LINK:
             touched, new_costs = self._touched_and_moves(moves)
-            result = (self._candidate_cost_ll(touched, new_costs), touched, new_costs)
+            cost = self._candidate_cost_ll(touched, new_costs)
+            payload = (touched, new_costs)
         else:
-            candidate = self.assignment.copy()
-            for node, instance in moves.items():
-                candidate[node] = instance
-            result = (self.problem.evaluate(candidate, self.objective), None, None)
-        self._last_peek = (key,) + result
-        return result
+            cost, payload = self._candidate_cost_lp(moves)
+        self._last_peek = (key, cost, payload)
+        return cost, payload
 
     def _swap_moves(self, node_a: int, node_b: int) -> Dict[int, int]:
+        a = int(node_a)
+        b = int(node_b)
         return {
-            node_a: self.assignment[node_b],
-            node_b: self.assignment[node_a],
+            a: int(self.assignment[b]),
+            b: int(self.assignment[a]),
         }
 
     def swap_cost(self, node_a: int, node_b: int) -> float:
         """Cost after exchanging the instances of two nodes (not applied)."""
-        cost, _, _ = self._candidate_cost(self._swap_moves(node_a, node_b))
+        cost, _ = self._candidate_cost(self._swap_moves(node_a, node_b))
         return cost
 
     def relocate_cost(self, node: int, instance: int) -> float:
         """Cost after moving ``node`` to a free ``instance`` (not applied)."""
         self._check_free(node, instance)
-        cost, _, _ = self._candidate_cost({node: instance})
+        cost, _ = self._candidate_cost({int(node): int(instance)})
         return cost
 
     def _check_free(self, node: int, instance: int) -> None:
@@ -1001,7 +1302,7 @@ class DeltaEvaluator:
     # ------------------------------------------------------------------ #
 
     def _commit(self, moves: Dict[int, int]) -> float:
-        cost, touched, new_costs = self._candidate_cost(moves)
+        cost, payload = self._candidate_cost(moves)
         for instance in moves.values():
             self._node_of_instance[instance] = -1
         for node, instance in moves.items():
@@ -1011,8 +1312,22 @@ class DeltaEvaluator:
         for node, instance in moves.items():
             self.assignment[node] = instance
             self._node_of_instance[instance] = node
-        if self._incremental and touched is not None and touched.size:
-            self._edge_costs[touched] = new_costs
+        if self.objective is Objective.LONGEST_LINK:
+            touched, new_costs = payload
+            if touched.size:
+                self._edge_costs[touched] = new_costs
+        else:
+            # O(touched) commit: install the peeked relaxation state and
+            # replay the touched edge costs; nothing is re-relaxed.
+            finish2, argmax2, touched_edges = payload
+            self._lp_finish = finish2
+            self._lp_argmax = argmax2
+            ec = self._lp_ec
+            for e, _, c in touched_edges:
+                ec[e] = c
+            asg = self._asg
+            for node, instance in moves.items():
+                asg[node] = instance
         self._cost = cost
         self._last_peek = None  # state advanced; cached peek no longer valid
         return cost
@@ -1024,12 +1339,174 @@ class DeltaEvaluator:
     def apply_relocate(self, node: int, instance: int) -> float:
         """Commit a relocation to a free instance; returns the new cost."""
         self._check_free(node, instance)
-        return self._commit({node: instance})
+        return self._commit({int(node): int(instance)})
 
     def __repr__(self) -> str:
         return (
             f"DeltaEvaluator(objective={self.objective.value}, "
             f"cost={self._cost:.6f})"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Parallel batch evaluation
+# --------------------------------------------------------------------------- #
+
+#: Minimum number of gathered cells (batch rows x edges) before a batch is
+#: worth chunking across threads; below this, thread dispatch overhead
+#: outweighs the work and the serial path wins.
+PARALLEL_MIN_CELLS = 65_536
+
+_EXECUTOR_LOCK = threading.Lock()
+_EXECUTOR: Optional[ThreadPoolExecutor] = None
+_EXECUTOR_WORKERS = 0
+
+
+def available_workers() -> int:
+    """CPUs usable by this process (affinity-aware where supported, >= 1)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - platforms without affinity
+        return max(1, os.cpu_count() or 1)
+
+
+def resolve_workers(workers: int | str | None) -> int:
+    """Normalise a ``workers`` knob to a concrete worker count.
+
+    Args:
+        workers: ``None`` or ``"auto"`` for one worker per available CPU
+            (:func:`available_workers`), or an explicit positive integer.
+
+    Returns:
+        The resolved worker count, always >= 1.
+
+    Raises:
+        ValueError: on a non-positive count or an unrecognised value.
+    """
+    if workers is None or workers == "auto":
+        return available_workers()
+    try:
+        count = operator.index(workers)
+    except TypeError as exc:
+        raise ValueError(
+            f"workers must be a positive int, 'auto' or None, got {workers!r}"
+        ) from exc
+    if count < 1:
+        raise ValueError(f"workers must be >= 1, got {workers!r}")
+    return count
+
+
+def _shared_executor(workers: int) -> ThreadPoolExecutor:
+    """The process-wide evaluation thread pool, grown to ``workers`` threads.
+
+    One pool is shared by every :class:`ParallelEvaluator` (threads are
+    cheap but not free, and evaluators are created per solve); the pool
+    only ever grows, so a wider evaluator never deadlocks behind a
+    narrower one's sizing.
+    """
+    global _EXECUTOR, _EXECUTOR_WORKERS
+    with _EXECUTOR_LOCK:
+        if _EXECUTOR is None or _EXECUTOR_WORKERS < workers:
+            if _EXECUTOR is not None:
+                _EXECUTOR.shutdown(wait=False)
+            _EXECUTOR = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-eval",
+            )
+            _EXECUTOR_WORKERS = workers
+        return _EXECUTOR
+
+
+class ParallelEvaluator:
+    """Multi-core batch evaluation on top of a :class:`CompiledProblem`.
+
+    Splits the rows of an ``evaluate_batch`` assignment matrix into one
+    contiguous chunk per worker and scores the chunks concurrently on a
+    shared thread pool.  The batch kernels route every large gather
+    through ``np.take`` and combine with ufuncs — both release the GIL
+    under NumPy — so threads scale near-linearly on multi-core hosts
+    without any shared-memory plumbing or fork-safety hazards.  Rows are
+    evaluated independently by the same serial kernels, so results are
+    bit-identical to :meth:`CompiledProblem.evaluate_batch` in any chunking.
+
+    Batches below ``min_cells`` gathered cells (rows x edges), single-row
+    batches, and ``workers=1`` evaluators take the serial path untouched,
+    so small problems never pay dispatch overhead.  The
+    ``parallel_calls`` / ``serial_calls`` counters record which path each
+    call took.
+
+    Args:
+        problem: the compiled problem whose kernels do the scoring.
+        workers: ``None`` / ``"auto"`` for one worker per available CPU,
+            or an explicit positive count (see :func:`resolve_workers`).
+        min_cells: serial-fallback cutoff in gathered cells
+            (:data:`PARALLEL_MIN_CELLS` by default).
+    """
+
+    def __init__(self, problem: CompiledProblem,
+                 workers: int | str | None = None,
+                 min_cells: int = PARALLEL_MIN_CELLS):
+        self.problem = problem
+        self.workers = resolve_workers(workers)
+        self.min_cells = max(0, operator.index(min_cells))
+        self.parallel_calls = 0
+        self.serial_calls = 0
+
+    def _chunk_bounds(self, rows: int) -> List[Tuple[int, int]]:
+        """Contiguous, balanced ``(start, stop)`` row ranges, one per worker."""
+        chunks = min(self.workers, rows)
+        base, extra = divmod(rows, chunks)
+        bounds = []
+        start = 0
+        for k in range(chunks):
+            stop = start + base + (1 if k < extra else 0)
+            bounds.append((start, stop))
+            start = stop
+        return bounds
+
+    def evaluate_batch(self, assignments: np.ndarray,
+                       objective: Objective) -> np.ndarray:
+        """Evaluate a ``(k, n)`` assignment array across the worker pool.
+
+        Bit-identical to :meth:`CompiledProblem.evaluate_batch` (which it
+        delegates to per chunk — and entirely, for batches under the
+        serial cutoff).
+
+        Raises:
+            ValueError: on a mis-shaped batch or unknown objective.
+        """
+        problem = self.problem
+        assignments = np.asarray(assignments)
+        if assignments.ndim != 2 or assignments.shape[1] != problem.num_nodes:
+            raise ValueError(
+                f"assignments must have shape (k, {problem.num_nodes})"
+            )
+        rows = assignments.shape[0]
+        if (self.workers <= 1 or rows < 2
+                or rows * max(1, problem.num_edges) < self.min_cells):
+            self.serial_calls += 1
+            return problem.evaluate_batch(assignments, objective)
+        if objective is Objective.LONGEST_PATH:
+            problem._level_groups()  # build lazy shared state before fan-out
+        executor = _shared_executor(self.workers)
+        futures = [
+            executor.submit(problem.evaluate_batch,
+                            assignments[start:stop], objective)
+            for start, stop in self._chunk_bounds(rows)
+        ]
+        self.parallel_calls += 1
+        return np.concatenate([future.result() for future in futures])
+
+    def evaluate_plans(self, plans: Sequence[DeploymentPlan],
+                       objective: Objective) -> np.ndarray:
+        """Lower a sequence of plans once, then batch-evaluate in parallel."""
+        if not plans:
+            return np.empty(0)
+        return self.evaluate_batch(self.problem.index_plans(plans), objective)
+
+    def __repr__(self) -> str:
+        return (
+            f"ParallelEvaluator(workers={self.workers}, "
+            f"min_cells={self.min_cells})"
         )
 
 
@@ -1112,6 +1589,7 @@ class _CompileCache:
 
     def get_or_compile(self, graph: CommunicationGraph,
                        costs: CostMatrix) -> CompiledProblem:
+        """Return the cached lowering for ``(graph, costs)``, compiling on miss."""
         key = self._key(graph, costs)
         with self._lock:
             problem = self._get_valid(key, graph, costs)
@@ -1159,6 +1637,7 @@ class _CompileCache:
                          problem.graph, new_costs, problem)
 
     def stats(self) -> CompileCacheStats:
+        """Snapshot the hit/miss/eviction counters and current size."""
         with self._lock:
             return CompileCacheStats(
                 hits=self._hits, misses=self._misses,
@@ -1168,6 +1647,7 @@ class _CompileCache:
 
     def configure(self, max_entries: Optional[int] = None,
                   reset_stats: bool = False) -> None:
+        """Re-bound the cache (evicting LRU overflow) and/or reset counters."""
         with self._lock:
             if max_entries is not None:
                 if max_entries < 1:
@@ -1180,6 +1660,7 @@ class _CompileCache:
                 self._hits = self._misses = self._evictions = 0
 
     def clear(self) -> None:
+        """Drop every cached lowering (counters are kept)."""
         with self._lock:
             self._entries.clear()
 

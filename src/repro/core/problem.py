@@ -534,7 +534,7 @@ class DeploymentProblem:
     def revise(self, costs: CostMatrix,
                metadata: Optional[Mapping[str, Any]] = None
                ) -> "DeploymentProblem":
-        """This problem under a revised cost matrix, reusing the lowering.
+        """Build this problem under a revised cost matrix, reusing the lowering.
 
         The live re-deployment pipeline's entry point for cost drift: when
         the revised matrix covers the same instances in the same order —
@@ -579,7 +579,7 @@ class DeploymentProblem:
 
     def rebound(self, graph: CommunicationGraph,
                 costs: CostMatrix) -> "DeploymentProblem":
-        """This problem re-expressed over canonical graph / costs objects.
+        """Re-express this problem over canonical graph / costs objects.
 
         Used by the advisor session to make content-equal problems share the
         process-wide compilation cache (which is keyed on object identity).

@@ -9,8 +9,10 @@ from .base import (
     best_constrained_random_plan,
     best_random_plan,
     constrained_warm_start,
+    default_limits,
     default_plan,
     random_plans,
+    scoring_engine,
 )
 from .cp import (
     CPLongestLinkSolver,
@@ -61,7 +63,9 @@ __all__ = [
     "best_constrained_random_plan",
     "best_random_plan",
     "constrained_warm_start",
+    "default_limits",
     "default_plan",
     "default_registry",
     "random_plans",
+    "scoring_engine",
 ]

@@ -28,7 +28,12 @@ from ..core.communication_graph import CommunicationGraph
 from ..core.cost_matrix import CostMatrix
 from ..core.deployment import DeploymentPlan, provider_order_plan
 from ..core.errors import SolverError
-from ..core.evaluation import CompiledProblem, compile_problem
+from ..core.evaluation import (
+    CompiledProblem,
+    ParallelEvaluator,
+    compile_problem,
+    resolve_workers,
+)
 from ..core.objectives import Objective
 from ..core.problem import DeploymentProblem
 from ..core.types import make_rng
@@ -44,23 +49,41 @@ _LEGACY_SOLVE_MESSAGE = (
 
 @dataclass(frozen=True)
 class SearchBudget:
-    """Limits on how long a solver may search.
+    """Limits on how long a solver may search, plus execution knobs.
 
     Attributes:
         time_limit_s: wall-clock limit in seconds (``None`` = unlimited).
         max_iterations: iteration limit whose meaning is solver-specific
             (random plans generated, branch-and-bound nodes, CP backtracks).
         target_cost: stop early once a plan at or below this cost is found.
+        workers: evaluation parallelism for batch-scoring solvers (random
+            search batches, MIP candidate rounding, restart repopulation):
+            ``None`` keeps the serial path, ``"auto"`` uses one worker per
+            available CPU, an explicit positive ``int`` pins the count.
+            Results are bit-identical at any setting (see
+            :class:`~repro.core.evaluation.ParallelEvaluator`); only the
+            wall-clock changes, so seeded runs stay reproducible.
     """
 
     time_limit_s: Optional[float] = None
     max_iterations: Optional[int] = None
     target_cost: Optional[float] = None
+    workers: Optional[int | str] = None
+
+    def __post_init__(self) -> None:
+        if self.workers is not None:
+            resolve_workers(self.workers)  # validate eagerly; resolve lazily
 
     @classmethod
     def unlimited(cls) -> "SearchBudget":
         """A budget with no limits (use with care)."""
         return cls()
+
+    def has_limits(self) -> bool:
+        """Whether any stopping limit (time, iterations, target) is set."""
+        return (self.time_limit_s is not None
+                or self.max_iterations is not None
+                or self.target_cost is not None)
 
     @classmethod
     def seconds(cls, seconds: float) -> "SearchBudget":
@@ -73,6 +96,7 @@ class SearchBudget:
             "time_limit_s": self.time_limit_s,
             "max_iterations": self.max_iterations,
             "target_cost": self.target_cost,
+            "workers": self.workers,
         }
 
     @classmethod
@@ -87,6 +111,7 @@ class SearchBudget:
             time_limit_s=payload.get("time_limit_s"),
             max_iterations=payload.get("max_iterations"),
             target_cost=payload.get("target_cost"),
+            workers=payload.get("workers"),
         )
 
 
@@ -382,9 +407,44 @@ def random_plans(graph: CommunicationGraph, costs: CostMatrix, count: int,
     ]
 
 
+def default_limits(budget: Optional[SearchBudget],
+                   default: SearchBudget) -> SearchBudget:
+    """Solver-side budget defaulting, aware of the ``workers`` knob.
+
+    Replaces the ``budget or default`` idiom: a missing budget becomes
+    ``default`` as before, and a budget carrying *only* ``workers`` (no
+    time / iteration / target limit) adopts ``default``'s limits while
+    keeping the knob — otherwise a session-level ``workers`` default would
+    silently disable a solver's default time cap (and purely time-bounded
+    searches such as simulated annealing would never stop).  A budget with
+    any explicit limit passes through untouched.
+    """
+    if budget is None:
+        return default
+    if budget.workers is not None and not budget.has_limits():
+        return replace(default, workers=budget.workers)
+    return budget
+
+
+def scoring_engine(engine: CompiledProblem,
+                   workers: Optional[int | str]) -> "CompiledProblem | ParallelEvaluator":
+    """The batch scorer a solver should use under a budget's ``workers``.
+
+    Returns ``engine`` untouched when ``workers`` is ``None`` (the serial
+    path, zero overhead) and a :class:`~repro.core.evaluation.ParallelEvaluator`
+    wrapper otherwise.  Both expose the same ``evaluate_batch`` /
+    ``evaluate_plans`` surface and return bit-identical costs, so callers
+    can treat the result as a drop-in engine.
+    """
+    if workers is None:
+        return engine
+    return ParallelEvaluator(engine, workers=workers)
+
+
 def best_random_plan(graph: CommunicationGraph, costs: CostMatrix,
                      objective: Objective, count: int,
-                     rng: np.random.Generator | int | None = None
+                     rng: np.random.Generator | int | None = None,
+                     workers: Optional[int | str] = None
                      ) -> Tuple[DeploymentPlan, float]:
     """Best of ``count`` random plans; used to bootstrap exact solvers.
 
@@ -392,19 +452,22 @@ def best_random_plan(graph: CommunicationGraph, costs: CostMatrix,
     (Sect. 6.3.1).  Plans are drawn one by one (keeping the RNG stream
     identical to older releases) but scored in a single batch through the
     vectorized evaluation engine; ties keep the earliest plan, matching the
-    previous strict-improvement loop.
+    previous strict-improvement loop.  ``workers`` routes the batch through
+    a :class:`~repro.core.evaluation.ParallelEvaluator` (bit-identical).
     """
     generator = make_rng(rng)
     plans = random_plans(graph, costs, count, generator)
     if not plans:
         raise SolverError("count must be positive to draw a random plan")
-    plan_costs = compile_problem(graph, costs).evaluate_plans(plans, objective)
+    scorer = scoring_engine(compile_problem(graph, costs), workers)
+    plan_costs = scorer.evaluate_plans(plans, objective)
     best_index = int(np.argmin(plan_costs))
     return plans[best_index], float(plan_costs[best_index])
 
 
 def best_constrained_random_plan(problem: DeploymentProblem, count: int,
-                                 rng: np.random.Generator | int | None = None
+                                 rng: np.random.Generator | int | None = None,
+                                 workers: Optional[int | str] = None
                                  ) -> Tuple[DeploymentPlan, float]:
     """Best of ``count`` random *feasible* plans of a constrained problem.
 
@@ -416,12 +479,13 @@ def best_constrained_random_plan(problem: DeploymentProblem, count: int,
     view = problem.compiled_constraints()
     if view is None:
         return best_random_plan(problem.graph, problem.costs,
-                                problem.objective, count, rng)
+                                problem.objective, count, rng, workers=workers)
     if count <= 0:
         raise SolverError("count must be positive to draw a random plan")
     engine = problem.compiled()
     assignments = view.random_assignments(count, make_rng(rng))
-    plan_costs = engine.evaluate_batch(assignments, problem.objective)
+    plan_costs = scoring_engine(engine, workers).evaluate_batch(
+        assignments, problem.objective)
     best_index = int(np.argmin(plan_costs))
     return (engine.plan_from_assignment(assignments[best_index]),
             float(plan_costs[best_index]))

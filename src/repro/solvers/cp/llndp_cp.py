@@ -42,6 +42,7 @@ from ..base import (
     best_constrained_random_plan,
     best_random_plan,
     constrained_warm_start,
+    default_limits,
 )
 from .labeling import longest_link_lower_bound_reference
 from .subgraph import SubgraphMonomorphismSearch
@@ -103,7 +104,7 @@ class CPLongestLinkSolver(DeploymentSolver):
                budget: SearchBudget | None = None,
                initial_plan: DeploymentPlan | None = None) -> SolverResult:
         graph, costs, objective = problem.graph, problem.costs, problem.objective
-        budget = budget or SearchBudget.seconds(30.0)
+        budget = default_limits(budget, SearchBudget.seconds(30.0))
         watch = Stopwatch(budget)
         trace = ConvergenceTrace()
         rng = make_rng(self._seed)

@@ -50,6 +50,7 @@ from .base import (
     SolverResult,
     Stopwatch,
     constrained_warm_start,
+    default_limits,
 )
 
 
@@ -304,7 +305,7 @@ class GreedyG1(DeploymentSolver):
                budget: SearchBudget | None = None,
                initial_plan: DeploymentPlan | None = None) -> SolverResult:
         graph, costs, objective = problem.graph, problem.costs, problem.objective
-        budget = budget or SearchBudget.unlimited()
+        budget = default_limits(budget, SearchBudget.unlimited())
         watch = Stopwatch(budget)
         engine = self.compiled(graph, costs)
         view = problem.compiled_constraints()
@@ -365,7 +366,7 @@ class GreedyG2(DeploymentSolver):
                budget: SearchBudget | None = None,
                initial_plan: DeploymentPlan | None = None) -> SolverResult:
         graph, costs, objective = problem.graph, problem.costs, problem.objective
-        budget = budget or SearchBudget.unlimited()
+        budget = default_limits(budget, SearchBudget.unlimited())
         watch = Stopwatch(budget)
         engine = self.compiled(graph, costs)
         view = problem.compiled_constraints()

@@ -40,6 +40,7 @@ from .base import (
     best_constrained_random_plan,
     best_random_plan,
     constrained_warm_start,
+    default_limits,
 )
 
 #: A proposed move in engine coordinates: ``("swap", node_idx, node_idx)``
@@ -143,7 +144,7 @@ class SwapLocalSearch(DeploymentSolver):
                budget: SearchBudget | None = None,
                initial_plan: DeploymentPlan | None = None) -> SolverResult:
         graph, costs, objective = problem.graph, problem.costs, problem.objective
-        budget = budget or SearchBudget.seconds(2.0)
+        budget = default_limits(budget, SearchBudget.seconds(2.0))
         rng = make_rng(self._seed)
         watch = Stopwatch(budget)
         trace = ConvergenceTrace()
@@ -174,9 +175,11 @@ class SwapLocalSearch(DeploymentSolver):
             if restart == 0 and initial_plan is not None:
                 plan, cost = initial_plan, best_cost
             elif view is None:
-                plan, cost = best_random_plan(graph, costs, objective, 10, rng)
+                plan, cost = best_random_plan(graph, costs, objective, 10, rng,
+                                              workers=budget.workers)
             else:
-                plan, cost = best_constrained_random_plan(problem, 10, rng)
+                plan, cost = best_constrained_random_plan(
+                    problem, 10, rng, workers=budget.workers)
             trace.record(watch.elapsed(), min(cost, best_cost if best_plan else cost))
             evaluator = engine.delta_evaluator(plan, objective,
                                                allowed_mask=mask)
@@ -218,11 +221,11 @@ class SwapLocalSearch(DeploymentSolver):
 
         if best_plan is None:
             if view is None:
-                best_plan, best_cost = best_random_plan(graph, costs,
-                                                        objective, 1, rng)
+                best_plan, best_cost = best_random_plan(
+                    graph, costs, objective, 1, rng, workers=budget.workers)
             else:
                 best_plan, best_cost = best_constrained_random_plan(
-                    problem, 1, rng)
+                    problem, 1, rng, workers=budget.workers)
             trace.record(watch.elapsed(), best_cost)
 
         return SolverResult(
@@ -259,7 +262,7 @@ class SimulatedAnnealing(DeploymentSolver):
                budget: SearchBudget | None = None,
                initial_plan: DeploymentPlan | None = None) -> SolverResult:
         graph, costs, objective = problem.graph, problem.costs, problem.objective
-        budget = budget or SearchBudget.seconds(2.0)
+        budget = default_limits(budget, SearchBudget.seconds(2.0))
         rng = make_rng(self._seed)
         watch = Stopwatch(budget)
         trace = ConvergenceTrace()
@@ -272,9 +275,11 @@ class SimulatedAnnealing(DeploymentSolver):
             plan = initial_plan
             cost = engine.evaluate_plan(plan, objective)
         elif view is None:
-            plan, cost = best_random_plan(graph, costs, objective, 10, rng)
+            plan, cost = best_random_plan(graph, costs, objective, 10, rng,
+                                          workers=budget.workers)
         else:
-            plan, cost = best_constrained_random_plan(problem, 10, rng)
+            plan, cost = best_constrained_random_plan(
+                problem, 10, rng, workers=budget.workers)
         evaluator = engine.delta_evaluator(plan, objective, allowed_mask=mask)
         best_plan, best_cost = plan, cost
         trace.record(watch.elapsed(), best_cost)

@@ -30,6 +30,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ...core.evaluation import ParallelEvaluator
 from .model import MipModel, MipSolution
 from .scipy_backend import solve_lp_relaxation
 
@@ -76,12 +77,17 @@ class DeploymentRounder:
         problem: compiled evaluation engine for (graph, costs) of the
             encoding.
         objective: which deployment objective the encoding minimises.
+        workers: optional evaluation parallelism (``"auto"`` or a positive
+            int); batches are scored through a bit-identical
+            :class:`~repro.core.evaluation.ParallelEvaluator` when set.
     """
 
-    def __init__(self, encoding, problem, objective):
+    def __init__(self, encoding, problem, objective, workers=None):
         self.encoding = encoding
         self.problem = problem
         self.objective = objective
+        self._scorer = (problem if workers is None
+                        else ParallelEvaluator(problem, workers=workers))
 
     def round_batch(self, batch: Sequence[np.ndarray]
                     ) -> Tuple[np.ndarray, List[Dict[int, int]]]:
@@ -98,7 +104,7 @@ class DeploymentRounder:
              for assignment in assignments],
             dtype=np.intp,
         ).reshape(len(assignments), self.problem.num_nodes)
-        costs = self.problem.evaluate_batch(rows, self.objective)
+        costs = self._scorer.evaluate_batch(rows, self.objective)
         return costs, assignments
 
     def realize(self, assignment: Dict[int, int]) -> np.ndarray:

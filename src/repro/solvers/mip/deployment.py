@@ -46,6 +46,7 @@ from ..base import (
     best_constrained_random_plan,
     best_random_plan,
     constrained_warm_start,
+    default_limits,
 )
 from .branch_and_bound import (
     BranchAndBound,
@@ -275,7 +276,7 @@ class MipDeploymentSolver(DeploymentSolver):
                budget: SearchBudget | None = None,
                initial_plan: DeploymentPlan | None = None) -> SolverResult:
         graph, costs, objective = problem.graph, problem.costs, problem.objective
-        budget = budget or SearchBudget.seconds(30.0)
+        budget = default_limits(budget, SearchBudget.seconds(30.0))
         watch = Stopwatch(budget)
         trace = ConvergenceTrace()
         constraints = problem.constraints
@@ -286,11 +287,12 @@ class MipDeploymentSolver(DeploymentSolver):
             if view is None:
                 initial_plan, _ = best_random_plan(
                     graph, costs, objective, self.initial_random_plans,
-                    rng=self._seed,
+                    rng=self._seed, workers=budget.workers,
                 )
             else:
                 initial_plan, _ = best_constrained_random_plan(
-                    problem, self.initial_random_plans, rng=self._seed)
+                    problem, self.initial_random_plans, rng=self._seed,
+                    workers=budget.workers)
 
         clustered = costs.clustered(self.k_clusters, round_to=self.round_to) \
             if self.k_clusters is not None else costs
@@ -320,7 +322,8 @@ class MipDeploymentSolver(DeploymentSolver):
         else:
             if self.use_engine:
                 bnb = BranchAndBound(encoding.model, batch_rounder=DeploymentRounder(
-                    encoding, compile_problem(graph, clustered), objective))
+                    encoding, compile_problem(graph, clustered), objective,
+                    workers=budget.workers))
             else:
                 bnb = BranchAndBound(encoding.model,
                                      rounding_callback=encoding.rounding_callback)

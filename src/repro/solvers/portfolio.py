@@ -20,6 +20,7 @@ from .base import (
     SearchBudget,
     SolverResult,
     Stopwatch,
+    default_limits,
 )
 from .random_search import RandomSearch
 
@@ -71,7 +72,7 @@ class PortfolioSolver(DeploymentSolver):
                budget: SearchBudget | None = None,
                initial_plan: DeploymentPlan | None = None) -> SolverResult:
         graph, costs, objective = problem.graph, problem.costs, problem.objective
-        budget = budget or SearchBudget.seconds(10.0)
+        budget = default_limits(budget, SearchBudget.seconds(10.0))
         # Lower the instance once before starting the clock on members: the
         # compilation is cached process-wide, so every engine-backed member
         # (greedy, random search, local search) reuses this single lowering.
@@ -103,6 +104,7 @@ class PortfolioSolver(DeploymentSolver):
                 time_limit_s=member_limit,
                 max_iterations=budget.max_iterations,
                 target_cost=budget.target_cost,
+                workers=budget.workers,
             )
             result = member.solve(problem, budget=member_budget,
                                   initial_plan=warm_start)

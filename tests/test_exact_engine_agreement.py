@@ -20,7 +20,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import CommunicationGraph, CostMatrix, Objective, compile_problem
+from repro.core import (
+    CommunicationGraph,
+    CostMatrix,
+    Objective,
+    ParallelEvaluator,
+    compile_problem,
+)
 from repro.solvers import (
     CPLongestLinkSolver,
     MIPLongestLinkSolver,
@@ -241,3 +247,91 @@ def test_deployment_rounder_costs_match_model_objective():
         assert encoding.model.is_feasible(vector)
         assert float(cost) == encoding.model.evaluate_objective(vector)
         assert np.array_equal(rounder.realize(assignment), vector)
+
+
+# --------------------------------------------------------------------------- #
+# Parallel batch evaluation and incremental longest-path vs serial oracles
+# --------------------------------------------------------------------------- #
+
+@given(seed=st.integers(0, 2000),
+       objective=st.sampled_from([Objective.LONGEST_LINK,
+                                  Objective.LONGEST_PATH]),
+       workers=st.integers(1, 4))
+@settings(max_examples=40, deadline=None)
+def test_parallel_evaluator_bit_identical_to_serial(seed, objective, workers):
+    """Chunked evaluation equals serial ``evaluate_batch`` bit for bit.
+
+    ``min_cells=1`` forces the pool past the serial-fallback cutoff even on
+    these small instances, so the chunked code path is what actually runs.
+    """
+    graph, costs = random_problem(seed, dag=objective is Objective.LONGEST_PATH)
+    problem = compile_problem(graph, costs)
+    assignments = problem.random_assignments(17, seed)
+    parallel = ParallelEvaluator(problem, workers=workers, min_cells=1)
+    expected = problem.evaluate_batch(assignments, objective)
+    chunked = parallel.evaluate_batch(assignments, objective)
+    assert np.array_equal(expected, chunked)
+    if workers > 1:
+        assert parallel.parallel_calls == 1
+
+
+@given(seed=st.integers(0, 2000))
+@settings(max_examples=40, deadline=None)
+def test_incremental_longest_path_walk_matches_full_rerelaxation(seed):
+    """Peeked and applied LP deltas equal a full re-relaxation per move."""
+    graph, costs = random_problem(seed, min_nodes=4, max_nodes=9, dag=True)
+    problem = compile_problem(graph, costs)
+    rng = np.random.default_rng(seed)
+    reference = problem.random_assignments(1, rng)[0].copy()
+    evaluator = problem.delta_evaluator(reference,
+                                        Objective.LONGEST_PATH)
+    n = problem.num_nodes
+    for _ in range(40):
+        if rng.random() < 0.5 or n < 2:
+            free = evaluator.free_instance_indices()
+            if free.size == 0:
+                continue
+            node = int(rng.integers(n))
+            instance = int(free[rng.integers(free.size)])
+            peeked = evaluator.relocate_cost(node, instance)
+            candidate = reference.copy()
+            candidate[node] = instance
+            expected = problem.evaluate(candidate, Objective.LONGEST_PATH)
+            assert peeked == expected
+            assert evaluator.apply_relocate(node, instance) == expected
+            reference = candidate
+        else:
+            a, b = (int(x) for x in rng.choice(n, size=2, replace=False))
+            peeked = evaluator.swap_cost(a, b)
+            candidate = reference.copy()
+            candidate[[a, b]] = candidate[[b, a]]
+            expected = problem.evaluate(candidate, Objective.LONGEST_PATH)
+            assert peeked == expected
+            assert evaluator.apply_swap(a, b) == expected
+            reference = candidate
+        assert evaluator.current_cost == \
+            problem.evaluate(reference, Objective.LONGEST_PATH)
+
+
+@pytest.mark.parametrize("seed", [1, 5, 11])
+def test_branch_and_bound_same_node_sequence_with_workers(seed):
+    """A workers-enabled DeploymentRounder replays the scalar decisions."""
+    graph, costs = random_problem(seed, min_nodes=3, max_nodes=4, extra=2)
+    scalar_encoding = LLNDPEncoding(graph, costs)
+    scalar = BranchAndBound(
+        scalar_encoding.model,
+        rounding_callback=scalar_encoding.rounding_callback,
+        record_nodes=True,
+    ).solve(node_limit=150)
+
+    batch_encoding = LLNDPEncoding(graph, costs)
+    rounder = DeploymentRounder(batch_encoding, compile_problem(graph, costs),
+                                Objective.LONGEST_LINK, workers=2)
+    batch = BranchAndBound(
+        batch_encoding.model, batch_rounder=rounder, record_nodes=True,
+    ).solve(node_limit=150)
+
+    assert batch.node_sequence == scalar.node_sequence
+    assert [c for _, c in batch.incumbent_trace] == \
+        [c for _, c in scalar.incumbent_trace]
+    assert batch.solution.objective_value == scalar.solution.objective_value
