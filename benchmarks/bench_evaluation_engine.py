@@ -25,7 +25,10 @@ over-allocated instance pools).  It compares, on an n = 100 problem:
   cold solve's cost) versus a cold re-solve of the drifted instance;
 * the durable result store: serving an already-solved revision from the
   SQLite WAL store (one indexed lookup + JSON decode) versus re-running
-  the solver on the same fingerprint.
+  the solver on the same fingerprint;
+* the serving layer's dedup submit path: a repeated request through
+  ``AdvisorApp.submit_solve`` (store short-circuit + plan validation)
+  versus the cold queue -> worker -> solve -> write-back round trip.
 
 Every comparison also asserts the results agree exactly, so the speedup is
 never bought with a drifting objective.
@@ -71,6 +74,8 @@ from repro.solvers.cp.labeling import (
     compatibility_domains,
     compatibility_domains_reference,
 )
+from repro.api.schema import SolveRequest
+from repro.serve import PRIORITY_INTERACTIVE, ServeConfig, create_app
 from repro.solvers.mip.llndp_mip import LLNDPEncoding
 from repro.solvers.mip.branch_and_bound import DeploymentRounder
 from repro.store import SQLiteResultCache
@@ -464,6 +469,49 @@ def bench_result_store(repeats=5):
     return solve_s, lookup_s, solve_s / lookup_s
 
 
+def bench_serve_dedup(repeats=5):
+    """(cold_s, served_s, speedup) for the service's dedup submit path.
+
+    The serving layer's promise: a repeated request costs one store
+    lookup plus plan validation, not a solver run.  Both sides go
+    through the full :meth:`AdvisorApp.submit_solve` path — the cold
+    request is queued, dequeued by a worker, solved and written back;
+    the repeat short-circuits at submit time.  The served plan is
+    asserted identical to the solver's, so the speedup never hides a
+    wrong answer.
+    """
+    graph, costs = build_problem(Objective.LONGEST_LINK)
+    problem = DeploymentProblem(graph, costs)
+    request = SolveRequest(problem=problem, solver="local-search",
+                           config={"seed": SEED + 8, "restarts": 1},
+                           budget=SearchBudget(max_iterations=6000))
+
+    with tempfile.TemporaryDirectory() as scratch:
+        app = create_app(store=pathlib.Path(scratch) / "serve-bench.db",
+                         config=ServeConfig(workers=1))
+        try:
+            def submit():
+                job, source = app.submit_solve(request, "bench",
+                                               PRIORITY_INTERACTIVE)
+                assert job.wait(600.0) and job.error is None, job.error
+                return source, job.response
+
+            cold_s, (source, cold_response) = _best_of(1, submit)
+            assert source == "solver"
+            served_s, (source, served_response) = _best_of(repeats, submit)
+            assert source == "store"
+            assert app.metrics.solver_invocations == 1
+        finally:
+            app.close(timeout=30.0)
+
+    cold_result = cold_response.result
+    served_result = served_response.result
+    assert served_result.cost == cold_result.cost, \
+        "store-served response disagrees with the solver run"
+    assert served_result.plan.as_dict() == cold_result.plan.as_dict()
+    return cold_s, served_s, cold_s / served_s
+
+
 def bench_mip_rounding(repeats=3):
     """(scalar_s, batch_s, speedup) for scoring LP-candidate roundings.
 
@@ -608,6 +656,14 @@ def build_report():
     lines.append(
         f"result store lookup (n={NUM_NODES}): "
         f"solve  {solve_s * 1e3:7.1f} ms  store {lookup_s * 1e3:7.2f} ms  "
+        f"speedup {speedup:7.1f}x"
+    )
+
+    cold_s, served_s, speedup = bench_serve_dedup()
+    metrics["serve_dedup"] = speedup
+    lines.append(
+        f"service dedup submit path (n={NUM_NODES}): "
+        f"cold   {cold_s * 1e3:7.1f} ms  served {served_s * 1e3:6.2f} ms  "
         f"speedup {speedup:7.1f}x"
     )
 

@@ -107,6 +107,26 @@ class SessionStats:
         total = self.compilations + self.compile_cache_hits
         return self.compile_cache_hits / total if total else 0.0
 
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot of every counter.
+
+        The supported way for telemetry exporters (the service's
+        ``/metrics`` route, log shippers) to serialise session state —
+        including the nested process-wide ``engine_cache`` counters —
+        without reaching into private attributes.
+        """
+        return {
+            "requests": self.requests,
+            "compilations": self.compilations,
+            "compile_cache_hits": self.compile_cache_hits,
+            "compile_hit_rate": self.hit_rate,
+            "cost_refreshes": self.cost_refreshes,
+            "cost_recompiles": self.cost_recompiles,
+            "watch_resolves": self.watch_resolves,
+            "result_cache_hits": self.result_cache_hits,
+            "engine_cache": self.engine_cache.to_dict(),
+        }
+
 
 class AdvisorSession:
     """Executes :class:`~repro.api.schema.SolveRequest` batches.

@@ -501,8 +501,53 @@ def command_watch(args: argparse.Namespace) -> int:
     return 0
 
 
-def command_solvers(_args: argparse.Namespace) -> int:
+def command_serve(args: argparse.Namespace) -> int:
+    """Run the multi-tenant HTTP advisor service until SIGTERM/SIGINT."""
+    from .serve import ServeConfig, create_app, serve_until_signal
+
+    weights: Dict[str, float] = {}
+    for entry in args.tenant_weight or []:
+        tenant, separator, raw = entry.partition("=")
+        if not separator or not tenant:
+            raise ClouDiAError(
+                f"--tenant-weight expects TENANT=WEIGHT, got {entry!r}")
+        try:
+            weights[tenant] = float(raw)
+        except ValueError:
+            raise ClouDiAError(
+                f"--tenant-weight weight must be a number, got {raw!r}"
+            ) from None
+    config = ServeConfig(
+        workers=args.workers,
+        max_queue=args.queue_size,
+        request_timeout_s=args.request_timeout,
+        tenant_header=args.tenant_header,
+        tenant_weights=weights,
+        eval_workers=_eval_workers_flag(args.eval_workers),
+    )
+    app = create_app(store=args.store, config=config, start_workers=False)
+    return serve_until_signal(
+        app, args.host, args.port, quiet=not args.verbose,
+        ready_message=(
+            f"advisor service listening on http://{args.host}:{args.port} "
+            f"({args.workers} workers, queue {args.queue_size}, "
+            f"store {args.store or 'none'})"
+        ),
+    )
+
+
+def command_solvers(args: argparse.Namespace) -> int:
     """List the solvers registered in the default registry."""
+    if getattr(args, "json", False):
+        # The machine-readable discovery path: the same payload the
+        # service's GET /v1/solvers route serves, so scripts never have
+        # to parse the human-readable table.
+        print(json.dumps(
+            {"solvers": [spec.describe()
+                         for spec in default_registry.specs()]},
+            indent=2, allow_nan=False,
+        ))
+        return 0
     rows = []
     for spec in default_registry.specs():
         objectives = ", ".join(obj.value for obj in spec.objectives)
@@ -753,7 +798,43 @@ def build_parser() -> argparse.ArgumentParser:
 
     solvers = subparsers.add_parser("solvers",
                                     help="list the registered solvers")
+    solvers.add_argument("--json", action="store_true",
+                         help="emit the machine-readable catalog (the "
+                              "same payload as GET /v1/solvers)")
     solvers.set_defaults(handler=command_solvers)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the multi-tenant HTTP advisor service")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="address to bind (default: loopback)")
+    serve.add_argument("--port", type=int, default=8477,
+                       help="TCP port to listen on")
+    serve.add_argument("--store", default=None,
+                       help="path of the shared durable SQLite result + "
+                            "history store; omitting it serves without "
+                            "persistence (history endpoints answer 503)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="solver worker threads draining the shared "
+                            "priority queue")
+    serve.add_argument("--queue-size", type=int, default=256,
+                       help="bound on queued jobs; submissions beyond it "
+                            "are rejected with HTTP 429")
+    serve.add_argument("--request-timeout", type=float, default=30.0,
+                       help="seconds a synchronous solve waits before "
+                            "returning 504 (the job stays pollable)")
+    serve.add_argument("--tenant-header", default="x-tenant",
+                       help="HTTP header resolved into the tenant name")
+    serve.add_argument("--tenant-weight", action="append", default=None,
+                       metavar="TENANT=WEIGHT",
+                       help="fair-share weight for one tenant "
+                            "(repeatable; default weight is 1)")
+    serve.add_argument("--eval-workers", default=None,
+                       help="evaluation parallelism forwarded to the "
+                            "advisor session ('auto' or a positive int)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log each HTTP request to stderr")
+    serve.set_defaults(handler=command_serve)
 
     measure = subparsers.add_parser("measure",
                                     help="measure pairwise latencies on a fresh allocation")

@@ -1,0 +1,79 @@
+"""Limit/offset pagination shared by the list endpoints.
+
+One place owns the query-parameter contract (``limit`` and ``offset``,
+bounds-checked with a service-wide maximum page size) and the response
+envelope (``items`` / ``total`` / ``limit`` / ``offset`` /
+``next_offset``), so every paginated route behaves identically and a
+client can walk any listing with the same loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional, Sequence
+
+from .dependencies import HttpError
+
+#: Page size applied when the client does not pass ``limit``.
+DEFAULT_LIMIT = 50
+
+#: Hard ceiling on the page size a client may request.
+MAX_LIMIT = 500
+
+
+@dataclass(frozen=True)
+class PageParams:
+    """Validated ``limit`` / ``offset`` of one list request."""
+
+    limit: int = DEFAULT_LIMIT
+    offset: int = 0
+
+    @classmethod
+    def from_query(cls, query: Mapping[str, str],
+                   default_limit: int = DEFAULT_LIMIT,
+                   max_limit: int = MAX_LIMIT) -> "PageParams":
+        """Parse pagination parameters from a query-string mapping.
+
+        Raises:
+            HttpError: 400 on non-integer, negative, zero or over-limit
+                values.
+        """
+        limit = _int_param(query, "limit", default_limit)
+        offset = _int_param(query, "offset", 0)
+        if limit < 1:
+            raise HttpError(400, "limit must be >= 1")
+        if limit > max_limit:
+            raise HttpError(400, f"limit must be <= {max_limit}")
+        if offset < 0:
+            raise HttpError(400, "offset must be >= 0")
+        return cls(limit=limit, offset=offset)
+
+
+def paginate(items: Sequence, params: PageParams,
+             render: Optional[Callable] = None) -> Dict:
+    """Slice ``items`` into the standard page envelope.
+
+    ``render`` maps each included item to its JSON form (identity when
+    omitted); only the items on the requested page are rendered.
+    """
+    total = len(items)
+    page = items[params.offset:params.offset + params.limit]
+    next_offset = params.offset + len(page)
+    return {
+        "items": [item if render is None else render(item) for item in page],
+        "total": total,
+        "limit": params.limit,
+        "offset": params.offset,
+        "next_offset": next_offset if next_offset < total else None,
+    }
+
+
+def _int_param(query: Mapping[str, str], name: str, default: int) -> int:
+    raw = query.get(name)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise HttpError(400, f"{name} must be an integer, got {raw!r}"
+                        ) from None

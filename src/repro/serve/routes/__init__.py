@@ -1,0 +1,84 @@
+"""Route table of the advisor service.
+
+Each submodule contributes :class:`Route` entries — a method, a path
+pattern (literal segments plus ``{param}`` captures) and a thin handler
+``(app, request) -> (status, payload)``.  The :class:`Router` matches a
+request against the table, extracts path parameters, and distinguishes
+"unknown path" (404) from "known path, wrong method" (405).
+
+Handlers stay declarative: parsing, tenancy, scheduling and persistence
+all live in :mod:`~repro.serve.dependencies`, :mod:`~repro.serve.app` and
+:mod:`~repro.serve.queries`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from ..dependencies import HttpError
+
+#: A handler takes ``(app, request)`` and returns ``(status, payload)``.
+Handler = Callable[..., Tuple[int, Dict]]
+
+_PARAM_RE = re.compile(r"\{([a-z_]+)\}")
+
+
+@dataclass(frozen=True)
+class Route:
+    """One routable endpoint."""
+
+    method: str
+    pattern: str
+    handler: Handler
+    #: Stable label used in metrics (patterns would explode cardinality).
+    name: str
+
+    def compile(self) -> "re.Pattern[str]":
+        """The pattern as an anchored regex with named captures."""
+        regex = _PARAM_RE.sub(
+            lambda match: f"(?P<{match.group(1)}>[^/]+)",
+            re.escape(self.pattern).replace(r"\{", "{").replace(r"\}", "}"),
+        )
+        return re.compile(f"^{regex}$")
+
+
+class Router:
+    """Matches ``(method, path)`` pairs against the route table."""
+
+    def __init__(self, routes: List[Route]):
+        self._routes = [(route, route.compile()) for route in routes]
+
+    def match(self, method: str, path: str) -> Tuple[Route, Dict[str, str]]:
+        """The route and path params for a request.
+
+        Raises:
+            HttpError: 404 when no pattern matches the path, 405 when a
+                pattern matches but under different methods.
+        """
+        allowed = []
+        for route, regex in self._routes:
+            found = regex.match(path)
+            if found is None:
+                continue
+            if route.method == method:
+                return route, found.groupdict()
+            allowed.append(route.method)
+        if allowed:
+            raise HttpError(
+                405, f"{method} not allowed on {path}; "
+                     f"allowed: {', '.join(sorted(set(allowed)))}")
+        raise HttpError(404, f"no route for {path}")
+
+
+def build_router() -> Router:
+    """The service's full route table."""
+    from . import history, jobs, meta, solve
+
+    return Router([
+        *solve.ROUTES,
+        *jobs.ROUTES,
+        *history.ROUTES,
+        *meta.ROUTES,
+    ])

@@ -1,0 +1,42 @@
+"""``GET /v1/history`` — the durable re-deployment log, paginated.
+
+Backed by the SQLite store's :class:`~repro.store.WatchHistory`: the list
+endpoint pages over recorded watch runs (newest first, optionally
+filtered to one root fingerprint via ``?root=``), and
+``GET /v1/history/<run_id>`` returns a run's full per-revision event log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .. import queries
+from ..dependencies import HttpError, Request
+from ..pagination import PageParams, paginate
+from . import Route
+
+
+def handle_history(app, request: Request) -> Tuple[int, Dict]:
+    """Recorded watch runs, newest first, paginated."""
+    params = PageParams.from_query(request.query)
+    runs = queries.history_runs(app.store,
+                                request.query.get("root") or None)
+    return 200, paginate(runs, params, render=queries.run_summary_payload)
+
+
+def handle_history_run(app, request: Request) -> Tuple[int, Dict]:
+    """The full event log of one recorded watch run."""
+    raw = request.params["run_id"]
+    try:
+        run_id = int(raw)
+    except ValueError:
+        raise HttpError(400, f"run id must be an integer, got {raw!r}"
+                        ) from None
+    events = queries.run_events(app.store, run_id)
+    return 200, {"run_id": run_id, "events": events}
+
+
+ROUTES = [
+    Route("GET", "/v1/history", handle_history, "history"),
+    Route("GET", "/v1/history/{run_id}", handle_history_run, "history-run"),
+]

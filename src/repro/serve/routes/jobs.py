@@ -1,0 +1,24 @@
+"""``GET /v1/jobs/<id>`` — poll an async (or timed-out sync) job."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..dependencies import HttpError, Request
+from . import Route
+
+
+def handle_job(app, request: Request) -> Tuple[int, Dict]:
+    """Status and (when finished) the response of one job."""
+    job_id = request.params["job_id"]
+    job = app.jobs.get(job_id)
+    if job is None:
+        raise HttpError(
+            404, f"unknown job {job_id!r} (finished jobs are retained "
+                 f"for a bounded window)")
+    return 200, job.to_dict(include_response=True)
+
+
+ROUTES = [
+    Route("GET", "/v1/jobs/{job_id}", handle_job, "jobs"),
+]

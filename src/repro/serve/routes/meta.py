@@ -1,0 +1,44 @@
+"""Service meta endpoints: health, metrics, solver discovery."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .. import queries
+from ..dependencies import Request
+from . import Route
+
+
+def handle_healthz(app, request: Request) -> Tuple[int, Dict]:
+    """Liveness/readiness: 503 once a graceful drain has begun.
+
+    Load balancers use the status code; the body carries enough state to
+    see at a glance why a replica stopped accepting work.
+    """
+    draining = app.draining
+    body = {
+        "status": "draining" if draining else "ok",
+        "queue_depth": app.scheduler.depth(),
+        "workers": app.config.workers,
+        "store": None if app.store is None else str(
+            getattr(app.store, "path", "attached")),
+    }
+    return (503 if draining else 200), body
+
+
+def handle_metrics(app, request: Request) -> Tuple[int, Dict]:
+    """One consistent JSON snapshot of every layer's counters."""
+    return 200, app.metrics_snapshot()
+
+
+def handle_solvers(app, request: Request) -> Tuple[int, Dict]:
+    """The machine-readable solver catalog (same payload as the CLI's
+    ``solvers --json``)."""
+    return 200, {"solvers": queries.solver_catalog(app.session.registry)}
+
+
+ROUTES = [
+    Route("GET", "/healthz", handle_healthz, "healthz"),
+    Route("GET", "/metrics", handle_metrics, "metrics"),
+    Route("GET", "/v1/solvers", handle_solvers, "solvers"),
+]

@@ -114,6 +114,23 @@ class SolverSpec:
             return num_nodes <= self.max_nodes
         return True
 
+    def describe(self) -> Dict[str, Any]:
+        """Machine-readable description of the spec (JSON-serializable).
+
+        The single discovery payload shared by the CLI's ``solvers
+        --json`` output and the service's ``GET /v1/solvers`` route, so
+        scripts never have to parse the human-readable table.
+        """
+        return {
+            "key": self.key,
+            "summary": self.summary,
+            "objectives": [objective.value for objective in self.objectives],
+            "max_nodes": self.max_nodes,
+            "supports_constraints": self.supports_constraints,
+            "supports_warm_start": self.supports_warm_start,
+            "config_fields": list(self.config_fields),
+        }
+
     def make(self, **config: Any) -> DeploymentSolver:
         """Instantiate the solver after validating the config fields."""
         unknown = sorted(name for name in config if not self.accepts(name))

@@ -94,6 +94,18 @@ class TestCommands:
         for key in ("cp", "mip", "greedy", "portfolio"):
             assert key in output
 
+    def test_solvers_json_is_machine_readable(self, capsys):
+        assert main(["solvers", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        entries = {entry["key"]: entry for entry in payload["solvers"]}
+        assert {"cp", "mip", "greedy", "portfolio"} <= set(entries)
+        greedy = entries["greedy"]
+        assert {"key", "summary", "objectives", "max_nodes",
+                "supports_constraints", "supports_warm_start",
+                "config_fields"} <= set(greedy)
+        assert isinstance(greedy["objectives"], list)
+        assert isinstance(greedy["config_fields"], list)
+
 
 class TestJsonWorkflow:
     """The serialized problem -> solve -> response pipeline."""

@@ -1,0 +1,465 @@
+"""The advisor service end to end: the app submit path (store
+short-circuit, coalescing, back-pressure, drain) and the real HTTP
+transport on a loopback socket."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import SolveRequest, WatchPolicy
+from repro.core import CommunicationGraph, DeploymentProblem
+from repro.serve import (
+    PRIORITY_INTERACTIVE,
+    ServeConfig,
+    create_app,
+    create_server,
+)
+from repro.solvers import SearchBudget
+from repro.store import SQLiteResultCache
+from repro.testing import deterministic_cost_matrix
+
+
+def make_problem(seed=0):
+    return DeploymentProblem(CommunicationGraph.ring(5),
+                             deterministic_cost_matrix(7, seed=seed))
+
+
+def make_request(seed=0, solver="local-search", **kwargs):
+    kwargs.setdefault("config", {"seed": 3})
+    kwargs.setdefault("budget", SearchBudget(max_iterations=200))
+    return SolveRequest(problem=make_problem(seed), solver=solver, **kwargs)
+
+
+def solve_body(seed=0, **extra):
+    body = make_request(seed).to_dict()
+    body.update(extra)
+    return body
+
+
+def quick_config(**overrides):
+    base = dict(workers=1, request_timeout_s=20.0)
+    base.update(overrides)
+    return ServeConfig(**base)
+
+
+@pytest.fixture
+def app(tmp_path):
+    instance = create_app(store=tmp_path / "serve.db",
+                          config=quick_config())
+    yield instance
+    instance.close(timeout=5.0)
+
+
+class TestSubmitPath:
+    def test_concurrent_identical_requests_solve_exactly_once(self,
+                                                              tmp_path):
+        # The acceptance criterion, made deterministic: stage both
+        # submissions while no worker is running, then start the pool.
+        app = create_app(store=tmp_path / "serve.db",
+                         config=quick_config(), start_workers=False)
+        try:
+            first, source_a = app.submit_solve(
+                make_request(), "public", PRIORITY_INTERACTIVE)
+            second, source_b = app.submit_solve(
+                make_request(), "public", PRIORITY_INTERACTIVE)
+            assert source_a == "solver" and source_b == "coalesced"
+            assert second is first
+            app.start()
+            assert first.wait(30.0)
+            assert first.error is None
+            assert app.metrics.solver_invocations == 1
+            assert app.scheduler.stats.coalesced == 1
+        finally:
+            app.close(timeout=5.0)
+
+    def test_repeat_after_restart_is_fully_store_served(self, tmp_path):
+        path = tmp_path / "serve.db"
+        first_app = create_app(store=path, config=quick_config())
+        job, source = first_app.submit_solve(
+            make_request(), "public", PRIORITY_INTERACTIVE)
+        assert source == "solver" and job.wait(30.0)
+        solved_cost = job.response.result.cost
+        first_app.close(timeout=5.0)
+
+        restarted = create_app(store=path, config=quick_config())
+        try:
+            job, source = restarted.submit_solve(
+                make_request(), "public", PRIORITY_INTERACTIVE)
+            # Served at submit time: already finished, never queued.
+            assert source == "store"
+            assert job.done.is_set()
+            assert job.response.result.cost == solved_cost
+            assert restarted.metrics.solver_invocations == 0
+            assert restarted.metrics.store_hits == 1
+        finally:
+            restarted.close(timeout=5.0)
+
+    def test_store_writeback_happens_once_for_coalesced_pair(self, app):
+        job, _ = app.submit_solve(make_request(), "public",
+                                  PRIORITY_INTERACTIVE)
+        assert job.wait(30.0)
+        assert app.store.stats.writes == 1
+
+    def test_without_store_every_distinct_request_solves(self):
+        app = create_app(config=quick_config())
+        try:
+            for seed in (0, 1):
+                job, source = app.submit_solve(
+                    make_request(seed), "public", PRIORITY_INTERACTIVE)
+                assert source == "solver" and job.wait(30.0)
+            assert app.metrics.solver_invocations == 2
+            assert app.metrics.store_hits == 0
+        finally:
+            app.close(timeout=5.0)
+
+
+class TestAppDispatch:
+    """Full request handling through ``AdvisorApp.handle`` (no socket)."""
+
+    def test_sync_solve_roundtrip(self, app):
+        status, payload = app.handle(
+            "POST", "/v1/solve",
+            body=json.dumps(solve_body()).encode())
+        assert status == 200
+        assert payload["status"] == "done"
+        assert payload["source"] == "solver"
+        assert payload["response"]["status"] == "ok"
+        assert payload["response"]["result"]["cost"] > 0
+
+    def test_sync_repeat_served_from_store(self, app):
+        body = json.dumps(solve_body()).encode()
+        app.handle("POST", "/v1/solve", body=body)
+        status, payload = app.handle("POST", "/v1/solve", body=body)
+        assert status == 200
+        assert payload["source"] == "store"
+        assert app.metrics.solver_invocations == 1
+
+    def test_async_solve_then_poll(self, app):
+        status, payload = app.handle(
+            "POST", "/v1/solve",
+            body=json.dumps(solve_body(mode="async")).encode())
+        assert status == 202
+        poll = payload["poll"]
+        assert poll == f"/v1/jobs/{payload['job_id']}"
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            status, payload = app.handle("GET", poll)
+            assert status == 200
+            if payload["status"] == "done":
+                break
+            time.sleep(0.05)
+        assert payload["status"] == "done"
+        assert payload["response"]["result"]["cost"] > 0
+
+    def test_batch_solve(self, app):
+        body = {
+            "requests": [solve_body(seed=0), solve_body(seed=1)],
+            "priority": "batch",
+        }
+        status, payload = app.handle(
+            "POST", "/v1/solve-batch", body=json.dumps(body).encode())
+        assert status == 200
+        assert len(payload["items"]) == 2
+        assert all(item["status"] == "done" for item in payload["items"])
+        assert all(item["priority"] == "batch"
+                   for item in payload["items"])
+
+    def test_batch_rejects_bad_entry_but_keeps_good_ones(self, app):
+        body = {"requests": [solve_body(seed=0), {"solver": "greedy"}]}
+        status, payload = app.handle(
+            "POST", "/v1/solve-batch", body=json.dumps(body).encode())
+        assert status == 200
+        first, second = payload["items"]
+        assert first["status"] == "done"
+        assert second["status"] == "rejected"
+        assert second["http_status"] == 400
+
+    def test_sync_timeout_returns_504_with_pollable_job(self, tmp_path):
+        app = create_app(store=tmp_path / "serve.db",
+                         config=quick_config(request_timeout_s=0.05),
+                         start_workers=False)
+        try:
+            status, payload = app.handle(
+                "POST", "/v1/solve",
+                body=json.dumps(solve_body()).encode())
+            assert status == 504
+            assert payload["poll"] == f"/v1/jobs/{payload['job_id']}"
+            status, job_payload = app.handle("GET", payload["poll"])
+            assert status == 200
+            assert job_payload["status"] == "queued"
+        finally:
+            app.close(timeout=5.0)
+
+    def test_queue_bound_maps_to_429(self, tmp_path):
+        app = create_app(store=tmp_path / "serve.db",
+                         config=quick_config(max_queue=1),
+                         start_workers=False)
+        try:
+            body = json.dumps(solve_body(seed=0, mode="async")).encode()
+            status, _ = app.handle("POST", "/v1/solve", body=body)
+            assert status == 202
+            body = json.dumps(solve_body(seed=1, mode="async")).encode()
+            status, payload = app.handle("POST", "/v1/solve", body=body)
+            assert status == 429
+            assert "full" in payload["error"]
+        finally:
+            app.close(timeout=5.0)
+
+    def test_tenant_priority_and_error_validation(self, app):
+        status, payload = app.handle(
+            "POST", "/v1/solve",
+            headers={"x-tenant": "team/alpha"},
+            body=json.dumps(solve_body()).encode())
+        assert status == 400 and "tenant" in payload["error"]
+        status, payload = app.handle(
+            "POST", "/v1/solve",
+            body=json.dumps(solve_body(priority="urgent")).encode())
+        assert status == 400 and "priority" in payload["error"]
+        status, payload = app.handle(
+            "POST", "/v1/solve",
+            body=json.dumps(solve_body(solver="nope")).encode())
+        assert status == 400
+        status, payload = app.handle("POST", "/v1/solve", body=b"{oops")
+        assert status == 400 and "JSON" in payload["error"]
+
+    def test_tenant_header_lands_on_the_job(self, app):
+        status, payload = app.handle(
+            "POST", "/v1/solve", headers={"x-tenant": "acme"},
+            body=json.dumps(solve_body()).encode())
+        assert status == 200
+        assert payload["tenant"] == "acme"
+
+    def test_unknown_routes_and_methods(self, app):
+        assert app.handle("GET", "/v1/nope")[0] == 404
+        assert app.handle("DELETE", "/v1/solve")[0] == 405
+        assert app.handle("GET", "/v1/jobs/job-missing-000001")[0] == 404
+
+    def test_drain_flips_health_and_refuses_work(self, app):
+        assert app.handle("GET", "/healthz")[0] == 200
+        assert app.drain(timeout=5.0)
+        status, payload = app.handle("GET", "/healthz")
+        assert status == 503 and payload["status"] == "draining"
+        status, _ = app.handle(
+            "POST", "/v1/solve", body=json.dumps(solve_body()).encode())
+        assert status == 503
+
+    def test_metrics_snapshot_covers_every_layer(self, app):
+        app.handle("POST", "/v1/solve",
+                   body=json.dumps(solve_body()).encode())
+        status, payload = app.handle("GET", "/metrics")
+        assert status == 200
+        assert payload["service"]["solver_invocations"] == 1
+        assert payload["service"]["served_by_tenant"] == {"public": 1}
+        assert payload["scheduler"]["dequeued"] == 1
+        assert payload["session"]["requests"] >= 1
+        assert "engine_cache" in payload["session"]
+        assert payload["store"]["writes"] == 1
+        assert payload["service"]["latency"]["count"] == 1
+
+    def test_solvers_catalog_matches_registry(self, app):
+        status, payload = app.handle("GET", "/v1/solvers")
+        assert status == 200
+        keys = {entry["key"] for entry in payload["solvers"]}
+        assert {"cp", "mip", "greedy", "local-search"} <= keys
+        sample = payload["solvers"][0]
+        assert {"key", "summary", "objectives", "supports_warm_start",
+                "config_fields"} <= set(sample)
+
+
+class TestHistoryEndpoints:
+    def _populate(self, app, runs=3):
+        problem = make_problem()
+        policy = WatchPolicy(solver="local-search", config={"seed": 3},
+                             budget=SearchBudget(max_iterations=200))
+        for _ in range(runs):
+            app.session.watch(problem, [], policy)
+        return problem
+
+    def test_history_is_paginated_newest_first(self, app):
+        self._populate(app, runs=3)
+        status, payload = app.handle("GET", "/v1/history",
+                                     query_string="limit=2")
+        assert status == 200
+        assert payload["total"] == 3
+        assert len(payload["items"]) == 2
+        assert payload["next_offset"] == 2
+        run_ids = [item["run_id"] for item in payload["items"]]
+        assert run_ids == sorted(run_ids, reverse=True)
+        status, payload = app.handle("GET", "/v1/history",
+                                     query_string="limit=2&offset=2")
+        assert len(payload["items"]) == 1
+        assert payload["next_offset"] is None
+
+    def test_history_filters_by_root_fingerprint(self, app):
+        problem = self._populate(app, runs=1)
+        status, payload = app.handle(
+            "GET", "/v1/history",
+            query_string=f"root={problem.fingerprint()}")
+        assert status == 200 and payload["total"] == 1
+        status, payload = app.handle("GET", "/v1/history",
+                                     query_string="root=deadbeef")
+        assert payload["total"] == 0
+
+    def test_history_run_detail_and_404(self, app):
+        self._populate(app, runs=1)
+        status, listing = app.handle("GET", "/v1/history")
+        run_id = listing["items"][0]["run_id"]
+        status, payload = app.handle("GET", f"/v1/history/{run_id}")
+        assert status == 200
+        assert payload["run_id"] == run_id
+        assert payload["events"][0]["reason"] == "initial"
+        assert app.handle("GET", "/v1/history/99999")[0] == 404
+
+    def test_history_without_store_is_503(self):
+        app = create_app(config=quick_config())
+        try:
+            status, payload = app.handle("GET", "/v1/history")
+            assert status == 503
+            assert "store" in payload["error"]
+        finally:
+            app.close(timeout=5.0)
+
+    def test_bad_pagination_params_are_400(self, app):
+        assert app.handle("GET", "/v1/history",
+                          query_string="limit=0")[0] == 400
+        assert app.handle("GET", "/v1/history",
+                          query_string="offset=-1")[0] == 400
+        assert app.handle("GET", "/v1/history",
+                          query_string="limit=banana")[0] == 400
+
+
+class TestHttpTransport:
+    """The real socket path: ThreadingHTTPServer on a loopback port."""
+
+    @pytest.fixture
+    def service(self, tmp_path):
+        app = create_app(store=tmp_path / "serve.db", config=quick_config())
+        server = create_server(app, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+        yield base, app
+        server.shutdown()
+        server.server_close()
+        app.close(timeout=5.0)
+
+    def _call(self, base, path, body=None, headers=None, method=None):
+        data = None if body is None else json.dumps(body).encode()
+        request = urllib.request.Request(
+            base + path, data=data, headers=headers or {}, method=method)
+        try:
+            with urllib.request.urlopen(request, timeout=30) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read())
+
+    def test_health_solve_and_metrics_over_http(self, service):
+        base, app = service
+        status, payload = self._call(base, "/healthz")
+        assert status == 200 and payload["status"] == "ok"
+
+        status, payload = self._call(base, "/v1/solve", body=solve_body(),
+                                     headers={"x-tenant": "edge"})
+        assert status == 200
+        assert payload["source"] == "solver"
+        assert payload["tenant"] == "edge"
+        cost = payload["response"]["result"]["cost"]
+
+        # The identical request again: served from the durable store.
+        status, payload = self._call(base, "/v1/solve", body=solve_body())
+        assert status == 200
+        assert payload["source"] == "store"
+        assert payload["response"]["result"]["cost"] == cost
+
+        status, payload = self._call(base, "/metrics")
+        assert status == 200
+        assert payload["service"]["solver_invocations"] == 1
+        assert payload["service"]["store_hits"] == 1
+
+    def test_concurrent_identical_posts_coalesce_over_http(self, service):
+        base, app = service
+        # A slow filler occupies the single worker, so both async posts
+        # are still queued when the second arrives and must coalesce.
+        filler = solve_body(seed=9, mode="async",
+                            budget=SearchBudget(max_iterations=40000).to_dict())
+        status, _ = self._call(base, "/v1/solve", body=filler)
+        assert status == 202
+
+        twin = solve_body(seed=1, mode="async")
+        results = []
+
+        def post():
+            results.append(self._call(base, "/v1/solve", body=twin))
+
+        threads = [threading.Thread(target=post) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30.0)
+        assert [status for status, _ in results] == [202, 202]
+        job_ids = {payload["job_id"] for _, payload in results}
+        assert len(job_ids) == 1  # one shared job for both posts
+        sources = sorted(payload["source"] for _, payload in results)
+        assert sources == ["coalesced", "solver"]
+
+        poll = f"/v1/jobs/{job_ids.pop()}"
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            status, payload = self._call(base, poll)
+            if payload["status"] == "done":
+                break
+            time.sleep(0.1)
+        assert payload["status"] == "done"
+        assert payload["attached"] == 2
+
+    def test_http_error_paths(self, service):
+        base, _ = service
+        status, payload = self._call(base, "/v1/nope")
+        assert status == 404
+        status, payload = self._call(base, "/v1/solve", body={"bad": 1})
+        assert status == 400
+        status, payload = self._call(base, "/v1/solve", method="DELETE")
+        assert status == 405
+
+
+class TestServeCli:
+    def test_cli_wires_store_and_config(self, tmp_path, monkeypatch):
+        from repro import cli
+
+        captured = {}
+
+        def fake_serve(app, host, port, quiet=True, ready_message=None):
+            captured["app"] = app
+            captured["host"] = host
+            captured["port"] = port
+            captured["ready"] = ready_message
+            app.close(timeout=5.0)
+            return 0
+
+        monkeypatch.setattr("repro.serve.serve_until_signal", fake_serve)
+        code = cli.main([
+            "serve", "--store", str(tmp_path / "cli.db"),
+            "--workers", "3", "--port", "8123", "--queue-size", "7",
+            "--tenant-weight", "gold=2.5",
+        ])
+        assert code == 0
+        app = captured["app"]
+        assert captured["port"] == 8123
+        assert app.config.workers == 3
+        assert app.config.max_queue == 7
+        assert app.config.tenant_weights == {"gold": 2.5}
+        assert isinstance(app.store, SQLiteResultCache)
+        assert "8123" in captured["ready"]
+
+    def test_cli_rejects_bad_tenant_weight(self, capsys):
+        from repro import cli
+
+        code = cli.main(["serve", "--tenant-weight", "goldtwo"])
+        assert code == 2
+        assert "tenant-weight" in capsys.readouterr().err

@@ -205,3 +205,30 @@ class TestBatches:
         assert restored[0].plan == responses[0].plan
         assert restored[0].cost == responses[0].cost
         assert restored[0].telemetry.compile_cache_hit is False
+
+
+class TestStatsSerialization:
+    def test_stats_to_dict_covers_every_layer(self):
+        session = AdvisorSession()
+        request = SolveRequest(_problem(), solver="greedy")
+        session.solve(request)
+        session.solve(SolveRequest(_problem(), solver="local-search",
+                                   config={"seed": 3},
+                                   budget=SearchBudget(max_iterations=50)))
+        payload = session.stats.to_dict()
+        assert payload["requests"] == 2
+        assert payload["compilations"] == 1
+        assert payload["compile_cache_hits"] == 1
+        assert payload["compile_hit_rate"] == 0.5
+        engine = payload["engine_cache"]
+        assert {"hits", "misses", "evictions", "size", "max_entries",
+                "hit_rate"} <= set(engine)
+        # The snapshot must be JSON-clean as-is (the /metrics endpoint
+        # serialises it verbatim).
+        json.dumps(payload, allow_nan=False)
+
+    def test_stats_to_dict_on_fresh_session(self):
+        payload = AdvisorSession().stats.to_dict()
+        assert payload["requests"] == 0
+        assert payload["compile_hit_rate"] == 0.0
+        json.dumps(payload, allow_nan=False)

@@ -1,0 +1,160 @@
+"""One ``SQLiteResultCache`` hammered by many threads in one process —
+the serving layer's worker pool shares exactly one store connection, so
+no write may be lost and the busy-timeout contract must hold."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core import CommunicationGraph, DeploymentProblem, Objective
+from repro.core.errors import StoreError
+from repro.solvers import SolverResult
+from repro.store import SQLiteResultCache, connect
+from repro.store.connection import pragma_value
+from repro.testing import deterministic_cost_matrix
+
+THREADS = 16
+WRITES_PER_THREAD = 8
+
+
+@pytest.fixture
+def problem():
+    costs = deterministic_cost_matrix(9, seed=31, symmetric=False)
+    graph = CommunicationGraph.ring(6)
+    return DeploymentProblem(graph, costs)
+
+
+def make_result(problem, cost=1.25):
+    return SolverResult(
+        plan=problem.default_plan(), cost=cost,
+        objective=Objective.LONGEST_LINK, solver_name="G2",
+        solve_time_s=0.1, iterations=3, optimal=False,
+    )
+
+
+def hammer(count, worker):
+    """Run ``worker(index)`` on ``count`` threads; re-raise any failure."""
+    errors = []
+    barrier = threading.Barrier(count)
+
+    def run(index):
+        try:
+            barrier.wait(10.0)
+            worker(index)
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=run, args=(index,))
+               for index in range(count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(60.0)
+    if errors:
+        raise errors[0]
+
+
+class TestConcurrentWrites:
+    def test_distinct_keys_lose_no_writes(self, tmp_path, problem):
+        store = SQLiteResultCache(tmp_path / "store.db")
+        fingerprint = problem.fingerprint()
+
+        def worker(index):
+            for write in range(WRITES_PER_THREAD):
+                tag = f"solver-{index}-{write}"
+                store.put(fingerprint, tag,
+                          make_result(problem, cost=index + write / 100.0))
+
+        hammer(THREADS, worker)
+        assert len(store) == THREADS * WRITES_PER_THREAD
+        assert store.stats.writes == THREADS * WRITES_PER_THREAD
+        # Every write is readable back with its own payload.
+        for index in range(THREADS):
+            for write in range(WRITES_PER_THREAD):
+                result = store.get(fingerprint, f"solver-{index}-{write}")
+                assert result is not None
+                assert result.cost == index + write / 100.0
+
+    def test_contended_upserts_converge_to_one_row(self, tmp_path, problem):
+        store = SQLiteResultCache(tmp_path / "store.db")
+        fingerprint = problem.fingerprint()
+        costs = [float(index) for index in range(THREADS)]
+
+        def worker(index):
+            store.put(fingerprint, "greedy",
+                      make_result(problem, cost=costs[index]))
+
+        hammer(THREADS, worker)
+        assert len(store) == 1
+        result = store.get(fingerprint, "greedy")
+        # Last-writer-wins upsert: whichever thread landed last, the row
+        # is one of the written payloads, never a torn mix.
+        assert result.cost in costs
+
+    def test_interleaved_readers_see_complete_results(self, tmp_path,
+                                                      problem):
+        store = SQLiteResultCache(tmp_path / "store.db")
+        fingerprint = problem.fingerprint()
+        store.put(fingerprint, "seed", make_result(problem, cost=0.5))
+
+        def worker(index):
+            if index % 2:
+                store.put(fingerprint, f"tag-{index}",
+                          make_result(problem, cost=float(index)))
+            else:
+                for _ in range(20):
+                    result = store.get(fingerprint, "seed")
+                    assert result is not None
+                    assert result.cost == 0.5
+
+        hammer(THREADS, worker)
+        assert len(store) == 1 + THREADS // 2
+
+
+class TestBusyTimeout:
+    def test_store_connection_pins_busy_timeout(self, tmp_path):
+        store = SQLiteResultCache(tmp_path / "store.db")
+        assert pragma_value(store._conn, "busy_timeout") == 30_000
+        custom = SQLiteResultCache(tmp_path / "custom.db",
+                                   busy_timeout_ms=100)
+        assert pragma_value(custom._conn, "busy_timeout") == 100
+
+    def test_held_write_lock_blocks_then_admits_writer(self, tmp_path,
+                                                       problem):
+        path = tmp_path / "store.db"
+        store = SQLiteResultCache(path)
+        blocker = connect(path)
+        blocker.execute("BEGIN IMMEDIATE")
+        released = threading.Event()
+
+        def release():
+            released.wait(10.0)
+            blocker.execute("COMMIT")
+            blocker.close()
+
+        thread = threading.Thread(target=release)
+        thread.start()
+        released.set()
+        # The 30 s busy timeout queues the writer behind the lock.
+        store.put(problem.fingerprint(), "greedy", make_result(problem))
+        thread.join(10.0)
+        assert len(store) == 1
+
+    def test_short_timeout_raises_store_error_under_lock(self, tmp_path,
+                                                         problem):
+        path = tmp_path / "store.db"
+        store = SQLiteResultCache(path, busy_timeout_ms=50)
+        blocker = connect(path)
+        blocker.execute("BEGIN IMMEDIATE")
+        try:
+            with pytest.raises(StoreError):
+                store.put(problem.fingerprint(), "greedy",
+                          make_result(problem))
+        finally:
+            blocker.execute("ROLLBACK")
+            blocker.close()
+        # The store stays usable once the lock is gone.
+        store.put(problem.fingerprint(), "greedy", make_result(problem))
+        assert len(store) == 1
