@@ -85,7 +85,7 @@ class AdvisorApp:
         self.metrics = ServiceMetrics()
         self.jobs = JobTable(max_finished=self.config.max_finished_jobs)
         self.pool = WorkerPool(self.scheduler, self.session, self.metrics,
-                               workers=self.config.workers)
+                               workers=self.config.workers, jobs=self.jobs)
         self.router = build_router()
         self._started_at = time.time()
         if start_workers:
@@ -260,11 +260,23 @@ class AdvisorApp:
             self.config.drain_timeout_s if timeout is None else timeout)
 
     def close(self, timeout: Optional[float] = None) -> None:
-        """Drain, then release the store connection."""
+        """Drain, then release the store connection.
+
+        After a dirty drain (workers still mid-solve past the timeout)
+        the store connection is left open — a straggler is about to
+        write its result back, and yanking the connection out from under
+        it would turn a graceful-degradation path into spurious errors.
+        """
         self.drain(timeout=timeout)
         closer = getattr(self.store, "close", None)
-        if closer is not None:
-            closer()
+        if closer is None:
+            return
+        if self.pool.alive():
+            print("serve: drain timed out with workers still running; "
+                  "leaving the store connection open for stragglers",
+                  file=sys.stderr, flush=True)
+            return
+        closer()
 
 
 def create_app(store: Optional[Union[SQLiteResultCache, ResultCache,

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Tuple
 
 from ..dependencies import HttpError, Request
@@ -16,6 +17,15 @@ def handle_job(app, request: Request) -> Tuple[int, Dict]:
         raise HttpError(
             404, f"unknown job {job_id!r} (finished jobs are retained "
                  f"for a bounded window)")
+    if job.done.is_set() and not job.served_recorded:
+        # Async (or timed-out sync) jobs are served when the client first
+        # observes the finished result; without this the poll path would
+        # never reach the tenant/latency metrics.
+        job.served_recorded = True
+        finished = job.finished_at if job.finished_at is not None \
+            else time.time()
+        app.metrics.record_served(job.tenant, job.source,
+                                  max(0.0, finished - job.created_at))
     return 200, job.to_dict(include_response=True)
 
 

@@ -79,6 +79,12 @@ def _envelope(job: Job, source: str) -> Dict:
     return payload
 
 
+def _job_latency(job: Job) -> float:
+    """End-to-end latency of one job, from its own submit time."""
+    finished = job.finished_at if job.finished_at is not None else time.time()
+    return max(0.0, finished - job.created_at)
+
+
 def _await_job(app, job: Job, source: str, started: float,
                tenant: str) -> Tuple[int, Dict]:
     """Block for a sync request's job and build the response."""
@@ -90,6 +96,7 @@ def _await_job(app, job: Job, source: str, started: float,
             "poll": f"/v1/jobs/{job.job_id}",
         }
     app.metrics.record_served(tenant, source, time.perf_counter() - started)
+    job.served_recorded = True
     body = _envelope(job, source)
     if job.error is not None:
         return 400, body
@@ -108,13 +115,13 @@ def handle_solve(app, request: Request) -> Tuple[int, Dict]:
         if job.done.is_set():  # store-served: the result is already there
             app.metrics.record_served(request.tenant, source,
                                       time.perf_counter() - started)
+            job.served_recorded = True
         return 202, body
     return _await_job(app, job, source, started, request.tenant)
 
 
 def handle_solve_batch(app, request: Request) -> Tuple[int, Dict]:
     """A list of solves sharing one priority (default: batch backfill)."""
-    started = time.perf_counter()
     payload = request.json_object()
     entries = payload.get("requests")
     if not isinstance(entries, list) or not entries:
@@ -164,8 +171,10 @@ def handle_solve_batch(app, request: Request) -> Tuple[int, Dict]:
                 "poll": f"/v1/jobs/{job.job_id}",
             }
             continue
-        app.metrics.record_served(request.tenant, source,
-                                  time.perf_counter() - started)
+        # Per-item latency from the item's own job, not the shared batch
+        # start — the shared clock would inflate every later item.
+        app.metrics.record_served(request.tenant, source, _job_latency(job))
+        job.served_recorded = True
         items[index] = _envelope(job, source)
     return (504 if any_timeout else 200), {"items": items}
 

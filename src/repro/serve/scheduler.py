@@ -146,6 +146,9 @@ class Job:
     finished_at: Optional[float] = None
     #: Submissions answered by this job (1 = no coalescing happened).
     attached: int = 1
+    #: Whether a served/latency metric was recorded for this job on the
+    #: poll path (``GET /v1/jobs``), so repeat polls don't double-count.
+    served_recorded: bool = False
     done: threading.Event = field(default_factory=threading.Event)
 
     @property
@@ -291,6 +294,12 @@ class FairScheduler:
                 existing.attached += 1
                 self._coalesced += 1
                 self._submitted += 1
+                if job.priority < existing.priority:
+                    # A more urgent twin arrived: re-file the queued job
+                    # under the urgent class, else a drift re-solve would
+                    # wait at batch priority — inversion for exactly the
+                    # requests the classes exist to expedite.
+                    self._promote_locked(existing, job.priority)
                 return existing, True
             if self._queued >= self.max_queue:
                 self._rejected += 1
@@ -309,6 +318,42 @@ class FairScheduler:
             self._inflight[job.key] = job
             self._cond.notify()
             return job, False
+
+    def _promote_locked(self, job: Job, priority: int) -> None:
+        """Move a still-queued job into a more urgent priority class.
+
+        A no-op when the job has already been dequeued (running jobs
+        cannot be expedited).  Caller holds the lock.
+        """
+        tenants = self._queues[job.priority]
+        queue = tenants.get(job.tenant)
+        if queue is None:
+            return
+        for position, entry in enumerate(queue):
+            if entry is job:
+                del queue[position]
+                break
+        else:
+            return
+        if not queue:
+            # Replicate _pick_locked's drained-tenant cleanup.
+            del tenants[job.tenant]
+            rotation = self._rotations[job.priority]
+            index = rotation.index(job.tenant)
+            rotation.pop(index)
+            slot = (job.priority, job.tenant)
+            self._deficits.pop(slot, None)
+            if self._parked.get(job.priority) == slot:
+                self._parked[job.priority] = None
+            if self._cursors[job.priority] > index:
+                self._cursors[job.priority] -= 1
+        job.priority = priority
+        target = self._queues[priority]
+        queue = target.get(job.tenant)
+        if queue is None:
+            queue = target[job.tenant] = deque()
+            self._rotations[priority].append(job.tenant)
+        queue.append(job)
 
     # ------------------------------------------------------------------ #
     # Consumer side (worker pool)

@@ -12,14 +12,16 @@ server pick up where it left off.
 
 from __future__ import annotations
 
+import sys
 import threading
 import time
+import traceback
 from typing import List, Optional
 
 from ..api.session import AdvisorSession
 from ..core.errors import StoreError
 from .metrics import ServiceMetrics
-from .scheduler import FairScheduler, Job
+from .scheduler import FairScheduler, Job, JobTable
 
 #: How long an idle worker blocks per wait; short enough that a drain
 #: request is noticed promptly even without a wakeup.
@@ -35,15 +37,20 @@ class WorkerPool:
             cache (when store-backed) also receives every solved result.
         metrics: service counters (solver invocations, errors).
         workers: number of worker threads.
+        jobs: the job table finished jobs are retired into, moving them
+            from the always-retained active set to the bounded LRU so a
+            long-lived server's memory stays bounded.
     """
 
     def __init__(self, scheduler: FairScheduler, session: AdvisorSession,
-                 metrics: ServiceMetrics, workers: int = 2):
+                 metrics: ServiceMetrics, workers: int = 2,
+                 jobs: Optional[JobTable] = None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.scheduler = scheduler
         self.session = session
         self.metrics = metrics
+        self.jobs = jobs
         self.num_workers = workers
         self._threads: List[threading.Thread] = []
         self._started = False
@@ -66,7 +73,13 @@ class WorkerPool:
                 if self.scheduler.closed:
                     return
                 continue
-            self.execute(job)
+            try:
+                self.execute(job)
+            except Exception:  # noqa: BLE001 - the pool must not shrink
+                # The job already finished with the error (waiters woke);
+                # swallowing here keeps the worker alive so one bad
+                # request cannot permanently shrink the pool.
+                traceback.print_exc(file=sys.stderr)
 
     def execute(self, job: Job) -> None:
         """Run one job to completion and publish its outcome.
@@ -89,6 +102,8 @@ class WorkerPool:
             raise
         finally:
             self.scheduler.complete(job)
+            if self.jobs is not None:
+                self.jobs.retire(job)
 
     def _persist(self, job: Job, response) -> None:
         """Best-effort write of the solved result into the result cache.
@@ -106,6 +121,10 @@ class WorkerPool:
             cache.put(job.fingerprint, job.cache_tag, response.result)
         except (StoreError, OSError):
             pass
+
+    def alive(self) -> bool:
+        """Whether any worker thread is still running."""
+        return any(thread.is_alive() for thread in self._threads)
 
     def join(self, timeout: Optional[float] = None) -> bool:
         """Wait for every worker to exit (after the scheduler closed).

@@ -200,6 +200,57 @@ class TestCoalescing:
         job, coalesced = scheduler.submit(third)
         assert not coalesced and job is third
 
+    def test_urgent_twin_promotes_queued_job(self):
+        # A drift-priority twin of a queued batch job must not wait at
+        # batch priority: the queued job is re-filed under drift.
+        scheduler = FairScheduler()
+        blocker = make_job(scheduler, priority=PRIORITY_BATCH, seed=1)
+        target = make_job(scheduler, priority=PRIORITY_BATCH, seed=2)
+        scheduler.submit(blocker)
+        scheduler.submit(target)
+        twin = make_job(scheduler, priority=PRIORITY_DRIFT, seed=2)
+        job, coalesced = scheduler.submit(twin)
+        assert coalesced and job is target
+        assert target.priority == PRIORITY_DRIFT
+        # The promoted job jumps the earlier batch submission.
+        assert scheduler.next_job(timeout=0) is target
+        assert scheduler.next_job(timeout=0) is blocker
+
+    def test_less_urgent_twin_does_not_demote(self):
+        scheduler = FairScheduler()
+        target = make_job(scheduler, priority=PRIORITY_INTERACTIVE, seed=2)
+        scheduler.submit(target)
+        twin = make_job(scheduler, priority=PRIORITY_BATCH, seed=2)
+        job, coalesced = scheduler.submit(twin)
+        assert coalesced and job is target
+        assert target.priority == PRIORITY_INTERACTIVE
+
+    def test_urgent_twin_of_running_job_is_a_noop(self):
+        scheduler = FairScheduler()
+        target = make_job(scheduler, priority=PRIORITY_BATCH, seed=2)
+        scheduler.submit(target)
+        assert scheduler.next_job(timeout=0) is target
+        twin = make_job(scheduler, priority=PRIORITY_DRIFT, seed=2)
+        job, coalesced = scheduler.submit(twin)
+        assert coalesced and job is target
+        # Already dequeued: execution cannot be expedited.
+        assert target.priority == PRIORITY_BATCH
+
+    def test_promotion_cleans_up_drained_priority_class(self):
+        scheduler = FairScheduler()
+        target = make_job(scheduler, priority=PRIORITY_BATCH, seed=2)
+        scheduler.submit(target)
+        scheduler.submit(make_job(scheduler, priority=PRIORITY_DRIFT,
+                                  seed=2))
+        assert target.priority == PRIORITY_DRIFT
+        # The batch class's tenant bookkeeping was cleaned: later batch
+        # submissions still schedule normally.
+        later = make_job(scheduler, priority=PRIORITY_BATCH, seed=3)
+        scheduler.submit(later)
+        assert scheduler.next_job(timeout=0) is target
+        assert scheduler.next_job(timeout=0) is later
+        assert scheduler.next_job(timeout=0) is None
+
     def test_coalesced_waiters_all_wake(self):
         scheduler = FairScheduler()
         primary = make_job(scheduler, seed=5)

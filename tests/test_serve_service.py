@@ -106,6 +106,76 @@ class TestSubmitPath:
         assert job.wait(30.0)
         assert app.store.stats.writes == 1
 
+    def test_finished_jobs_are_retired_into_the_bounded_table(self,
+                                                              tmp_path):
+        # Worker-path jobs must leave the always-retained active set once
+        # finished, or a long-lived server leaks one Job per request.
+        app = create_app(store=tmp_path / "serve.db",
+                         config=quick_config(max_finished_jobs=1))
+        try:
+            jobs = []
+            for seed in (0, 1):
+                job, _ = app.submit_solve(make_request(seed), "public",
+                                          PRIORITY_INTERACTIVE)
+                assert job.wait(30.0)
+                jobs.append(job)
+            # Retirement happens just after the waiters wake; poll briefly.
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline and len(app.jobs) > 1:
+                time.sleep(0.01)
+            assert len(app.jobs) == 1
+            assert app.jobs.get(jobs[0].job_id) is None  # LRU-evicted
+            assert app.jobs.get(jobs[1].job_id) is jobs[1]
+        finally:
+            app.close(timeout=5.0)
+
+    def test_worker_survives_unexpected_exception(self, tmp_path):
+        app = create_app(store=tmp_path / "serve.db", config=quick_config())
+        try:
+            original = app.session.solve_many
+
+            def boom(requests):
+                raise RuntimeError("boom")
+
+            app.session.solve_many = boom
+            job, _ = app.submit_solve(make_request(seed=0), "public",
+                                      PRIORITY_INTERACTIVE)
+            assert job.wait(30.0)
+            assert job.status == "error" and "boom" in job.error
+            # The (single) worker survived and serves the next job.
+            app.session.solve_many = original
+            job, _ = app.submit_solve(make_request(seed=1), "public",
+                                      PRIORITY_INTERACTIVE)
+            assert job.wait(30.0)
+            assert job.error is None
+        finally:
+            app.close(timeout=5.0)
+
+    def test_dirty_drain_leaves_store_open_for_stragglers(self, tmp_path):
+        app = create_app(store=tmp_path / "serve.db",
+                         config=quick_config(drain_timeout_s=0.05))
+        release = threading.Event()
+        original = app.session.solve_many
+
+        def slow(requests):
+            release.wait(10.0)
+            return original(requests)
+
+        app.session.solve_many = slow
+        job, _ = app.submit_solve(make_request(), "public",
+                                  PRIORITY_INTERACTIVE)
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline and job.status != "running":
+            time.sleep(0.01)
+        assert job.status == "running"
+        app.close(timeout=0.05)  # dirty: the worker is mid-solve
+        # The store connection survived for the straggler's write-back.
+        release.set()
+        assert job.wait(30.0)
+        assert job.error is None
+        assert app.store.stats.writes == 1
+        app.close(timeout=5.0)  # now clean: the store actually closes
+
     def test_without_store_every_distinct_request_solves(self):
         app = create_app(config=quick_config())
         try:
@@ -156,6 +226,51 @@ class TestAppDispatch:
             time.sleep(0.05)
         assert payload["status"] == "done"
         assert payload["response"]["result"]["cost"] > 0
+
+    def test_polled_async_job_records_served_once(self, app):
+        status, payload = app.handle(
+            "POST", "/v1/solve",
+            body=json.dumps(solve_body(mode="async")).encode())
+        assert status == 202
+        poll = payload["poll"]
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            status, payload = app.handle("GET", poll)
+            if payload["status"] == "done":
+                break
+            time.sleep(0.05)
+        assert payload["status"] == "done"
+        snapshot = app.metrics.to_dict()
+        assert snapshot["served_by_source"] == {"solver": 1}
+        assert snapshot["latency"]["count"] == 1
+        app.handle("GET", poll)  # a repeat poll must not double-count
+        assert app.metrics.to_dict()["latency"]["count"] == 1
+
+    def test_batch_latency_is_per_item_not_batch_wide(self, app):
+        # Pre-solve seed=0 so the batch's second item is store-served.
+        app.handle("POST", "/v1/solve",
+                   body=json.dumps(solve_body(seed=0)).encode())
+        recorded = []
+        original = app.metrics.record_served
+
+        def capture(tenant, source, latency_s):
+            recorded.append((source, latency_s))
+            original(tenant, source, latency_s)
+
+        app.metrics.record_served = capture
+        body = {"requests": [
+            solve_body(seed=1,
+                       budget=SearchBudget(max_iterations=20000).to_dict()),
+            solve_body(seed=0),
+        ]}
+        status, _ = app.handle("POST", "/v1/solve-batch",
+                               body=json.dumps(body).encode())
+        assert status == 200
+        by_source = dict(recorded)
+        # The store-served item reports its own (instant) latency; the
+        # old shared batch clock would have charged it the first item's
+        # whole solve time as well.
+        assert by_source["store"] < by_source["solver"]
 
     def test_batch_solve(self, app):
         body = {
