@@ -13,6 +13,11 @@ over-allocated instance pools).  It compares, on an n = 100 problem:
   per move;
 * chunked multi-core batch evaluation through ``ParallelEvaluator`` versus
   the serial ``evaluate_batch`` (skipped, not failed, on single-CPU hosts);
+* shared-memory process-pool batch evaluation through
+  ``ProcessPoolEvaluator`` versus the thread chunking (skipped on
+  single-CPU hosts and where fork / POSIX shared memory is unavailable);
+* a mostly-rejected longest-path peek walk through the window-local
+  ``swap_cost`` versus the pre-rewrite full-suffix re-relaxation peek;
 * the CP labeling bounds (compatibility domains and per-assignment cost
   lower bounds) computed from ``CompiledProblem`` index arrays versus the
   dict-walking reference implementations;
@@ -64,9 +69,11 @@ from repro.core import (
     Objective,
     ParallelEvaluator,
     PlacementConstraints,
+    ProcessPoolEvaluator,
     available_workers,
     compile_problem,
     deployment_cost,
+    process_pool_unavailable_reason,
 )
 from repro.solvers import SearchBudget, SwapLocalSearch
 from repro.solvers.cp.labeling import (
@@ -263,6 +270,149 @@ def bench_parallel_batch(repeats=3):
         if timed_s < parallel_s:
             parallel_s, best_workers = timed_s, workers
     return serial_s, parallel_s, serial_s / parallel_s, best_workers
+
+
+def bench_process_pool_batch(repeats=3):
+    """(thread_s, procs_s, speedup, workers, skip_reason) for an LP batch.
+
+    The tracked comparison is the thread :class:`ParallelEvaluator` versus
+    the shared-memory :class:`ProcessPoolEvaluator` on the same
+    ``NUM_PLANS`` batch, both sized to the host — the process pool's whole
+    point is beating the thread chunking's single-interpreter ceiling.
+    Returns a skip reason (``None`` timings) on single-CPU hosts and on
+    platforms without fork / POSIX shared memory; the pool is warmed
+    (forked, segments attached) before the timed runs so the ratio tracks
+    the steady state a solver sees, not the one-off fork cost.
+    """
+    available = available_workers()
+    if available < 2:
+        return None, None, None, available, "single-core-host"
+    reason = process_pool_unavailable_reason()
+    if reason is not None:
+        return None, None, None, available, reason
+
+    graph, costs = build_problem(Objective.LONGEST_PATH)
+    problem = compile_problem(graph, costs)
+    assignments = problem.random_assignments(NUM_PLANS, SEED + 10)
+    threaded = ParallelEvaluator(problem, workers=available)
+    pooled = ProcessPoolEvaluator(problem, workers=available)
+    pooled.evaluate_batch(assignments, Objective.LONGEST_PATH)  # warm-up
+
+    thread_s, thread_costs = _best_of(
+        repeats,
+        lambda: threaded.evaluate_batch(assignments, Objective.LONGEST_PATH))
+    procs_s, procs_costs = _best_of(
+        repeats,
+        lambda: pooled.evaluate_batch(assignments, Objective.LONGEST_PATH))
+
+    assert np.array_equal(thread_costs, procs_costs), \
+        "process-pool batch evaluation disagrees with threads"
+    assert pooled.fallback_reason is None and pooled.parallel_calls > 0, \
+        "benchmark batch never reached the worker processes"
+    return thread_s, procs_s, thread_s / procs_s, available, None
+
+
+def bench_peeked_lp():
+    """(full_s, delta_s, speedup) for a mostly-rejected longest-path walk.
+
+    The local-search reality: most peeked moves are rejected, so the peek
+    itself is the hot operation.  The baseline is the peek the
+    ``DeltaEvaluator`` performed before the window-local rewrite — copy
+    the committed ``finish`` list (O(n)), recost the touched edges,
+    re-relax *every* node at levels >= the move's window through
+    ``struct.in_edges``, and take ``max(finish)`` over all nodes (O(n)).
+    The measured path is ``swap_cost`` with the per-level prefix/suffix
+    maxima: overlays instead of copies, a rescan only where a level
+    maximum actually dropped, and a window-local cost combination.  Both
+    walks commit the same occasional move (1 in 25, the accepted ones)
+    and must produce the exact same cost sequence.
+
+    The tracked topology is wide-and-layered (12 layers x 40 nodes): with
+    many nodes per level, a swap's perturbation washes out within a level
+    or two (successors keep their maxima from unmoved predecessors), so
+    the true frontier is tiny while the baseline still re-relaxes every
+    node from the touched level to the sink.  (On deep-and-narrow DAGs
+    the frontier *is* the suffix and the two peeks converge — that regime
+    is tracked by ``incremental_longest_path`` above.)
+    """
+    graph = _layered_dag(num_layers=12, width=40, edge_prob=0.08)
+    n = graph.num_nodes
+    rng = np.random.default_rng(SEED)
+    matrix = rng.uniform(0.2, 1.4, size=(n + 10, n + 10))
+    matrix = (matrix + matrix.T) / 2.0
+    np.fill_diagonal(matrix, 0.0)
+    costs = CostMatrix(list(range(n + 10)), matrix)
+    problem = compile_problem(graph, costs)
+
+    move_rng = np.random.default_rng(0)
+    start = problem.random_assignments(1, move_rng)[0]
+    swaps = [tuple(int(x) for x in move_rng.choice(n, size=2, replace=False))
+             for _ in range(NUM_MOVES)]
+    committed = [k % 25 == 24 for k in range(NUM_MOVES)]
+
+    struct = problem._lp_delta_structure()
+    levels, order = struct.levels, struct.order
+    in_edges, out_edges = struct.in_edges, struct.out_edges
+    item = problem.cost_array.item
+
+    def full_suffix_walk():
+        asg = start.tolist()
+        ec = problem.edge_costs(start).tolist()
+        finish = [0.0] * n
+        for v in order:
+            best = 0.0
+            for u, e in in_edges[v]:
+                cand = finish[u] + ec[e]
+                if cand > best:
+                    best = cand
+            finish[v] = best
+        walk_costs = []
+        for (a, b), commit in zip(swaps, committed):
+            ia, ib = asg[a], asg[b]
+            moves = {a: ib, b: ia}
+            overrides = {}
+            for v, inst in moves.items():
+                for w, e in out_edges[v]:
+                    wi = moves.get(w)
+                    overrides[e] = item(inst, asg[w] if wi is None else wi)
+                for u, e in in_edges[v]:
+                    if u not in moves:
+                        overrides[e] = item(asg[u], inst)
+            lo = min(levels[a], levels[b])
+            finish2 = finish.copy()  # the O(n) copy the old peek paid
+            for v in order:
+                if levels[v] < lo:
+                    continue
+                best = 0.0
+                for u, e in in_edges[v]:
+                    c = overrides.get(e)
+                    cand = finish2[u] + (ec[e] if c is None else c)
+                    if cand > best:
+                        best = cand
+                finish2[v] = best
+            walk_costs.append(max(finish2))  # ... and the O(n) max
+            if commit:
+                asg[a], asg[b] = ib, ia
+                for e, c in overrides.items():
+                    ec[e] = c
+                finish = finish2
+        return walk_costs
+
+    def window_walk():
+        evaluator = problem.delta_evaluator(start, Objective.LONGEST_PATH)
+        walk_costs = []
+        for (a, b), commit in zip(swaps, committed):
+            walk_costs.append(evaluator.swap_cost(a, b))
+            if commit:
+                evaluator.apply_swap(a, b)
+        return walk_costs
+
+    full_s, full_costs = _best_of(3, full_suffix_walk)
+    delta_s, delta_costs = _best_of(3, window_walk)
+
+    assert full_costs == delta_costs, \
+        "window-local peek disagrees with the full-suffix re-relaxation"
+    return graph, full_s, delta_s, full_s / delta_s
 
 
 def bench_cp_bounds(repeats=5):
@@ -611,6 +761,31 @@ def build_report():
             f"serial {serial_s:7.3f} s   parallel {parallel_s:7.3f} s   "
             f"speedup {speedup:7.1f}x"
         )
+
+    thread_s, procs_s, speedup, workers, skip_reason = bench_process_pool_batch()
+    if speedup is None:
+        skipped["process_pool_batch"] = skip_reason
+        lines.append(
+            f"process pool batch longest_path: skipped ({skip_reason}; "
+            f"host exposes {workers} CPU)"
+        )
+    else:
+        metrics["process_pool_batch"] = speedup
+        lines.append(
+            f"process pool batch longest_path ({workers} workers, "
+            f"{NUM_PLANS} plans): "
+            f"threads {thread_s:7.3f} s   procs {procs_s:7.3f} s   "
+            f"speedup {speedup:7.1f}x"
+        )
+
+    peek_graph, full_s, delta_s, speedup = bench_peeked_lp()
+    metrics["peeked_longest_path"] = speedup
+    lines.append(
+        f"peeked longest_path (n={peek_graph.num_nodes}, "
+        f"{peek_graph.num_edges} edges, mostly-rejected swaps): "
+        f"full-suffix {full_s:7.3f} s   window {delta_s:7.3f} s   "
+        f"speedup {speedup:7.1f}x"
+    )
 
     domains_ref, domains_vec, lb_ref, lb_vec = bench_cp_bounds()
     metrics["cp_compatibility_domains"] = domains_ref / domains_vec

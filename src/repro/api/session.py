@@ -53,6 +53,7 @@ from ..core.evaluation import (
     peek_compiled,
     resolve_workers,
 )
+from ..core.parallel import ParallelStats, parallel_stats
 from ..core.deployment import DeploymentPlan
 from ..core.problem import DeploymentProblem
 from ..netmeasure.stream import CostRevision, relative_link_drift
@@ -100,6 +101,10 @@ class SessionStats:
     #: Process-wide compiled-engine LRU counters (shared by every session
     #: in this process; see :func:`repro.core.compile_cache_stats`).
     engine_cache: CompileCacheStats = field(default_factory=CompileCacheStats)
+    #: Process-wide parallel-evaluation counters — thread and worker-process
+    #: batch calls, pool sizes, shared-memory attach/refresh tallies (see
+    #: :func:`repro.core.parallel_stats`).
+    parallel: ParallelStats = field(default_factory=ParallelStats)
 
     @property
     def hit_rate(self) -> float:
@@ -125,6 +130,7 @@ class SessionStats:
             "watch_resolves": self.watch_resolves,
             "result_cache_hits": self.result_cache_hits,
             "engine_cache": self.engine_cache.to_dict(),
+            "parallel": self.parallel.to_dict(),
         }
 
 
@@ -154,8 +160,9 @@ class AdvisorSession:
             where they left off.  A store-backed cache additionally
             persists watch history and solve telemetry.
         eval_workers: session-wide default for the evaluation-parallelism
-            knob of :class:`~repro.solvers.base.SearchBudget` (``"auto"``
-            or a positive int).  Applied to every request whose budget does
+            knob of :class:`~repro.solvers.base.SearchBudget` (``"auto"``,
+            a positive int, or ``"procs[:N]"`` for the shared-memory
+            worker-process pool).  Applied to every request whose budget does
             not set ``workers`` itself (including requests without a
             budget); a request budget with an explicit ``workers`` wins.
             Batch scoring stays bit-identical at any setting, so this only
@@ -223,6 +230,7 @@ class AdvisorSession:
                 watch_resolves=self._watch_resolves,
                 result_cache_hits=self._result_cache_hits,
                 engine_cache=compile_cache_stats(),
+                parallel=parallel_stats(),
             )
 
     def prepare(self, problem: DeploymentProblem

@@ -44,6 +44,7 @@ from .core import (
     DeploymentProblem,
     LatencyMetric,
     Objective,
+    workers_spec,
 )
 from .core.advisor import AdvisorConfig, ClouDiA, MeasurementConfig
 from .core.errors import ClouDiAError
@@ -262,17 +263,24 @@ def _budget_from_flag(time_limit: float) -> Optional[SearchBudget]:
 
 
 def _eval_workers_flag(value: Optional[str]) -> Optional[Union[int, str]]:
-    """``--eval-workers`` semantics: ``auto``, a positive int, or unset."""
+    """``--eval-workers`` semantics: ``auto``, a positive int, a
+    ``procs[:N]`` process-pool spec, or unset."""
     if value is None:
         return None
     if value == "auto":
         return "auto"
+    if value.startswith("procs"):
+        try:
+            workers_spec(value)  # validate the spec eagerly
+        except ValueError as exc:
+            raise ClouDiAError(str(exc)) from None
+        return value
     try:
         return int(value)
     except ValueError:
         raise ClouDiAError(
-            f"--eval-workers must be 'auto' or a positive integer, "
-            f"got {value!r}"
+            f"--eval-workers must be 'auto', 'procs[:N]' or a positive "
+            f"integer, got {value!r}"
         ) from None
 
 
@@ -451,7 +459,10 @@ def command_watch(args: argparse.Namespace) -> int:
         result_cache = SQLiteResultCache(args.store)
     else:
         result_cache = args.cache_dir
-    session = AdvisorSession(result_cache=result_cache)
+    session = AdvisorSession(
+        result_cache=result_cache,
+        eval_workers=_eval_workers_flag(args.eval_workers),
+    )
     report = session.watch(problem, matrices, policy)
 
     rows = []
@@ -704,9 +715,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="extra solver config as a JSON object")
     solve.add_argument("--eval-workers", default=None,
                        help="evaluation parallelism for batch-scoring "
-                            "solvers: 'auto' or a positive integer "
-                            "(default: serial; results are bit-identical "
-                            "either way)")
+                            "solvers: 'auto', a positive integer, or "
+                            "'procs[:N]' for shared-memory worker "
+                            "processes (default: serial; results are "
+                            "bit-identical either way)")
     solve.add_argument("--out", default=None,
                        help="path of the response JSON to write")
     solve.set_defaults(handler=command_solve)
@@ -734,8 +746,9 @@ def build_parser() -> argparse.ArgumentParser:
                                   "reproducible)")
     solve_batch.add_argument("--eval-workers", default=None,
                              help="evaluation parallelism for batch-scoring "
-                                  "solvers: 'auto' or a positive integer "
-                                  "(default: serial; results are "
+                                  "solvers: 'auto', a positive integer, or "
+                                  "'procs[:N]' for shared-memory worker "
+                                  "processes (default: serial; results are "
                                   "bit-identical either way)")
     solve_batch.add_argument("--out", default=None,
                              help="path of the responses JSON to write")
@@ -792,6 +805,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "store (WAL mode, shared across processes; "
                             "also records the re-deployment history; "
                             "alternative to --cache-dir)")
+    watch.add_argument("--eval-workers", default=None,
+                       help="evaluation parallelism for the watch "
+                            "session's (re-)solves: 'auto', a positive "
+                            "integer, or 'procs[:N]' for worker processes "
+                            "(default: serial; results are bit-identical "
+                            "either way)")
     watch.add_argument("--out", default=None,
                        help="path of the re-deployment log JSON to write")
     watch.set_defaults(handler=command_watch)
@@ -831,7 +850,8 @@ def build_parser() -> argparse.ArgumentParser:
                             "(repeatable; default weight is 1)")
     serve.add_argument("--eval-workers", default=None,
                        help="evaluation parallelism forwarded to the "
-                            "advisor session ('auto' or a positive int)")
+                            "advisor session ('auto', a positive int, or "
+                            "'procs[:N]' for worker processes)")
     serve.add_argument("--verbose", action="store_true",
                        help="log each HTTP request to stderr")
     serve.set_defaults(handler=command_serve)

@@ -115,7 +115,8 @@ class _LpDeltaStructure:
     Depends only on the graph, so it survives :meth:`CompiledProblem.refresh_costs`.
     """
 
-    __slots__ = ("levels", "order", "in_edges", "out_edges")
+    __slots__ = ("levels", "order", "in_edges", "out_edges", "level_nodes",
+                 "num_levels")
 
     def __init__(self, levels: List[int], order: List[int],
                  in_edges: List[List[Tuple[int, int]]],
@@ -124,6 +125,15 @@ class _LpDeltaStructure:
         self.order = order
         self.in_edges = in_edges
         self.out_edges = out_edges
+        # Nodes bucketed by level, for the window-local peek's per-level
+        # maxima (a level is rescanned only when its committed maximum
+        # decreases).  Levels are contiguous 0..num_levels-1 by
+        # construction: a node at level L has a predecessor at L-1.
+        self.num_levels = (max(levels) + 1) if levels else 0
+        level_nodes: List[List[int]] = [[] for _ in range(self.num_levels)]
+        for v in order:
+            level_nodes[levels[v]].append(v)
+        self.level_nodes = level_nodes
 
 
 class CompiledProblem:
@@ -983,6 +993,11 @@ class DeltaEvaluator:
         realising it (``argmax``, -1 for sources).  Edge costs live in a
         plain Python list: the sparse deltas touch a handful of entries
         per move, where list indexing beats array access hands down.
+
+        Also derives the window-local peek state: per-level finish maxima
+        plus lazily extended prefix/suffix maxima over levels, so a peek's
+        cost is ``max(prefix, changed window, suffix)`` instead of an O(n)
+        ``max(finish)`` over fresh O(n) list copies.
         """
         problem = self.problem
         struct = problem._lp_delta_structure()
@@ -1008,7 +1023,77 @@ class DeltaEvaluator:
             argmax[v] = arg
         self._lp_finish = finish
         self._lp_argmax = argmax
+        num_levels = struct.num_levels
+        level_max = [float("-inf")] * num_levels
+        levels = struct.levels
+        for v in range(problem.num_nodes):
+            fv = finish[v]
+            lv = levels[v]
+            if fv > level_max[lv]:
+                level_max[lv] = fv
+        self._lp_level_max = level_max
+        # Lazy running maxima over levels.  prefix[i] = max(level_max[:i+1])
+        # is valid for i < _lp_prefix_len; suffix[i] = max(level_max[i:]) is
+        # valid for i >= _lp_suffix_start.  Commits invalidate in O(1) by
+        # clamping the validity bounds to the committed window; peeks extend
+        # them on demand, so the amortised cost tracks how far the window
+        # actually moves between commits.
+        self._lp_prefix = [float("-inf")] * num_levels
+        self._lp_prefix_len = 0
+        self._lp_suffix = [float("-inf")] * num_levels
+        self._lp_suffix_start = num_levels
+        # Version-stamped candidate scratch: ``_cand_finish[v]`` /
+        # ``_cand_argmax[v]`` hold a peeked value iff ``_cand_stamp[v]``
+        # equals the current ``_cand_version`` (bumped per peek, an O(1)
+        # reset).  Plain lists instead of per-peek dicts: the sparse
+        # re-relaxation is all point reads/writes, where list indexing
+        # beats dict hashing — and nothing is allocated per peek.
+        n = problem.num_nodes
+        self._cand_finish = [0.0] * n
+        self._cand_argmax = [-1] * n
+        self._cand_stamp = [0] * n
+        self._cand_recompute = [0] * n
+        self._cand_sched = [0] * n
+        self._cand_buckets = [[] for _ in range(num_levels)]
+        self._cand_version = 0
         self._cost = max(finish) if finish else 0.0
+
+    def _lp_prefix_upto(self, idx: int) -> float:
+        """Max committed level maximum over levels ``0..idx`` (-inf if idx < 0)."""
+        if idx < 0:
+            return float("-inf")
+        prefix = self._lp_prefix
+        k = self._lp_prefix_len
+        if k <= idx:
+            level_max = self._lp_level_max
+            run = prefix[k - 1] if k else float("-inf")
+            while k <= idx:
+                val = level_max[k]
+                if val > run:
+                    run = val
+                prefix[k] = run
+                k += 1
+            self._lp_prefix_len = k
+        return prefix[idx]
+
+    def _lp_suffix_from(self, idx: int) -> float:
+        """Max committed level maximum over levels ``idx..`` (-inf past the end)."""
+        num_levels = self._lp_struct.num_levels
+        if idx >= num_levels:
+            return float("-inf")
+        suffix = self._lp_suffix
+        s = self._lp_suffix_start
+        if s > idx:
+            level_max = self._lp_level_max
+            run = suffix[s] if s < num_levels else float("-inf")
+            while s > idx:
+                s -= 1
+                val = level_max[s]
+                if val > run:
+                    run = val
+                suffix[s] = run
+            self._lp_suffix_start = s
+        return suffix[idx]
 
     def reprime(self, assignment: Optional[np.ndarray] = None) -> float:
         """Re-derive cached costs after a :meth:`CompiledProblem.refresh_costs`.
@@ -1117,9 +1202,18 @@ class DeltaEvaluator:
         Recosts the incident edges in place (restored before returning),
         then re-relaxes only the affected frontier in level order — see the
         class docstring for the argmax-test / recompute / washout rules.
-        Returns ``(cost, (finish, argmax, edge updates))``; the payload is
-        exactly what :meth:`_commit` installs, so committing a peeked move
-        costs O(touched edges).
+        The re-relaxation writes version-stamped scratch arrays overlaying
+        the committed ``finish`` / ``argmax`` lists instead of copying
+        them (a node reads as peeked iff its stamp matches the current
+        peek version, so resetting the overlay is a counter bump), and
+        the cost combines per-level maxima window-locally —
+        ``max(prefix(lo-1), changed levels, suffix(hi+1))`` — so a peek
+        is O(frontier + window), not O(n).  Returns ``(cost,
+        (touched nodes, edge updates, level-max overlay))``; the payload
+        is exactly what :meth:`_commit` installs (reading the scratch
+        arrays directly — valid because a commit always consumes its own
+        immediately-preceding peek via the ``_last_peek`` memo), so
+        committing a peeked move costs O(touched).
         """
         struct = self._lp_struct
         asg = self._asg
@@ -1132,12 +1226,22 @@ class DeltaEvaluator:
         out_edges = struct.out_edges
         levels = struct.levels
 
+        # The candidate overlay for this peek: bumping the version
+        # invalidates every stamp from prior peeks in O(1).
+        self._cand_version += 1
+        version = self._cand_version
+        cand_finish = self._cand_finish
+        cand_argmax = self._cand_argmax
+        stamp = self._cand_stamp
+        resc = self._cand_recompute
+        sched = self._cand_sched
+        touched_nodes: List[int] = []
+
         # Phase 1 — recost every edge incident to a moved node, in place
         # (restored before returning).  Each touched edge is visited
         # exactly once: an edge between two moved nodes is handled by the
         # source's out-edge pass and skipped by the in-edge pass.
         touched: List[Tuple[int, float, float]] = []  # (edge, old, new)
-        recompute = set(moves)
         pending: Dict[int, List[Tuple[int, int]]] = {}
         for v, inst in moves.items():
             row = rows[inst] if rows is not None else None
@@ -1148,7 +1252,7 @@ class DeltaEvaluator:
                 c = row[wi] if row is not None else item(inst, wi)
                 touched.append((e, ec[e], c))
                 ec[e] = c
-                if w not in recompute:
+                if w not in moves:
                     tests = pending.get(w)
                     if tests is None:
                         pending[w] = [(v, e)]
@@ -1164,84 +1268,181 @@ class DeltaEvaluator:
 
         # Phase 2 — sparse re-relaxation over the affected frontier, in
         # level order so every node sees final predecessor values.  The
-        # O(n) list copies are the fixed cost of the peek; everything else
-        # is proportional to the frontier actually reached.
-        finish2 = finish[:]
-        argmax2 = argmax[:]
-        buckets: Dict[int, List[int]] = {}
-        scheduled = set(recompute)
-        for v in recompute:
-            bucket = buckets.get(levels[v])
-            if bucket is None:
-                buckets[levels[v]] = [v]
-            else:
-                bucket.append(v)
+        # candidate state lives in the stamped scratch arrays (a node
+        # whose stamp misses the version reads as ``finish[v]``), so the
+        # peek touches O(frontier) entries and allocates nothing per
+        # node.  Levels are contiguous ints, so the level-ordered agenda
+        # is a cursor over persistent per-level buckets (cleared after
+        # processing) rather than a dict keyed priority queue; edges go
+        # to strictly higher levels, so the cursor never backtracks.
+        level_buckets = self._cand_buckets
+        first_lv = struct.num_levels
+        last_lv = -1
+        for v in moves:
+            resc[v] = version
+            sched[v] = version
+            lv = levels[v]
+            level_buckets[lv].append(v)
+            if lv < first_lv:
+                first_lv = lv
+            if lv > last_lv:
+                last_lv = lv
         for v in pending:
-            if v not in scheduled:
-                scheduled.add(v)
-                bucket = buckets.get(levels[v])
-                if bucket is None:
-                    buckets[levels[v]] = [v]
-                else:
-                    bucket.append(v)
-        while buckets:
-            for v in buckets.pop(min(buckets)):
-                if v in recompute:
+            if sched[v] != version:
+                sched[v] = version
+                lv = levels[v]
+                level_buckets[lv].append(v)
+                if lv < first_lv:
+                    first_lv = lv
+                if lv > last_lv:
+                    last_lv = lv
+        lv = first_lv
+        while lv <= last_lv:
+            bucket = level_buckets[lv]
+            lv += 1
+            if not bucket:
+                continue
+            for v in bucket:
+                if resc[v] == version:
                     best = 0.0
                     arg = -1
                     for u, e in in_edges[v]:
-                        cand = finish2[u] + ec[e]
+                        fu = cand_finish[u] if stamp[u] == version else finish[u]
+                        cand = fu + ec[e]
                         if cand > best:
                             best = cand
                             arg = e
-                    finish2[v] = best
-                    argmax2[v] = arg
+                    if stamp[v] != version:
+                        stamp[v] = version
+                        touched_nodes.append(v)
+                    cand_finish[v] = best
+                    cand_argmax[v] = arg
                 else:
-                    cur = finish2[v]
+                    cur = cand_finish[v] if stamp[v] == version else finish[v]
                     for u, e in pending.get(v, ()):
-                        cand = finish2[u] + ec[e]
+                        fu = cand_finish[u] if stamp[u] == version else finish[u]
+                        cand = fu + ec[e]
                         if cand > cur:
                             cur = cand
-                            finish2[v] = cand
-                            argmax2[v] = e
-                        elif argmax2[v] == e and cand < cur:
+                            if stamp[v] != version:
+                                stamp[v] = version
+                                touched_nodes.append(v)
+                            cand_finish[v] = cand
+                            cand_argmax[v] = e
+                        elif cand < cur and (
+                            cand_argmax[v] if stamp[v] == version else argmax[v]
+                        ) == e:
                             # The edge realising v's cached maximum got
                             # cheaper; nothing else is cached, so fall
                             # back to a full recompute of this node.
                             best = 0.0
                             arg = -1
                             for u2, e2 in in_edges[v]:
-                                cand2 = finish2[u2] + ec[e2]
+                                fu2 = (cand_finish[u2]
+                                       if stamp[u2] == version else finish[u2])
+                                cand2 = fu2 + ec[e2]
                                 if cand2 > best:
                                     best = cand2
                                     arg = e2
                             cur = best
-                            finish2[v] = best
-                            argmax2[v] = arg
-                fv = finish2[v]
+                            if stamp[v] != version:
+                                stamp[v] = version
+                                touched_nodes.append(v)
+                            cand_finish[v] = best
+                            cand_argmax[v] = arg
+                fv = cand_finish[v] if stamp[v] == version else finish[v]
                 if fv != finish[v]:
                     for w, e in out_edges[v]:
                         cand = fv + ec[e]
-                        fw = finish2[w]
+                        fw = cand_finish[w] if stamp[w] == version else finish[w]
                         if cand > fw:
-                            finish2[w] = cand
-                            argmax2[w] = e
-                        elif argmax2[w] == e and cand < fw:
-                            recompute.add(w)
+                            if stamp[w] != version:
+                                stamp[w] = version
+                                touched_nodes.append(w)
+                            cand_finish[w] = cand
+                            cand_argmax[w] = e
+                        elif cand < fw and (
+                            cand_argmax[w] if stamp[w] == version else argmax[w]
+                        ) == e:
+                            resc[w] = version
                         else:
                             continue
-                        if w not in scheduled:
-                            scheduled.add(w)
-                            bucket = buckets.get(levels[w])
-                            if bucket is None:
-                                buckets[levels[w]] = [w]
-                            else:
-                                bucket.append(w)
+                        if sched[w] != version:
+                            sched[w] = version
+                            wl = levels[w]
+                            level_buckets[wl].append(w)
+                            if wl > last_lv:
+                                last_lv = wl
+            bucket.clear()
 
+        # Phase 3 — window-local cost from per-level maxima.  Only levels
+        # holding a genuinely changed node matter: a level whose maximum
+        # may have *decreased* (a changed node sat at the committed
+        # maximum and dropped) is rescanned through the overlay; any other
+        # changed level's new maximum is max(committed max, changed
+        # values).  Everything outside the [lo, hi] window is covered by
+        # the lazily extended prefix/suffix maxima.
+        level_max = self._lp_level_max
+        changed_max: Dict[int, float] = {}
+        rescan: set = set()
+        for v in touched_nodes:
+            val = cand_finish[v]
+            old = finish[v]
+            if val == old:
+                continue
+            lv = levels[v]
+            cur = changed_max.get(lv)
+            if cur is None or val > cur:
+                changed_max[lv] = val
+            if val < old and old == level_max[lv]:
+                rescan.add(lv)
         for e, old, _ in touched:
             ec[e] = old
-        cost = max(finish2) if finish2 else 0.0
-        return cost, (finish2, argmax2, touched)
+        new_level_max: Dict[int, float] = {}
+        if not changed_max:
+            cost = self._cost
+        else:
+            level_nodes = struct.level_nodes
+            for lv in rescan:
+                best = float("-inf")
+                for v in level_nodes[lv]:
+                    fv = cand_finish[v] if stamp[v] == version else finish[v]
+                    if fv > best:
+                        best = fv
+                new_level_max[lv] = best
+            for lv, mx in changed_max.items():
+                if lv in rescan:
+                    continue
+                cur = level_max[lv]
+                new_level_max[lv] = mx if mx > cur else cur
+            lo = min(new_level_max)
+            hi = max(new_level_max)
+            cost = self._lp_prefix_upto(lo - 1)
+            tail = self._lp_suffix_from(hi + 1)
+            if tail > cost:
+                cost = tail
+            window_mx = max(new_level_max.values())
+            slice_mx = max(level_max[lo:hi + 1])
+            if slice_mx <= window_mx or not rescan:
+                # Fast path: the stale committed slice maximum is either
+                # dominated by a changed level's new value or realised by
+                # a level whose maximum cannot have dropped (no rescan),
+                # so max(changed values, committed slice) is exact — two
+                # C-level max calls instead of a per-level Python loop.
+                if window_mx > cost:
+                    cost = window_mx
+                if slice_mx > cost:
+                    cost = slice_mx
+            else:
+                for lv in range(lo, hi + 1):
+                    val = new_level_max.get(lv)
+                    if val is None:
+                        val = level_max[lv]
+                    if val > cost:
+                        cost = val
+            if cost == float("-inf"):  # pragma: no cover - defensive
+                cost = 0.0
+        return cost, (touched_nodes, touched, new_level_max)
 
     def _candidate_cost(self, moves: Dict[int, int]) -> Tuple[float, tuple]:
         """Cost of applying ``moves`` plus the payload a commit would install.
@@ -1317,17 +1518,39 @@ class DeltaEvaluator:
             if touched.size:
                 self._edge_costs[touched] = new_costs
         else:
-            # O(touched) commit: install the peeked relaxation state and
-            # replay the touched edge costs; nothing is re-relaxed.
-            finish2, argmax2, touched_edges = payload
-            self._lp_finish = finish2
-            self._lp_argmax = argmax2
+            # O(touched) commit: write the peeked scratch entries into
+            # the committed relaxation state and replay the touched edge
+            # costs; nothing is re-relaxed.  The scratch arrays still
+            # hold this peek's values: the `_last_peek` memo guarantees
+            # the payload came from the most recent peek, and only a
+            # peek bumps the version.
+            touched_nodes, touched_edges, new_level_max = payload
+            finish = self._lp_finish
+            argmax = self._lp_argmax
+            cand_finish = self._cand_finish
+            cand_argmax = self._cand_argmax
+            for v in touched_nodes:
+                finish[v] = cand_finish[v]
+                argmax[v] = cand_argmax[v]
             ec = self._lp_ec
             for e, _, c in touched_edges:
                 ec[e] = c
             asg = self._asg
             for node, instance in moves.items():
                 asg[node] = instance
+            if new_level_max:
+                level_max = self._lp_level_max
+                for lv, val in new_level_max.items():
+                    level_max[lv] = val
+                # O(1) invalidation of the lazy running maxima: prefixes
+                # up to the window's low edge and suffixes past its high
+                # edge are untouched and stay valid.
+                lo = min(new_level_max)
+                hi = max(new_level_max)
+                if self._lp_prefix_len > lo:
+                    self._lp_prefix_len = lo
+                if self._lp_suffix_start < hi + 1:
+                    self._lp_suffix_start = hi + 1
         self._cost = cost
         self._last_peek = None  # state advanced; cached peek no longer valid
         return cost
@@ -1361,6 +1584,52 @@ _EXECUTOR_LOCK = threading.Lock()
 _EXECUTOR: Optional[ThreadPoolExecutor] = None
 _EXECUTOR_WORKERS = 0
 
+# Process-wide tallies of thread-parallel batch calls, aggregated across
+# every ParallelEvaluator instance (evaluators are created per solve, so
+# instance counters alone cannot feed session-lifetime telemetry).
+_THREAD_COUNTER_LOCK = threading.Lock()
+_THREAD_PARALLEL_CALLS = 0
+_THREAD_SERIAL_CALLS = 0
+
+
+def _count_thread_call(parallel: bool) -> None:
+    global _THREAD_PARALLEL_CALLS, _THREAD_SERIAL_CALLS
+    with _THREAD_COUNTER_LOCK:
+        if parallel:
+            _THREAD_PARALLEL_CALLS += 1
+        else:
+            _THREAD_SERIAL_CALLS += 1
+
+
+def thread_parallel_counters() -> Tuple[int, int]:
+    """Process-wide ``(parallel_calls, serial_calls)`` across all thread evaluators."""
+    with _THREAD_COUNTER_LOCK:
+        return _THREAD_PARALLEL_CALLS, _THREAD_SERIAL_CALLS
+
+
+def thread_pool_size() -> int:
+    """Current size of the shared evaluation thread pool (0 before first use)."""
+    with _EXECUTOR_LOCK:
+        return _EXECUTOR_WORKERS
+
+
+def balanced_chunk_bounds(rows: int, chunks: int) -> List[Tuple[int, int]]:
+    """Contiguous, balanced ``(start, stop)`` row ranges, at most ``chunks``.
+
+    Shared by the thread and process evaluators so both split a batch
+    identically — concatenating per-chunk results therefore reproduces the
+    serial row order bit-for-bit regardless of the execution backend.
+    """
+    parts = min(chunks, rows)
+    base, extra = divmod(rows, parts)
+    bounds = []
+    start = 0
+    for k in range(parts):
+        stop = start + base + (1 if k < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
 
 def available_workers() -> int:
     """CPUs usable by this process (affinity-aware where supported, >= 1)."""
@@ -1375,7 +1644,9 @@ def resolve_workers(workers: int | str | None) -> int:
 
     Args:
         workers: ``None`` or ``"auto"`` for one worker per available CPU
-            (:func:`available_workers`), or an explicit positive integer.
+            (:func:`available_workers`), an explicit positive integer, or a
+            process-pool spec ``"procs"`` / ``"procs:auto"`` / ``"procs:N"``
+            (see :func:`workers_spec`).
 
     Returns:
         The resolved worker count, always >= 1.
@@ -1385,15 +1656,64 @@ def resolve_workers(workers: int | str | None) -> int:
     """
     if workers is None or workers == "auto":
         return available_workers()
+    if isinstance(workers, str):
+        return workers_spec(workers)[1]
     try:
         count = operator.index(workers)
     except TypeError as exc:
         raise ValueError(
-            f"workers must be a positive int, 'auto' or None, got {workers!r}"
+            f"workers must be a positive int, 'auto', 'procs[:N]' or None, "
+            f"got {workers!r}"
         ) from exc
     if count < 1:
         raise ValueError(f"workers must be >= 1, got {workers!r}")
     return count
+
+
+def workers_spec(workers: int | str | None) -> Tuple[str, int]:
+    """Parse the ``workers`` knob into an execution mode and worker count.
+
+    The knob grammar, shared by :class:`~repro.solvers.base.SearchBudget`,
+    ``AdvisorSession(eval_workers=...)`` and the CLI ``--eval-workers``:
+
+    - ``None`` / ``"auto"`` / positive int — thread-parallel evaluation
+      (mode ``"threads"``), counting like :func:`resolve_workers`.
+    - ``"procs"`` / ``"procs:auto"`` — process-pool evaluation (mode
+      ``"procs"``) with one worker per available CPU.
+    - ``"procs:N"`` — process-pool evaluation with ``N`` workers.
+
+    Returns:
+        ``(mode, count)`` with ``mode`` in ``{"threads", "procs"}`` and
+        ``count >= 1``.
+
+    Raises:
+        ValueError: on a malformed spec or non-positive count.
+    """
+    if isinstance(workers, str) and workers.startswith("procs"):
+        rest = workers[len("procs"):]
+        if rest in ("", ":auto"):
+            return ("procs", available_workers())
+        if rest.startswith(":"):
+            try:
+                count = int(rest[1:])
+            except ValueError as exc:
+                raise ValueError(
+                    f"workers must be 'procs', 'procs:auto' or 'procs:N', "
+                    f"got {workers!r}"
+                ) from exc
+            if count < 1:
+                raise ValueError(f"workers must be >= 1, got {workers!r}")
+            return ("procs", count)
+        raise ValueError(
+            f"workers must be 'procs', 'procs:auto' or 'procs:N', "
+            f"got {workers!r}"
+        )
+    if isinstance(workers, str) and workers != "auto":
+        raise ValueError(
+            f"workers must be a positive int, 'auto', 'procs[:N]' or None, "
+            f"got {workers!r}"
+        )
+    return ("threads", resolve_workers(workers))
 
 
 def _shared_executor(workers: int) -> ThreadPoolExecutor:
@@ -1453,15 +1773,7 @@ class ParallelEvaluator:
 
     def _chunk_bounds(self, rows: int) -> List[Tuple[int, int]]:
         """Contiguous, balanced ``(start, stop)`` row ranges, one per worker."""
-        chunks = min(self.workers, rows)
-        base, extra = divmod(rows, chunks)
-        bounds = []
-        start = 0
-        for k in range(chunks):
-            stop = start + base + (1 if k < extra else 0)
-            bounds.append((start, stop))
-            start = stop
-        return bounds
+        return balanced_chunk_bounds(rows, self.workers)
 
     def evaluate_batch(self, assignments: np.ndarray,
                        objective: Objective) -> np.ndarray:
@@ -1484,6 +1796,7 @@ class ParallelEvaluator:
         if (self.workers <= 1 or rows < 2
                 or rows * max(1, problem.num_edges) < self.min_cells):
             self.serial_calls += 1
+            _count_thread_call(parallel=False)
             return problem.evaluate_batch(assignments, objective)
         if objective is Objective.LONGEST_PATH:
             problem._level_groups()  # build lazy shared state before fan-out
@@ -1494,6 +1807,7 @@ class ParallelEvaluator:
             for start, stop in self._chunk_bounds(rows)
         ]
         self.parallel_calls += 1
+        _count_thread_call(parallel=True)
         return np.concatenate([future.result() for future in futures])
 
     def evaluate_plans(self, plans: Sequence[DeploymentPlan],

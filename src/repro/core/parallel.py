@@ -1,0 +1,648 @@
+"""Process-pool batch evaluation over shared-memory engine state.
+
+The thread :class:`~repro.core.evaluation.ParallelEvaluator` scales the
+batch kernels across cores because the big gathers release the GIL — but
+everything outside those gathers (chunk bookkeeping, ufunc setup, the
+reduceat scatter) still serialises on one interpreter.
+:class:`ProcessPoolEvaluator` removes that ceiling: the compiled engine's
+index and cost arrays are exported once into POSIX shared memory, worker
+processes attach zero-copy and run the *same* serial kernels over row
+chunks, and only the per-chunk assignment rows and the (k,) result vector
+cross the process boundary.
+
+Lifecycle and correctness invariants:
+
+- **Compile once, attach everywhere.**  A :class:`_SharedEngine` is
+  created lazily per ``CompiledProblem`` (keyed by object identity) and
+  exports the cost matrix, edge endpoint arrays and topological node
+  levels into named shared-memory segments.  Workers cache their
+  attachments in a small per-process LRU, so a long solve attaches each
+  segment once, not once per batch.
+- **Epoch handshake.**  ``CompiledProblem.refresh_costs`` bumps
+  ``cost_epoch``; the parent rewrites the shared cost bytes in place and
+  stamps the new epoch into a shared int64 header *before* dispatching.
+  Every task carries the epoch it was scored against and the worker
+  verifies it against the header — a stale worker can never score against
+  old costs silently.
+- **Bit-identical results.**  Workers run the unbound
+  ``CompiledProblem._batch_longest_link`` / ``_batch_longest_path``
+  kernels over the shared arrays, chunks split with the same
+  :func:`~repro.core.evaluation.balanced_chunk_bounds` as the thread
+  evaluator, and ``max`` over float64 is exact — so serial, threaded and
+  process results are equal bit-for-bit in any chunking.
+- **Fallback ladder.**  When fork or shared memory is unavailable (or
+  segment export fails at runtime) the evaluator silently degrades to the
+  thread :class:`ParallelEvaluator`; batches under the ``min_cells``
+  cutoff take the serial path; a crashed worker pool is discarded, the
+  call is served serially, and the next call rebuilds the pool.
+- **No litter.**  Segments are unlinked when their problem is garbage
+  collected, when :func:`close_shared_engines` runs, and at interpreter
+  exit — the test suite asserts ``/dev/shm`` is clean in a session
+  teardown check.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import threading
+import uuid
+import weakref
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .deployment import DeploymentPlan
+from .errors import InvalidGraphError
+from .evaluation import (
+    CompiledProblem,
+    ParallelEvaluator,
+    balanced_chunk_bounds,
+    resolve_workers,
+    thread_parallel_counters,
+    thread_pool_size,
+)
+from .objectives import Objective
+
+try:  # pragma: no cover - present on every supported platform
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover - exotic builds without _posixshmem
+    _shm = None  # type: ignore[assignment]
+
+__all__ = [
+    "PROCESS_MIN_CELLS",
+    "ParallelStats",
+    "ProcessPoolEvaluator",
+    "close_shared_engines",
+    "parallel_stats",
+    "process_pool_unavailable_reason",
+    "reset_parallel_stats",
+    "shutdown_process_pool",
+]
+
+#: Minimum gathered cells (batch rows x edges) before a batch is worth
+#: dispatching to worker processes.  Crossing a process boundary pickles
+#: the chunk rows and forks pay page-table costs, so the cutoff sits well
+#: above the thread evaluator's.
+PROCESS_MIN_CELLS = 262_144
+
+
+def process_pool_unavailable_reason() -> Optional[str]:
+    """Why process-pool evaluation cannot run here, or ``None`` if it can.
+
+    Shared-memory attachment by name relies on fork-start workers sharing
+    the parent's resource tracker (a spawn-start child would tear the
+    segments down from its own tracker at exit); platforms without fork or
+    without POSIX shared memory fall back to the thread evaluator.
+    """
+    if _shm is None:
+        return "no-shared-memory"
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return "no-fork"
+    return None
+
+
+# --------------------------------------------------------------------------- #
+# Parent side: shared-memory export per compiled problem
+# --------------------------------------------------------------------------- #
+
+_STATS_LOCK = threading.Lock()
+_PROC_PARALLEL_CALLS = 0
+_PROC_SERIAL_CALLS = 0
+_PROC_FALLBACK_CALLS = 0
+_SHM_ATTACHES = 0
+_SHM_REFRESHES = 0
+_POOL_RECOVERIES = 0
+
+
+def _count(name: str) -> None:
+    global _PROC_PARALLEL_CALLS, _PROC_SERIAL_CALLS, _PROC_FALLBACK_CALLS
+    global _SHM_ATTACHES, _SHM_REFRESHES, _POOL_RECOVERIES
+    with _STATS_LOCK:
+        if name == "parallel":
+            _PROC_PARALLEL_CALLS += 1
+        elif name == "serial":
+            _PROC_SERIAL_CALLS += 1
+        elif name == "fallback":
+            _PROC_FALLBACK_CALLS += 1
+        elif name == "attach":
+            _SHM_ATTACHES += 1
+        elif name == "refresh":
+            _SHM_REFRESHES += 1
+        elif name == "recovery":
+            _POOL_RECOVERIES += 1
+
+
+class _SharedEngine:
+    """One compiled problem's arrays exported to named shared memory.
+
+    Owns the segments: creating the engine copies the parent arrays in,
+    :meth:`refresh` rewrites the cost bytes in place under the epoch
+    handshake, and :meth:`close` unlinks everything (idempotent; wired to
+    ``weakref.finalize`` on the problem and to :mod:`atexit`).
+    """
+
+    def __init__(self, problem: CompiledProblem):
+        token = f"repro-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        self.token = token
+        self.epoch = problem.cost_epoch
+        self.lock = threading.Lock()
+        self._segments: List[Any] = []
+        self._closed = False
+        try:
+            node_level = problem._node_levels()
+            has_levels = True
+        except InvalidGraphError:
+            node_level = None
+            has_levels = False
+        meta: Dict[str, Any] = {
+            "token": token,
+            "num_nodes": problem.num_nodes,
+            "num_instances": problem.num_instances,
+            "num_edges": problem.num_edges,
+            "has_levels": has_levels,
+        }
+        try:
+            self._header = self._export(
+                "hdr", np.asarray([self.epoch], dtype=np.int64), meta)
+            self._cost = self._export(
+                "cost", np.ascontiguousarray(problem.cost_array,
+                                             dtype=np.float64), meta)
+            self._export("esrc", np.ascontiguousarray(problem.edge_src,
+                                                      dtype=np.int64), meta)
+            self._export("edst", np.ascontiguousarray(problem.edge_dst,
+                                                      dtype=np.int64), meta)
+            if has_levels:
+                self._export("lvl", np.ascontiguousarray(node_level,
+                                                         dtype=np.int64), meta)
+        except Exception:
+            self.close()
+            raise
+        self.meta = meta
+        _count("attach")
+
+    def _export(self, key: str, array: np.ndarray,
+                meta: Dict[str, Any]) -> Optional[np.ndarray]:
+        """Copy ``array`` into a named segment; record its layout in ``meta``.
+
+        Returns the parent's view into the segment (``None`` for empty
+        arrays, which travel by shape alone — POSIX shared memory cannot
+        be zero-sized).
+        """
+        meta[f"{key}_shape"] = array.shape
+        meta[f"{key}_dtype"] = array.dtype.str
+        if array.size == 0:
+            meta[f"{key}_name"] = None
+            return None
+        segment = _shm.SharedMemory(
+            create=True, size=array.nbytes, name=f"{self.token}-{key}")
+        self._segments.append(segment)
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+        view[...] = array
+        meta[f"{key}_name"] = segment.name
+        return view
+
+    def sync(self, problem: CompiledProblem) -> None:
+        """Propagate a ``refresh_costs`` into the shared segment.
+
+        Rewrites the cost bytes, then stamps the new epoch into the shared
+        header — tasks dispatched afterwards carry the new epoch, so a
+        worker observing the expected epoch has, by the write ordering
+        plus the dispatch happens-before, the refreshed costs in view.
+        """
+        if problem.cost_epoch == self.epoch:
+            return
+        with self.lock:
+            if problem.cost_epoch == self.epoch:
+                return
+            if self._cost is not None:
+                self._cost[...] = problem.cost_array
+            self._header[0] = problem.cost_epoch
+            self.epoch = problem.cost_epoch
+            _count("refresh")
+
+    def close(self) -> None:
+        """Close and unlink every segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for segment in self._segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except OSError:  # pragma: no cover - already unlinked elsewhere
+                pass
+        self._segments = []
+
+
+_ENGINE_LOCK = threading.Lock()
+_SHARED_ENGINES: Dict[int, _SharedEngine] = {}
+
+
+def _drop_engine(key: int, engine: _SharedEngine) -> None:
+    with _ENGINE_LOCK:
+        if _SHARED_ENGINES.get(key) is engine:
+            del _SHARED_ENGINES[key]
+    engine.close()
+
+
+def _shared_engine_for(problem: CompiledProblem) -> _SharedEngine:
+    """The (lazily created) shared-memory export of ``problem``.
+
+    Keyed on object identity with a ``weakref.finalize`` tying segment
+    lifetime to the problem's — identical problems re-use one export, and
+    a collected problem can never leave segments behind.
+    """
+    key = id(problem)
+    with _ENGINE_LOCK:
+        engine = _SHARED_ENGINES.get(key)
+        if engine is None:
+            engine = _SharedEngine(problem)
+            _SHARED_ENGINES[key] = engine
+            weakref.finalize(problem, _drop_engine, key, engine)
+        return engine
+
+
+def close_shared_engines() -> None:
+    """Unlink every live shared-memory export (tests, atexit)."""
+    with _ENGINE_LOCK:
+        engines = list(_SHARED_ENGINES.values())
+        _SHARED_ENGINES.clear()
+    for engine in engines:
+        engine.close()
+
+
+# --------------------------------------------------------------------------- #
+# Worker side: attach and score with the serial kernels
+# --------------------------------------------------------------------------- #
+
+#: Per-worker bound on cached attachments; long-lived workers serving many
+#: distinct problems close their least-recently-used mappings.
+_WORKER_CACHE_ENTRIES = 8
+
+_WORKER_ENGINES: "OrderedDict[str, _WorkerEngine]" = OrderedDict()
+
+
+class _WorkerEngine:
+    """A worker process's zero-copy view of a :class:`_SharedEngine`.
+
+    Borrows the serial batch kernels from :class:`CompiledProblem`
+    unbound, so the arithmetic (gather order, chunk budget, reduction
+    order) is the parent engine's to the letter — the attribute surface
+    below is exactly what those kernels touch.
+    """
+
+    # The unbound serial kernels; ``self`` only needs the attributes set
+    # in __init__ plus _level_groups().
+    _batch_longest_link = CompiledProblem._batch_longest_link
+    _batch_longest_path = CompiledProblem._batch_longest_path
+
+    def __init__(self, meta: Dict[str, Any]):
+        self._handles: List[Any] = []
+        self.num_nodes = meta["num_nodes"]
+        self.num_instances = meta["num_instances"]
+        self.num_edges = meta["num_edges"]
+        self._header = self._attach("hdr", meta)
+        self.cost_array = self._attach("cost", meta)
+        self.edge_src = self._attach("esrc", meta)
+        self.edge_dst = self._attach("edst", meta)
+        self._node_level = self._attach("lvl", meta) if meta["has_levels"] else None
+        self._levels: Optional[tuple] = None
+
+    def _attach(self, key: str, meta: Dict[str, Any]) -> np.ndarray:
+        name = meta[f"{key}_name"]
+        shape = tuple(meta[f"{key}_shape"])
+        dtype = np.dtype(meta[f"{key}_dtype"])
+        if name is None:
+            return np.empty(shape, dtype=dtype)
+        segment = _shm.SharedMemory(name=name)
+        self._handles.append(segment)
+        return np.ndarray(shape, dtype=dtype, buffer=segment.buf)
+
+    def check_epoch(self, expected: int) -> None:
+        if int(self._header[0]) != expected:
+            raise RuntimeError(
+                f"stale shared-memory cost epoch: worker sees "
+                f"{int(self._header[0])}, task expects {expected}"
+            )
+
+    def _level_groups(self) -> tuple:
+        # Same construction as CompiledProblem._level_groups over the
+        # shared arrays (np.unique is sorted, _LevelGroup sorts stably),
+        # so the relaxation visits edges in the identical order.
+        if self._levels is None:
+            from .evaluation import _LevelGroup
+            level = self._node_level
+            src_levels = level[self.edge_src]
+            groups = []
+            for lvl in np.unique(src_levels):
+                sel = src_levels == lvl
+                groups.append(_LevelGroup(self.edge_src[sel],
+                                          self.edge_dst[sel]))
+            self._levels = tuple(groups)
+        return self._levels
+
+    def close(self) -> None:
+        self._levels = None
+        for handle in self._handles:
+            try:
+                handle.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+        self._handles = []
+
+
+def _worker_engine(meta: Dict[str, Any]) -> "_WorkerEngine":
+    token = meta["token"]
+    engine = _WORKER_ENGINES.get(token)
+    if engine is None:
+        engine = _WorkerEngine(meta)
+        _WORKER_ENGINES[token] = engine
+        while len(_WORKER_ENGINES) > _WORKER_CACHE_ENTRIES:
+            _, evicted = _WORKER_ENGINES.popitem(last=False)
+            evicted.close()
+    else:
+        _WORKER_ENGINES.move_to_end(token)
+    return engine
+
+
+def _eval_chunk(meta: Dict[str, Any], epoch: int, block: np.ndarray,
+                objective_value: str) -> np.ndarray:
+    """Top-level task: attach (cached), verify the epoch, run the kernel."""
+    engine = _worker_engine(meta)
+    engine.check_epoch(epoch)
+    objective = Objective(objective_value)
+    if objective is Objective.LONGEST_LINK:
+        return engine._batch_longest_link(block)
+    if objective is Objective.LONGEST_PATH:
+        return engine._batch_longest_path(block)
+    raise ValueError(f"unknown objective {objective!r}")
+
+
+# --------------------------------------------------------------------------- #
+# The shared worker pool
+# --------------------------------------------------------------------------- #
+
+_POOL_LOCK = threading.Lock()
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_WORKERS = 0
+
+
+def _shared_process_pool(workers: int) -> ProcessPoolExecutor:
+    """The process-wide fork worker pool, grown to ``workers`` processes.
+
+    Mirrors the thread pool's grow-only policy: one pool serves every
+    evaluator, and a wider evaluator never deadlocks behind a narrower
+    sizing.  Fork start keeps worker attachment under the parent's
+    resource tracker (see :func:`process_pool_unavailable_reason`).
+    """
+    global _POOL, _POOL_WORKERS
+    with _POOL_LOCK:
+        if _POOL is None or _POOL_WORKERS < workers:
+            if _POOL is not None:
+                _POOL.shutdown(wait=False, cancel_futures=True)
+            _POOL = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=multiprocessing.get_context("fork"),
+            )
+            _POOL_WORKERS = workers
+        return _POOL
+
+
+def _discard_pool(broken: ProcessPoolExecutor) -> None:
+    """Drop a crashed pool so the next parallel call rebuilds a fresh one."""
+    global _POOL, _POOL_WORKERS
+    with _POOL_LOCK:
+        if _POOL is broken:
+            _POOL = None
+            _POOL_WORKERS = 0
+    broken.shutdown(wait=False, cancel_futures=True)
+    _count("recovery")
+
+
+def process_pool_size() -> int:
+    """Current size of the shared worker-process pool (0 before first use)."""
+    with _POOL_LOCK:
+        return _POOL_WORKERS
+
+
+def shutdown_process_pool() -> None:
+    """Tear down the shared worker pool (tests, atexit)."""
+    global _POOL, _POOL_WORKERS
+    with _POOL_LOCK:
+        pool = _POOL
+        _POOL = None
+        _POOL_WORKERS = 0
+    if pool is not None:
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+def _shutdown_all() -> None:  # pragma: no cover - exercised at interpreter exit
+    shutdown_process_pool()
+    close_shared_engines()
+
+
+atexit.register(_shutdown_all)
+
+
+# --------------------------------------------------------------------------- #
+# The public evaluator
+# --------------------------------------------------------------------------- #
+
+
+class ProcessPoolEvaluator:
+    """Multi-process batch evaluation on top of a :class:`CompiledProblem`.
+
+    The process counterpart of :class:`ParallelEvaluator`, selected
+    through the ``workers`` knob as ``"procs"`` / ``"procs:auto"`` /
+    ``"procs:N"``.  See the module docstring for the shared-memory
+    lifecycle, epoch handshake and bit-identity argument.
+
+    Args:
+        problem: the compiled problem whose kernels do the scoring.
+        workers: worker-process count — ``None`` / ``"auto"`` (or a
+            ``"procs[:N]"`` spec) for one per available CPU, or an
+            explicit positive int.
+        min_cells: serial-fallback cutoff in gathered cells
+            (:data:`PROCESS_MIN_CELLS` by default).
+    """
+
+    def __init__(self, problem: CompiledProblem,
+                 workers: int | str | None = None,
+                 min_cells: int = PROCESS_MIN_CELLS):
+        self.problem = problem
+        self.workers = resolve_workers(workers)
+        self.min_cells = max(0, int(min_cells))
+        self.parallel_calls = 0
+        self.serial_calls = 0
+        self._fallback: Optional[ParallelEvaluator] = None
+        self._fallback_reason = process_pool_unavailable_reason()
+        if self._fallback_reason is not None:
+            self._fallback = ParallelEvaluator(
+                problem, workers=self.workers, min_cells=self.min_cells)
+
+    @property
+    def fallback_reason(self) -> Optional[str]:
+        """Why this evaluator degraded to threads, or ``None`` if it didn't."""
+        return self._fallback_reason
+
+    def _degrade(self, reason: str) -> ParallelEvaluator:
+        self._fallback_reason = reason
+        self._fallback = ParallelEvaluator(
+            self.problem, workers=self.workers, min_cells=self.min_cells)
+        return self._fallback
+
+    def evaluate_batch(self, assignments: np.ndarray,
+                       objective: Objective) -> np.ndarray:
+        """Evaluate a ``(k, n)`` assignment array across worker processes.
+
+        Bit-identical to :meth:`CompiledProblem.evaluate_batch` (which it
+        delegates to per chunk — and entirely, for batches under the
+        serial cutoff or after a fallback to threads).
+
+        Raises:
+            ValueError: on a mis-shaped batch or unknown objective.
+            InvalidGraphError: for the longest-path objective on a cyclic
+                graph (raised in the parent, never shipped to a worker).
+        """
+        if self._fallback is not None:
+            _count("fallback")
+            return self._fallback.evaluate_batch(assignments, objective)
+        problem = self.problem
+        assignments = np.asarray(assignments)
+        if assignments.ndim != 2 or assignments.shape[1] != problem.num_nodes:
+            raise ValueError(
+                f"assignments must have shape (k, {problem.num_nodes})"
+            )
+        if objective not in (Objective.LONGEST_LINK, Objective.LONGEST_PATH):
+            raise ValueError(f"unknown objective {objective!r}")
+        rows = assignments.shape[0]
+        if (self.workers <= 1 or rows < 2
+                or rows * max(1, problem.num_edges) < self.min_cells):
+            self.serial_calls += 1
+            _count("serial")
+            return problem.evaluate_batch(assignments, objective)
+        if objective is Objective.LONGEST_PATH:
+            problem._level_groups()  # reject cyclic graphs before fan-out
+        try:
+            engine = _shared_engine_for(problem)
+        except OSError as exc:
+            # Shared memory exhausted or unavailable at runtime: degrade
+            # permanently for this evaluator.
+            _count("fallback")
+            return self._degrade(f"shm-error:{exc}").evaluate_batch(
+                assignments, objective)
+        engine.sync(problem)
+        pool = _shared_process_pool(self.workers)
+        try:
+            futures = [
+                pool.submit(_eval_chunk, engine.meta, engine.epoch,
+                            np.ascontiguousarray(assignments[start:stop]),
+                            objective.value)
+                for start, stop in balanced_chunk_bounds(rows, self.workers)
+            ]
+            results = [future.result() for future in futures]
+        except BrokenProcessPool:
+            # A worker died (OOM kill, signal).  The segments stay owned
+            # by the parent — nothing leaks — so serve this call serially
+            # and let the next one rebuild a fresh pool.
+            _discard_pool(pool)
+            self.serial_calls += 1
+            _count("serial")
+            return problem.evaluate_batch(assignments, objective)
+        self.parallel_calls += 1
+        _count("parallel")
+        return np.concatenate(results)
+
+    def evaluate_plans(self, plans: Sequence[DeploymentPlan],
+                       objective: Objective) -> np.ndarray:
+        """Lower a sequence of plans once, then batch-evaluate in parallel."""
+        if not plans:
+            return np.empty(0)
+        return self.evaluate_batch(self.problem.index_plans(plans), objective)
+
+    def __repr__(self) -> str:
+        mode = (f"fallback={self._fallback_reason!r}"
+                if self._fallback is not None else "procs")
+        return (
+            f"ProcessPoolEvaluator(workers={self.workers}, "
+            f"min_cells={self.min_cells}, {mode})"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Telemetry
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ParallelStats:
+    """Process-wide counters of both parallel evaluation backends.
+
+    Aggregated across every evaluator instance since process start (the
+    evaluators themselves are created per solve), snapshot by
+    :func:`parallel_stats` and surfaced through
+    ``SessionStats.to_dict()`` / the serve ``/metrics`` endpoint.
+    """
+
+    thread_parallel_calls: int = 0
+    thread_serial_calls: int = 0
+    thread_pool_size: int = 0
+    process_parallel_calls: int = 0
+    process_serial_calls: int = 0
+    process_fallback_calls: int = 0
+    process_pool_size: int = 0
+    shm_attaches: int = 0
+    shm_refreshes: int = 0
+    pool_recoveries: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable snapshot (consumed by telemetry exporters)."""
+        return {
+            "thread_parallel_calls": self.thread_parallel_calls,
+            "thread_serial_calls": self.thread_serial_calls,
+            "thread_pool_size": self.thread_pool_size,
+            "process_parallel_calls": self.process_parallel_calls,
+            "process_serial_calls": self.process_serial_calls,
+            "process_fallback_calls": self.process_fallback_calls,
+            "process_pool_size": self.process_pool_size,
+            "shm_attaches": self.shm_attaches,
+            "shm_refreshes": self.shm_refreshes,
+            "pool_recoveries": self.pool_recoveries,
+        }
+
+
+def parallel_stats() -> ParallelStats:
+    """Snapshot the process-wide parallel-evaluation counters."""
+    thread_parallel, thread_serial = thread_parallel_counters()
+    with _STATS_LOCK:
+        return ParallelStats(
+            thread_parallel_calls=thread_parallel,
+            thread_serial_calls=thread_serial,
+            thread_pool_size=thread_pool_size(),
+            process_parallel_calls=_PROC_PARALLEL_CALLS,
+            process_serial_calls=_PROC_SERIAL_CALLS,
+            process_fallback_calls=_PROC_FALLBACK_CALLS,
+            process_pool_size=process_pool_size(),
+            shm_attaches=_SHM_ATTACHES,
+            shm_refreshes=_SHM_REFRESHES,
+            pool_recoveries=_POOL_RECOVERIES,
+        )
+
+
+def reset_parallel_stats() -> None:
+    """Zero the process-side counters (test hygiene; pools stay up)."""
+    global _PROC_PARALLEL_CALLS, _PROC_SERIAL_CALLS, _PROC_FALLBACK_CALLS
+    global _SHM_ATTACHES, _SHM_REFRESHES, _POOL_RECOVERIES
+    import repro.core.evaluation as _evaluation
+    with _STATS_LOCK:
+        _PROC_PARALLEL_CALLS = _PROC_SERIAL_CALLS = _PROC_FALLBACK_CALLS = 0
+        _SHM_ATTACHES = _SHM_REFRESHES = _POOL_RECOVERIES = 0
+    with _evaluation._THREAD_COUNTER_LOCK:
+        _evaluation._THREAD_PARALLEL_CALLS = 0
+        _evaluation._THREAD_SERIAL_CALLS = 0

@@ -33,7 +33,9 @@ from ..core.evaluation import (
     ParallelEvaluator,
     compile_problem,
     resolve_workers,
+    workers_spec,
 )
+from ..core.parallel import ProcessPoolEvaluator
 from ..core.objectives import Objective
 from ..core.problem import DeploymentProblem
 from ..core.types import make_rng
@@ -58,8 +60,12 @@ class SearchBudget:
         target_cost: stop early once a plan at or below this cost is found.
         workers: evaluation parallelism for batch-scoring solvers (random
             search batches, MIP candidate rounding, restart repopulation):
-            ``None`` keeps the serial path, ``"auto"`` uses one worker per
-            available CPU, an explicit positive ``int`` pins the count.
+            ``None`` keeps the serial path, ``"auto"`` uses one thread per
+            available CPU, an explicit positive ``int`` pins the thread
+            count, and ``"procs"`` / ``"procs:auto"`` / ``"procs:N"``
+            scores through a shared-memory worker-process pool (see
+            :class:`~repro.core.parallel.ProcessPoolEvaluator`; falls back
+            to threads where fork or shared memory is unavailable).
             Results are bit-identical at any setting (see
             :class:`~repro.core.evaluation.ParallelEvaluator`); only the
             wall-clock changes, so seeded runs stay reproducible.
@@ -426,19 +432,27 @@ def default_limits(budget: Optional[SearchBudget],
     return budget
 
 
-def scoring_engine(engine: CompiledProblem,
-                   workers: Optional[int | str]) -> "CompiledProblem | ParallelEvaluator":
+def scoring_engine(
+    engine: CompiledProblem, workers: Optional[int | str]
+) -> "CompiledProblem | ParallelEvaluator | ProcessPoolEvaluator":
     """The batch scorer a solver should use under a budget's ``workers``.
 
     Returns ``engine`` untouched when ``workers`` is ``None`` (the serial
-    path, zero overhead) and a :class:`~repro.core.evaluation.ParallelEvaluator`
-    wrapper otherwise.  Both expose the same ``evaluate_batch`` /
-    ``evaluate_plans`` surface and return bit-identical costs, so callers
-    can treat the result as a drop-in engine.
+    path, zero overhead), a
+    :class:`~repro.core.parallel.ProcessPoolEvaluator` for the
+    ``"procs[:N]"`` spec (shared-memory worker processes, degrading to
+    threads where unavailable), and a
+    :class:`~repro.core.evaluation.ParallelEvaluator` otherwise.  All
+    expose the same ``evaluate_batch`` / ``evaluate_plans`` surface and
+    return bit-identical costs, so callers can treat the result as a
+    drop-in engine.
     """
     if workers is None:
         return engine
-    return ParallelEvaluator(engine, workers=workers)
+    mode, count = workers_spec(workers)
+    if mode == "procs":
+        return ProcessPoolEvaluator(engine, workers=count)
+    return ParallelEvaluator(engine, workers=count)
 
 
 def best_random_plan(graph: CommunicationGraph, costs: CostMatrix,

@@ -30,7 +30,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ...core.evaluation import ParallelEvaluator
+from ..base import scoring_engine
 from .model import MipModel, MipSolution
 from .scipy_backend import solve_lp_relaxation
 
@@ -77,17 +77,17 @@ class DeploymentRounder:
         problem: compiled evaluation engine for (graph, costs) of the
             encoding.
         objective: which deployment objective the encoding minimises.
-        workers: optional evaluation parallelism (``"auto"`` or a positive
-            int); batches are scored through a bit-identical
-            :class:`~repro.core.evaluation.ParallelEvaluator` when set.
+        workers: optional evaluation parallelism (``"auto"``, a positive
+            int, or a ``"procs[:N]"`` process-pool spec); batches are
+            scored through a bit-identical parallel evaluator when set
+            (see :func:`~repro.solvers.base.scoring_engine`).
     """
 
     def __init__(self, encoding, problem, objective, workers=None):
         self.encoding = encoding
         self.problem = problem
         self.objective = objective
-        self._scorer = (problem if workers is None
-                        else ParallelEvaluator(problem, workers=workers))
+        self._scorer = scoring_engine(problem, workers)
 
     def round_batch(self, batch: Sequence[np.ndarray]
                     ) -> Tuple[np.ndarray, List[Dict[int, int]]]:

@@ -23,8 +23,10 @@ from hypothesis import strategies as st
 from repro.core import (
     CommunicationGraph,
     CostMatrix,
+    DeploymentProblem,
     Objective,
     ParallelEvaluator,
+    ProcessPoolEvaluator,
     compile_problem,
 )
 from repro.solvers import (
@@ -33,6 +35,7 @@ from repro.solvers import (
     MIPLongestPathSolver,
     SearchBudget,
 )
+from repro.solvers.registry import default_registry
 from repro.solvers.cp.labeling import (
     assignment_cost_lower_bounds_reference,
     compatibility_domains,
@@ -311,6 +314,64 @@ def test_incremental_longest_path_walk_matches_full_rerelaxation(seed):
             reference = candidate
         assert evaluator.current_cost == \
             problem.evaluate(reference, Objective.LONGEST_PATH)
+
+
+@given(seed=st.integers(0, 2000),
+       objective=st.sampled_from([Objective.LONGEST_LINK,
+                                  Objective.LONGEST_PATH]),
+       workers=st.integers(1, 3))
+@settings(max_examples=15, deadline=None)
+def test_process_pool_evaluator_bit_identical_to_serial(seed, objective,
+                                                        workers):
+    """Shared-memory process evaluation equals serial bit for bit.
+
+    ``min_cells=1`` forces work past the serial cutoff; workers attach the
+    parent's shared index/cost arrays and run the same unbound kernels, so
+    every float is produced by the same instruction sequence.
+    """
+    graph, costs = random_problem(seed, dag=objective is Objective.LONGEST_PATH)
+    problem = compile_problem(graph, costs)
+    assignments = problem.random_assignments(11, seed)
+    pooled = ProcessPoolEvaluator(problem, workers=workers, min_cells=1)
+    expected = problem.evaluate_batch(assignments, objective)
+    threaded = ParallelEvaluator(problem, workers=max(2, workers),
+                                 min_cells=1).evaluate_batch(
+                                     assignments, objective)
+    chunked = pooled.evaluate_batch(assignments, objective)
+    assert np.array_equal(expected, chunked)
+    assert np.array_equal(expected, threaded)
+    if workers > 1 and pooled.fallback_reason is None:
+        assert pooled.parallel_calls == 1
+
+
+def _registry_problem(key, spec, seed):
+    """A small instance every registry solver can handle for ``key``."""
+    objective = spec.objectives[0]
+    graph, costs = random_problem(seed, min_nodes=4, max_nodes=5, extra=2,
+                                  dag=objective is Objective.LONGEST_PATH)
+    return DeploymentProblem(graph, costs, objective=objective)
+
+
+@pytest.mark.parametrize("key", default_registry.available())
+def test_registry_solvers_seed_identical_with_process_workers(key):
+    """Every registered solver is seed-for-seed identical under ``procs``.
+
+    The workers knob only swaps the batch-scoring backend; since the
+    process pool is bit-identical to the serial engine, plan, cost and
+    iteration count must not move for any solver in the registry.
+    """
+    spec = default_registry.spec(key)
+    problem = _registry_problem(key, spec, seed=13)
+    config = default_registry.seeded_config(key, 7)
+    results = []
+    for workers in (None, "procs:2"):
+        solver = default_registry.make(key, **config)
+        budget = SearchBudget(max_iterations=60, workers=workers)
+        results.append(solver.solve(problem, budget=budget))
+    serial, pooled = results
+    assert pooled.cost == serial.cost
+    assert pooled.plan.as_dict() == serial.plan.as_dict()
+    assert pooled.iterations == serial.iterations
 
 
 @pytest.mark.parametrize("seed", [1, 5, 11])

@@ -218,6 +218,133 @@ def test_incremental_lp_stale_after_cost_refresh():
 
 
 # --------------------------------------------------------------------------- #
+# Window-local peeked longest-path deltas
+# --------------------------------------------------------------------------- #
+
+@given(seed=st.integers(0, 4000),
+       objective=st.sampled_from([Objective.LONGEST_LINK,
+                                  Objective.LONGEST_PATH]))
+@settings(max_examples=40, deadline=None)
+def test_peeked_deltas_agree_with_full_eval_and_commits(seed, objective):
+    """Peeked move costs == full evaluation == post-commit state, any walk.
+
+    Drives a mostly-rejected proposal loop (the local-search/annealing
+    shape the window-local peek optimises): every peek is checked against
+    a from-scratch ``evaluate`` of the candidate, and occasional commits
+    must leave the evaluator agreeing with a fresh prime.
+    """
+    graph, costs = _random_instance(
+        seed, n_lo=5, n_hi=10, dag=objective is Objective.LONGEST_PATH)
+    problem = compile_problem(graph, costs)
+    rng = np.random.default_rng(seed)
+    assignment = problem.random_assignments(1, rng)[0]
+    evaluator = problem.delta_evaluator(assignment, objective)
+    n = problem.num_nodes
+    for _ in range(30):
+        free = evaluator.free_instance_indices()
+        if rng.random() < 0.35 and free.size:
+            move = ("relocate", int(rng.integers(n)),
+                    int(free[rng.integers(free.size)]))
+            peek = evaluator.relocate_cost(move[1], move[2])
+            candidate = evaluator.indexed_plan().assignment
+            candidate[move[1]] = move[2]
+        elif n >= 2:
+            a, b = (int(x) for x in rng.choice(n, size=2, replace=False))
+            move = ("swap", a, b)
+            peek = evaluator.swap_cost(a, b)
+            candidate = evaluator.indexed_plan().assignment
+            candidate[[a, b]] = candidate[[b, a]]
+        else:
+            continue
+        assert peek == problem.evaluate(candidate, objective)
+        if rng.random() < 0.3:  # commit the peeked move
+            if move[0] == "swap":
+                committed = evaluator.apply_swap(move[1], move[2])
+            else:
+                committed = evaluator.apply_relocate(move[1], move[2])
+            assert committed == peek
+    fresh = problem.delta_evaluator(evaluator.indexed_plan().assignment,
+                                    objective)
+    assert evaluator.current_cost == fresh.current_cost
+    if objective is Objective.LONGEST_PATH:
+        assert evaluator._lp_finish == fresh._lp_finish
+        assert evaluator._lp_level_max == fresh._lp_level_max
+
+
+@given(seed=st.integers(0, 2000))
+@settings(max_examples=20, deadline=None)
+def test_peeked_lp_deltas_agree_on_constrained_instances(seed):
+    graph, costs = _random_instance(seed, n_lo=5, n_hi=9, extra=4, dag=True)
+    rng = np.random.default_rng(seed)
+    nodes = list(graph.nodes)
+    pinned = {nodes[0]: int(rng.integers(costs.num_instances))}
+    problem = DeploymentProblem(
+        graph, costs, objective=Objective.LONGEST_PATH,
+        constraints=PlacementConstraints(pinned=pinned))
+    view = problem.compiled_constraints()
+    engine = problem.compiled()
+    assignment = view.random_assignments(1, rng)[0]
+    evaluator = engine.delta_evaluator(assignment, Objective.LONGEST_PATH,
+                                       allowed_mask=view.allowed_mask)
+    n = engine.num_nodes
+    checked = 0
+    for _ in range(40):
+        a, b = (int(x) for x in rng.choice(n, size=2, replace=False))
+        if not evaluator.swap_allowed(a, b):
+            continue
+        peek = evaluator.swap_cost(a, b)
+        candidate = evaluator.indexed_plan().assignment
+        candidate[[a, b]] = candidate[[b, a]]
+        assert peek == engine.evaluate(candidate, Objective.LONGEST_PATH)
+        checked += 1
+        if rng.random() < 0.25:
+            evaluator.apply_swap(a, b)
+    if checked:
+        fresh = engine.delta_evaluator(evaluator.indexed_plan().assignment,
+                                       Objective.LONGEST_PATH)
+        assert evaluator.current_cost == fresh.current_cost
+
+
+def test_peek_window_state_invalidated_and_rebuilt_after_refresh():
+    """The per-level prefix/suffix maxima die with the cost epoch."""
+    graph, costs = _random_instance(41, n_lo=8, n_hi=10, dag=True)
+    problem = compile_problem(graph, costs)
+    rng = np.random.default_rng(41)
+    assignment = problem.random_assignments(1, rng)[0]
+    evaluator = problem.delta_evaluator(assignment, Objective.LONGEST_PATH)
+    n = problem.num_nodes
+    # Peeks extend the lazy prefix/suffix maxima over the level range.
+    for _ in range(10):
+        a, b = (int(x) for x in rng.choice(n, size=2, replace=False))
+        evaluator.swap_cost(a, b)
+    struct = evaluator._lp_struct
+    assert (evaluator._lp_prefix_len > 0
+            or evaluator._lp_suffix_start < struct.num_levels)
+
+    matrix = costs.as_array()
+    off = ~np.eye(costs.num_instances, dtype=bool)
+    matrix[off] *= rng.lognormal(0.0, 0.2, size=matrix.shape)[off]
+    problem.refresh_costs(CostMatrix(list(costs.instance_ids), matrix))
+
+    with pytest.raises(SolverError):
+        evaluator.swap_cost(0, 1)
+    evaluator.reprime()
+    # All window state was rebuilt against the new costs: lazy bounds are
+    # reset, the level maxima match a fresh prime, and peeks agree with
+    # full evaluation again.
+    assert evaluator._lp_prefix_len == 0
+    assert evaluator._lp_suffix_start == struct.num_levels
+    fresh = problem.delta_evaluator(assignment, Objective.LONGEST_PATH)
+    assert evaluator._lp_level_max == fresh._lp_level_max
+    for _ in range(10):
+        a, b = (int(x) for x in rng.choice(n, size=2, replace=False))
+        peek = evaluator.swap_cost(a, b)
+        candidate = evaluator.indexed_plan().assignment
+        candidate[[a, b]] = candidate[[b, a]]
+        assert peek == problem.evaluate(candidate, Objective.LONGEST_PATH)
+
+
+# --------------------------------------------------------------------------- #
 # SearchBudget.workers / session plumbing
 # --------------------------------------------------------------------------- #
 

@@ -1,0 +1,305 @@
+"""Process-pool shared-memory evaluation: selection, identity, lifecycle.
+
+Covers the ``workers`` knob grammar (``"procs[:N]"``), the
+:class:`ProcessPoolEvaluator` itself (bit-identity, serial cutoff, thread
+fallback, epoch handshake, crashed-pool recovery), the plumbing that
+selects it (``scoring_engine``, ``SearchBudget``, ``AdvisorSession``),
+the aggregated telemetry counters and the no-litter guarantee for the
+shared-memory segments.  The host may be single-core, so every test
+forces an explicit worker count instead of relying on ``"auto"``.
+"""
+
+import gc
+import glob
+import json
+import os
+from concurrent.futures.process import BrokenProcessPool
+
+import numpy as np
+import pytest
+
+import repro.core.parallel as parallel
+from repro.api import AdvisorSession, SolveRequest
+from repro.core import (
+    CommunicationGraph,
+    CostMatrix,
+    DeploymentProblem,
+    Objective,
+    ParallelEvaluator,
+    ProcessPoolEvaluator,
+    compile_problem,
+    parallel_stats,
+    process_pool_unavailable_reason,
+    workers_spec,
+)
+from repro.core.evaluation import available_workers
+from repro.solvers import SearchBudget
+from repro.solvers.base import scoring_engine
+
+from conftest import deterministic_cost_matrix
+
+pytestmark = pytest.mark.skipif(
+    process_pool_unavailable_reason() is not None,
+    reason=f"process pool unavailable: {process_pool_unavailable_reason()}",
+)
+
+
+def _compiled(seed=3, n=6, m=9, dag=False):
+    if dag:
+        graph = CommunicationGraph.random_dag(n, 0.5, seed=seed)
+    else:
+        graph = CommunicationGraph.random_graph(n, 0.5, seed=seed)
+    rng = np.random.default_rng(seed)
+    matrix = rng.uniform(0.1, 2.0, size=(m, m))
+    np.fill_diagonal(matrix, 0.0)
+    return compile_problem(graph, CostMatrix(list(range(m)), matrix))
+
+
+def _own_shm_segments():
+    """Shared-memory files created by this process (token is pid-stamped)."""
+    return glob.glob(f"/dev/shm/repro-{os.getpid()}-*")
+
+
+# --------------------------------------------------------------------------- #
+# The workers knob grammar
+# --------------------------------------------------------------------------- #
+
+
+class TestWorkersSpec:
+    @pytest.mark.parametrize("knob, expected", [
+        (None, ("threads", available_workers())),
+        ("auto", ("threads", available_workers())),
+        (3, ("threads", 3)),
+        ("procs", ("procs", available_workers())),
+        ("procs:auto", ("procs", available_workers())),
+        ("procs:4", ("procs", 4)),
+    ])
+    def test_valid_specs(self, knob, expected):
+        assert workers_spec(knob) == expected
+
+    @pytest.mark.parametrize("knob", [
+        "procs:", "procs:x", "procs:0", "procs:-1", "procs=2",
+        "prox", "", 0, -2, 1.5,
+    ])
+    def test_malformed_specs_rejected(self, knob):
+        with pytest.raises(ValueError):
+            workers_spec(knob)
+
+    def test_search_budget_validates_and_roundtrips_procs(self):
+        budget = SearchBudget(max_iterations=5, workers="procs:2")
+        assert SearchBudget.from_dict(json.loads(
+            json.dumps(budget.to_dict()))) == budget
+        with pytest.raises(ValueError):
+            SearchBudget(workers="procs:0")
+
+    def test_scoring_engine_routes_by_mode(self):
+        problem = _compiled()
+        assert scoring_engine(problem, None) is problem
+        assert isinstance(scoring_engine(problem, 2), ParallelEvaluator)
+        pooled = scoring_engine(problem, "procs:2")
+        assert isinstance(pooled, ProcessPoolEvaluator)
+        assert pooled.workers == 2
+
+
+# --------------------------------------------------------------------------- #
+# The evaluator: identity, cutoff, fallback, recovery
+# --------------------------------------------------------------------------- #
+
+
+class TestProcessPoolEvaluator:
+    @pytest.mark.parametrize("objective, dag", [
+        (Objective.LONGEST_LINK, False),
+        (Objective.LONGEST_PATH, True),
+    ])
+    def test_bit_identical_to_serial_and_threads(self, objective, dag):
+        problem = _compiled(dag=dag)
+        assignments = problem.random_assignments(13, 7)
+        expected = problem.evaluate_batch(assignments, objective)
+        threaded = ParallelEvaluator(problem, workers=2, min_cells=1)
+        pooled = ProcessPoolEvaluator(problem, workers=2, min_cells=1)
+        assert np.array_equal(expected,
+                              threaded.evaluate_batch(assignments, objective))
+        assert np.array_equal(expected,
+                              pooled.evaluate_batch(assignments, objective))
+        assert pooled.fallback_reason is None
+        assert pooled.parallel_calls == 1
+        assert pooled.serial_calls == 0
+
+    def test_evaluate_plans_matches_batch(self):
+        problem = _compiled()
+        pooled = ProcessPoolEvaluator(problem, workers=2, min_cells=1)
+        assignments = problem.random_assignments(6, 11)
+        plans = [problem.plan_from_assignment(row) for row in assignments]
+        assert np.array_equal(
+            pooled.evaluate_plans(plans, Objective.LONGEST_LINK),
+            problem.evaluate_batch(assignments, Objective.LONGEST_LINK))
+        assert pooled.evaluate_plans([], Objective.LONGEST_LINK).size == 0
+
+    def test_small_batches_take_the_serial_path(self):
+        problem = _compiled()
+        pooled = ProcessPoolEvaluator(problem, workers=2)  # default cutoff
+        assignments = problem.random_assignments(4, 0)
+        result = pooled.evaluate_batch(assignments, Objective.LONGEST_LINK)
+        assert np.array_equal(
+            result, problem.evaluate_batch(assignments,
+                                           Objective.LONGEST_LINK))
+        assert pooled.serial_calls == 1
+        assert pooled.parallel_calls == 0
+
+    def test_unavailable_platform_degrades_to_threads(self, monkeypatch):
+        monkeypatch.setattr(parallel, "process_pool_unavailable_reason",
+                            lambda: "no-fork")
+        problem = _compiled()
+        before = parallel_stats().process_fallback_calls
+        pooled = ProcessPoolEvaluator(problem, workers=2, min_cells=1)
+        assert pooled.fallback_reason == "no-fork"
+        assignments = problem.random_assignments(9, 2)
+        assert np.array_equal(
+            pooled.evaluate_batch(assignments, Objective.LONGEST_LINK),
+            problem.evaluate_batch(assignments, Objective.LONGEST_LINK))
+        assert parallel_stats().process_fallback_calls == before + 1
+
+    def test_mis_shaped_batch_and_cyclic_graph_rejected_in_parent(self):
+        problem = _compiled()
+        pooled = ProcessPoolEvaluator(problem, workers=2, min_cells=1)
+        with pytest.raises(ValueError, match="shape"):
+            pooled.evaluate_batch(np.zeros((2, problem.num_nodes + 1),
+                                           dtype=np.int64),
+                                  Objective.LONGEST_LINK)
+        cyclic = compile_problem(CommunicationGraph.ring(5),
+                                 deterministic_cost_matrix(8))
+        from repro.core import InvalidGraphError
+        with pytest.raises(InvalidGraphError):
+            ProcessPoolEvaluator(cyclic, workers=2, min_cells=1) \
+                .evaluate_batch(cyclic.random_assignments(8, 0),
+                                Objective.LONGEST_PATH)
+
+    def test_cost_refresh_reaches_workers_through_epoch_handshake(self):
+        problem = _compiled(seed=17)
+        pooled = ProcessPoolEvaluator(problem, workers=2, min_cells=1)
+        assignments = problem.random_assignments(10, 5)
+        first = pooled.evaluate_batch(assignments, Objective.LONGEST_LINK)
+        assert np.array_equal(
+            first, problem.evaluate_batch(assignments,
+                                          Objective.LONGEST_LINK))
+
+        rng = np.random.default_rng(99)
+        matrix = rng.uniform(0.5, 3.0, size=(problem.num_instances,) * 2)
+        np.fill_diagonal(matrix, 0.0)
+        before = parallel_stats().shm_refreshes
+        problem.refresh_costs(CostMatrix(list(range(problem.num_instances)),
+                                         matrix))
+        second = pooled.evaluate_batch(assignments, Objective.LONGEST_LINK)
+        assert np.array_equal(
+            second, problem.evaluate_batch(assignments,
+                                           Objective.LONGEST_LINK))
+        assert not np.array_equal(first, second)
+        assert parallel_stats().shm_refreshes == before + 1
+
+    def test_crashed_pool_served_serially_then_rebuilt(self):
+        problem = _compiled(seed=23)
+        pooled = ProcessPoolEvaluator(problem, workers=2, min_cells=1)
+        assignments = problem.random_assignments(8, 1)
+        expected = problem.evaluate_batch(assignments, Objective.LONGEST_LINK)
+
+        # Kill a worker: the shared pool breaks, the next batch must be
+        # served serially (correctly) and the one after that re-forks.
+        pool = parallel._shared_process_pool(2)
+        with pytest.raises(BrokenProcessPool):
+            pool.submit(os._exit, 1).result()
+        before = parallel_stats().pool_recoveries
+        assert np.array_equal(
+            expected, pooled.evaluate_batch(assignments,
+                                            Objective.LONGEST_LINK))
+        assert parallel_stats().pool_recoveries == before + 1
+        assert pooled.serial_calls == 1
+        assert np.array_equal(
+            expected, pooled.evaluate_batch(assignments,
+                                            Objective.LONGEST_LINK))
+        assert pooled.parallel_calls == 1
+
+    def test_repr_mentions_mode(self):
+        problem = _compiled()
+        assert "procs" in repr(ProcessPoolEvaluator(problem, workers=2))
+
+
+# --------------------------------------------------------------------------- #
+# Session plumbing and telemetry
+# --------------------------------------------------------------------------- #
+
+
+class TestSessionAndTelemetry:
+    def test_session_procs_eval_workers_matches_serial(self):
+        graph = CommunicationGraph.random_graph(6, 0.5, seed=4)
+        problem = DeploymentProblem(graph, deterministic_cost_matrix(9))
+        budget = SearchBudget(max_iterations=40)
+        serial = AdvisorSession().solve(
+            SolveRequest(problem, solver="r1", budget=budget,
+                         config={"seed": 5}))
+        pooled = AdvisorSession(eval_workers="procs:2").solve(
+            SolveRequest(problem, solver="r1", budget=budget,
+                         config={"seed": 5}))
+        assert pooled.ok and serial.ok
+        assert pooled.cost == serial.cost
+        assert pooled.plan.as_dict() == serial.plan.as_dict()
+
+    def test_parallel_counters_surface_in_session_stats(self):
+        problem = _compiled()
+        pooled = ProcessPoolEvaluator(problem, workers=2, min_cells=1)
+        pooled.evaluate_batch(problem.random_assignments(7, 0),
+                              Objective.LONGEST_LINK)
+        payload = AdvisorSession().stats.to_dict()["parallel"]
+        assert payload == parallel_stats().to_dict()
+        assert payload["process_parallel_calls"] >= 1
+        assert payload["shm_attaches"] >= 1
+        assert payload["process_pool_size"] >= 2
+        assert set(payload) == {
+            "thread_parallel_calls", "thread_serial_calls",
+            "thread_pool_size", "process_parallel_calls",
+            "process_serial_calls", "process_fallback_calls",
+            "process_pool_size", "shm_attaches", "shm_refreshes",
+            "pool_recoveries",
+        }
+
+    def test_reset_zeroes_both_backends(self):
+        problem = _compiled()
+        ProcessPoolEvaluator(problem, workers=2, min_cells=1).evaluate_batch(
+            problem.random_assignments(5, 0), Objective.LONGEST_LINK)
+        ParallelEvaluator(problem, workers=2, min_cells=1).evaluate_batch(
+            problem.random_assignments(5, 0), Objective.LONGEST_LINK)
+        parallel.reset_parallel_stats()
+        stats = parallel_stats()
+        assert stats.process_parallel_calls == 0
+        assert stats.thread_parallel_calls == 0
+        assert stats.shm_attaches == 0
+
+
+# --------------------------------------------------------------------------- #
+# Shared-memory lifecycle: no litter
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.skipif(not os.path.isdir("/dev/shm"),
+                    reason="no /dev/shm on this platform")
+class TestNoLitter:
+    def test_segments_unlinked_when_problem_collected(self):
+        problem = _compiled(seed=31)
+        pooled = ProcessPoolEvaluator(problem, workers=2, min_cells=1)
+        pooled.evaluate_batch(problem.random_assignments(6, 0),
+                              Objective.LONGEST_LINK)
+        token = parallel._shared_engine_for(problem).token
+        assert glob.glob(f"/dev/shm/{token}-*")
+        del pooled, problem
+        gc.collect()
+        assert not glob.glob(f"/dev/shm/{token}-*")
+
+    def test_close_shared_engines_sweeps_everything(self):
+        problem = _compiled(seed=37)
+        ProcessPoolEvaluator(problem, workers=2, min_cells=1).evaluate_batch(
+            problem.random_assignments(6, 0), Objective.LONGEST_LINK)
+        assert _own_shm_segments()
+        parallel.close_shared_engines()
+        assert not _own_shm_segments()
+        # Idempotent: a second sweep and a close on an already-closed
+        # engine are no-ops.
+        parallel.close_shared_engines()
