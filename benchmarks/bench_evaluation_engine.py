@@ -18,6 +18,10 @@ over-allocated instance pools).  It compares, on an n = 100 problem:
   single-CPU hosts and where fork / POSIX shared memory is unavailable);
 * a mostly-rejected longest-path peek walk through the window-local
   ``swap_cost`` versus the pre-rewrite full-suffix re-relaxation peek;
+* block-scored neighborhood peeks: scoring candidate-move blocks through
+  ``DeltaEvaluator.peek_many`` versus the per-move peek loop the search
+  solvers ran before the vectorized neighborhood kernels (plus an
+  informational pool-routed variant, skipped on single-CPU hosts);
 * the CP labeling bounds (compatibility domains and per-assignment cost
   lower bounds) computed from ``CompiledProblem`` index arrays versus the
   dict-walking reference implementations;
@@ -66,6 +70,7 @@ from repro.core import (
     CostMatrix,
     DeploymentPlan,
     DeploymentProblem,
+    MoveBatch,
     Objective,
     ParallelEvaluator,
     PlacementConstraints,
@@ -413,6 +418,92 @@ def bench_peeked_lp():
     assert full_costs == delta_costs, \
         "window-local peek disagrees with the full-suffix re-relaxation"
     return graph, full_s, delta_s, full_s / delta_s
+
+
+def _block_peek_walk(problem, objective, n, block, seed):
+    """(loop_s, batch_s, speedup) for block-scored swap peeks."""
+    move_rng = np.random.default_rng(seed)
+    start = problem.random_assignments(1, move_rng)[0]
+    num_moves = min(NUM_MOVES, 4096)
+    swaps = [tuple(int(x) for x in move_rng.choice(n, size=2, replace=False))
+             for _ in range(num_moves)]
+    batches = [
+        MoveBatch.from_moves([("swap", a, b) for a, b in swaps[i:i + block]])
+        for i in range(0, num_moves, block)
+    ]
+
+    def per_move_loop():
+        evaluator = problem.delta_evaluator(start, objective)
+        return np.asarray([evaluator.swap_cost(a, b) for a, b in swaps])
+
+    def batched():
+        evaluator = problem.delta_evaluator(start, objective)
+        return np.concatenate(
+            [evaluator.peek_many(batch) for batch in batches])
+
+    loop_s, loop_costs = _best_of(3, per_move_loop)
+    batch_s, batch_costs = _best_of(3, batched)
+    assert np.array_equal(loop_costs, batch_costs), \
+        "batched move peeks disagree with the per-move loop"
+    return loop_s, batch_s, loop_s / batch_s
+
+
+def bench_neighborhood_batch(block=64):
+    """Block-scored move peeks versus the per-move peek loop.
+
+    The tracked comparison (``neighborhood_batch``) is the search solvers'
+    hot loop before and after the vectorized neighborhood kernels: scoring
+    candidate swap moves one ``swap_cost`` call at a time versus scoring
+    the same moves in solver-sized blocks through
+    ``DeltaEvaluator.peek_many``, longest link at paper scale — the regime
+    the fully vectorized gather kernel targets.  The longest-path variant
+    on the deep layered DAG is recorded as an informational ratio
+    (``neighborhood_batch_lp``, no floor): the serial peek there is
+    already window-local, so batching amortises less.  Both paths must
+    produce bit-identical cost arrays.
+
+    Returns ``(ll_tuple, lp_tuple, pool)`` where each tuple is
+    ``(graph, loop_s, batch_s, speedup)``; ``pool`` is an informational
+    ``(serial_s, pool_s, ratio)`` for routing one large batch through the
+    thread pool (``workers="auto"``), or ``None`` on single-CPU hosts
+    where the route is reported as skipped.
+    """
+    ll_graph, ll_costs_matrix = build_problem(Objective.LONGEST_LINK)
+    ll_problem = compile_problem(ll_graph, ll_costs_matrix)
+    loop_s, batch_s, speedup = _block_peek_walk(
+        ll_problem, Objective.LONGEST_LINK, NUM_NODES, block, SEED + 22)
+    ll = (ll_graph, loop_s, batch_s, speedup)
+
+    lp_graph = _layered_dag()
+    n = lp_graph.num_nodes
+    rng = np.random.default_rng(SEED + 21)
+    matrix = rng.uniform(0.2, 1.4, size=(n + 10, n + 10))
+    np.fill_diagonal(matrix, 0.0)
+    lp_problem = compile_problem(
+        lp_graph, CostMatrix(list(range(n + 10)), matrix))
+    loop_s, batch_s, speedup = _block_peek_walk(
+        lp_problem, Objective.LONGEST_PATH, n, block, SEED + 23)
+    lp = (lp_graph, loop_s, batch_s, speedup)
+
+    pool = None
+    if available_workers() >= 2:
+        move_rng = np.random.default_rng(SEED + 24)
+        start = ll_problem.random_assignments(1, move_rng)[0]
+        big = MoveBatch.from_moves([
+            ("swap",) + tuple(int(x) for x in
+                              move_rng.choice(NUM_NODES, size=2,
+                                              replace=False))
+            for _ in range(min(NUM_MOVES, 4096))
+        ])
+        evaluator = ll_problem.delta_evaluator(start, Objective.LONGEST_LINK)
+        serial_s, serial_costs = _best_of(
+            3, lambda: evaluator.peek_many(big))
+        pool_s, pool_costs = _best_of(
+            3, lambda: evaluator.peek_many(big, workers="auto"))
+        assert np.array_equal(serial_costs, pool_costs), \
+            "pool-routed move peeks disagree with the serial kernel"
+        pool = (serial_s, pool_s, serial_s / pool_s)
+    return ll, lp, pool
 
 
 def bench_cp_bounds(repeats=5):
@@ -786,6 +877,39 @@ def build_report():
         f"full-suffix {full_s:7.3f} s   window {delta_s:7.3f} s   "
         f"speedup {speedup:7.1f}x"
     )
+
+    ll, lp, pool = bench_neighborhood_batch()
+    nb_graph, loop_s, batch_s, speedup = ll
+    metrics["neighborhood_batch"] = speedup
+    lines.append(
+        f"neighborhood batch peeks longest_link (n={nb_graph.num_nodes}, "
+        f"{nb_graph.num_edges} edges, blocks of 64): "
+        f"per-move {loop_s:7.3f} s   batch {batch_s:7.3f} s   "
+        f"speedup {speedup:7.1f}x"
+    )
+    nb_graph, loop_s, batch_s, speedup = lp
+    metrics["neighborhood_batch_lp"] = speedup
+    lines.append(
+        f"neighborhood batch peeks longest_path (n={nb_graph.num_nodes}, "
+        f"{nb_graph.num_edges} edges, blocks of 64): "
+        f"per-move {loop_s:7.3f} s   batch {batch_s:7.3f} s   "
+        f"speedup {speedup:7.1f}x"
+    )
+    if pool is None:
+        skipped["neighborhood_batch_pool"] = "single-core-host"
+        lines.append(
+            "neighborhood batch pool route: skipped (host exposes "
+            "1 CPU; pool routing needs >= 2)"
+        )
+    else:
+        serial_s, pool_s, ratio = pool
+        metrics["neighborhood_batch_pool"] = ratio
+        lines.append(
+            f"neighborhood batch pool route (one {min(NUM_MOVES, 4096)}-move "
+            f"batch, workers=auto): "
+            f"serial {serial_s:7.3f} s   pool {pool_s:7.3f} s   "
+            f"speedup {ratio:7.1f}x"
+        )
 
     domains_ref, domains_vec, lb_ref, lb_vec = bench_cp_bounds()
     metrics["cp_compatibility_domains"] = domains_ref / domains_vec

@@ -167,6 +167,14 @@ class AdvisorSession:
             budget); a request budget with an explicit ``workers`` wins.
             Batch scoring stays bit-identical at any setting, so this only
             changes wall-clock, never results.
+        peek_block: session-wide default for the neighborhood block-size
+            knob of :class:`~repro.solvers.base.SearchBudget` — how many
+            candidate moves the block-scored search solvers draw and
+            batch-peek per pass (``1`` disables batching).  Applied to
+            every request whose budget does not set ``peek_block`` itself;
+            an explicit request value wins.  Like ``eval_workers``, this
+            only changes wall-clock, never results: default-mode
+            trajectories are bit-identical at any block size.
     """
 
     def __init__(self, registry: Optional[SolverRegistry] = None,
@@ -174,16 +182,22 @@ class AdvisorSession:
                  max_cached_problems: int = 128,
                  result_cache: Optional[Union[
                      ResultCache, "SQLiteResultCache", str, Path]] = None,
-                 eval_workers: Optional[Union[int, str]] = None):
+                 eval_workers: Optional[Union[int, str]] = None,
+                 peek_block: Optional[int] = None):
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         if max_cached_problems < 1:
             raise ValueError("max_cached_problems must be >= 1")
         if eval_workers is not None:
             resolve_workers(eval_workers)  # validate at construction time
+        if peek_block is not None and (
+                not isinstance(peek_block, int)
+                or isinstance(peek_block, bool) or peek_block < 1):
+            raise ValueError("peek_block must be a positive integer")
         self.registry = registry if registry is not None else default_registry
         self.max_workers = max_workers
         self.eval_workers = eval_workers
+        self.peek_block = peek_block
         self.max_cached_problems = max_cached_problems
         if isinstance(result_cache, (str, Path)):
             result_cache = ResultCache(result_cache)
@@ -573,22 +587,27 @@ class AdvisorSession:
     def _effective_budget(self,
                           budget: Optional[SearchBudget]
                           ) -> Optional[SearchBudget]:
-        """Fold the session's ``eval_workers`` default into a request budget.
+        """Fold the session's engine defaults into a request budget.
 
-        A budget that already pins ``workers`` passes through untouched, as
-        does everything when the session has no default.  A ``None`` budget
-        becomes a budget carrying only the workers knob; solvers default
-        the missing limits through
+        ``eval_workers`` and ``peek_block`` are applied independently: a
+        budget that already pins a knob keeps its value, and everything
+        passes through untouched when the session has no defaults.  A
+        ``None`` budget becomes a budget carrying only the knobs; solvers
+        default the missing limits through
         :func:`~repro.solvers.base.default_limits`, which recognises a
-        workers-only budget and keeps their usual time caps in place.
+        knob-only budget and keeps their usual time caps in place.
         """
-        if self.eval_workers is None:
+        if self.eval_workers is None and self.peek_block is None:
             return budget
         if budget is None:
-            return SearchBudget(workers=self.eval_workers)
-        if budget.workers is not None:
-            return budget
-        return replace(budget, workers=self.eval_workers)
+            return SearchBudget(workers=self.eval_workers,
+                                peek_block=self.peek_block)
+        updates = {}
+        if self.eval_workers is not None and budget.workers is None:
+            updates["workers"] = self.eval_workers
+        if self.peek_block is not None and budget.peek_block is None:
+            updates["peek_block"] = self.peek_block
+        return replace(budget, **updates) if updates else budget
 
     def _with_assigned_id(self, request: SolveRequest) -> SolveRequest:
         with self._lock:

@@ -284,6 +284,17 @@ def _eval_workers_flag(value: Optional[str]) -> Optional[Union[int, str]]:
         ) from None
 
 
+def _peek_block_flag(value: Optional[int]) -> Optional[int]:
+    """``--peek-block`` semantics: a positive block size (1 disables
+    batching), or unset to keep each solver's default."""
+    if value is None:
+        return None
+    if value < 1:
+        raise ClouDiAError(
+            f"--peek-block must be a positive integer, got {value}")
+    return value
+
+
 def command_solve(args: argparse.Namespace) -> int:
     """Solve a serialized problem JSON and optionally write the response."""
     problem = DeploymentProblem.from_dict(_read_json(args.problem))
@@ -294,7 +305,8 @@ def command_solve(args: argparse.Namespace) -> int:
         config=default_registry.seeded_config(args.solver, args.seed, extra),
         budget=_budget_from_flag(args.time_limit),
     )
-    session = AdvisorSession(eval_workers=_eval_workers_flag(args.eval_workers))
+    session = AdvisorSession(eval_workers=_eval_workers_flag(args.eval_workers),
+                             peek_block=_peek_block_flag(args.peek_block))
     try:
         response = session.solve(request)
     except (ClouDiAError, ValueError, TypeError) as exc:
@@ -343,7 +355,8 @@ def command_solve_batch(args: argparse.Namespace) -> int:
         return 2
 
     session = AdvisorSession(max_workers=args.workers,
-                             eval_workers=_eval_workers_flag(args.eval_workers))
+                             eval_workers=_eval_workers_flag(args.eval_workers),
+                             peek_block=_peek_block_flag(args.peek_block))
     responses = session.solve_many(requests)
 
     rows = []
@@ -565,11 +578,12 @@ def command_solvers(args: argparse.Namespace) -> int:
         size = "-" if spec.max_nodes is None else f"<= {spec.max_nodes} nodes"
         constraints = "native" if spec.supports_constraints else "repair"
         warm = "yes" if spec.supports_warm_start else "no"
-        rows.append((spec.key, objectives, size, constraints, warm,
+        best = "yes" if spec.supports_best_improvement else "no"
+        rows.append((spec.key, objectives, size, constraints, warm, best,
                      spec.summary))
     print(format_table(
         ["key", "objectives", "practical size", "constraints", "warm start",
-         "description"],
+         "best improve", "description"],
         rows, title="registered solvers",
     ))
     return 0
@@ -719,6 +733,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "'procs[:N]' for shared-memory worker "
                             "processes (default: serial; results are "
                             "bit-identical either way)")
+    solve.add_argument("--peek-block", type=int, default=None,
+                       help="candidate moves batch-scored per local-search/"
+                            "annealing pass (1 disables batching; default: "
+                            "solver-specific; results are bit-identical at "
+                            "any setting)")
     solve.add_argument("--out", default=None,
                        help="path of the response JSON to write")
     solve.set_defaults(handler=command_solve)
@@ -750,6 +769,12 @@ def build_parser() -> argparse.ArgumentParser:
                                   "'procs[:N]' for shared-memory worker "
                                   "processes (default: serial; results are "
                                   "bit-identical either way)")
+    solve_batch.add_argument("--peek-block", type=int, default=None,
+                             help="candidate moves batch-scored per "
+                                  "local-search/annealing pass (1 disables "
+                                  "batching; default: solver-specific; "
+                                  "results are bit-identical at any "
+                                  "setting)")
     solve_batch.add_argument("--out", default=None,
                              help="path of the responses JSON to write")
     solve_batch.set_defaults(handler=command_solve_batch)

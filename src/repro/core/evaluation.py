@@ -197,6 +197,9 @@ class CompiledProblem:
         self._levels: Optional[Tuple[_LevelGroup, ...]] = None
         self._node_level: Optional[np.ndarray] = None
         self._lp_struct: Optional[_LpDeltaStructure] = None
+        self._incident_pad: Optional[np.ndarray] = None
+        self._lp_reach_cache: Optional[np.ndarray] = None
+        self._group_dst_max: Optional[np.ndarray] = None
         self._cost_rows_cache: Optional[List[List[float]]] = None
         self._degrees: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
         self._profiles: Optional[np.ndarray] = None
@@ -404,6 +407,56 @@ class CompiledProblem:
                 return None
             self._cost_rows_cache = self.cost_array.tolist()
         return self._cost_rows_cache
+
+    def _incident_padded(self) -> np.ndarray:
+        """The per-node incident edge ids as one ``(n, W)`` array, -1 padded.
+
+        ``W`` is the maximum incident degree (at least 1 so the array is
+        never zero-width).  The batch move-scoring kernel gathers every
+        candidate's touched edges through this matrix in one fancy index;
+        -1 entries are masked out by the kernel.  Graph-side only, so it
+        survives :meth:`refresh_costs`.
+        """
+        if self._incident_pad is None:
+            width = max((ids.size for ids in self._incident), default=0)
+            pad = np.full((self.num_nodes, max(width, 1)), -1, dtype=np.intp)
+            for i, ids in enumerate(self._incident):
+                pad[i, : ids.size] = ids
+            self._incident_pad = pad
+        return self._incident_pad
+
+    def _lp_reach(self) -> np.ndarray:
+        """Per-node propagation bound for the batched longest-path peek.
+
+        ``reach[v]`` is the maximum topological level among ``v``'s direct
+        successors (``v``'s own level for sinks): a change to ``v``'s
+        longest-path value can only perturb nodes up to that level in the
+        next relaxation step.  The batch kernel folds the reaches of every
+        node it has actually changed into a running stop level, so the
+        level sweep ends as soon as no pending change can climb higher.
+        """
+        if self._lp_reach_cache is None:
+            levels = self._node_levels()
+            reach = levels.copy()
+            if self.num_edges:
+                np.maximum.at(reach, self.edge_src, levels[self.edge_dst])
+            self._lp_reach_cache = reach
+        return self._lp_reach_cache
+
+    def _group_max_dst_levels(self) -> np.ndarray:
+        """Max destination level per :meth:`_level_groups` group.
+
+        Lets the batched longest-path peek skip level groups whose every
+        destination sits below the batch's recomputation window.
+        """
+        if self._group_dst_max is None:
+            levels = self._node_levels()
+            self._group_dst_max = np.asarray(
+                [int(levels[group.unique_dst].max())
+                 for group in self._level_groups()],
+                dtype=np.intp,
+            )
+        return self._group_dst_max
 
     # ------------------------------------------------------------------ #
     # Bound helpers for the exact solvers (CP labeling, MIP bounding)
@@ -911,6 +964,83 @@ class IndexedPlan:
 
     def __repr__(self) -> str:
         return f"IndexedPlan(nodes={self.assignment.size})"
+
+
+# Telemetry counters for the incremental evaluator: single-move peeks and
+# commits, plus batched peek_many calls and the moves they scored.  Plain
+# unlocked increments — the peek path is the solvers' innermost loop, and a
+# lock acquisition per peek would cost more than the counter is worth; under
+# CPython the occasional lost increment is telemetry noise, nothing more.
+# Snapshot via delta_counters(), surfaced through
+# repro.core.parallel.parallel_stats() -> SessionStats -> /metrics.
+_DELTA_PEEKS = 0
+_DELTA_COMMITS = 0
+_BATCH_PEEK_CALLS = 0
+_BATCH_PEEKED_MOVES = 0
+
+
+def delta_counters() -> Tuple[int, int, int, int]:
+    """Process-wide ``(peeks, commits, batch_calls, batch_moves)`` snapshot."""
+    return (_DELTA_PEEKS, _DELTA_COMMITS, _BATCH_PEEK_CALLS,
+            _BATCH_PEEKED_MOVES)
+
+
+class MoveBatch:
+    """A block of candidate moves as structured arrays.
+
+    The vectorized neighborhood kernels (:meth:`DeltaEvaluator.peek_many`)
+    score a whole batch in a handful of NumPy passes, so the batch itself
+    is stored columnar: parallel ``kinds`` / ``first`` / ``second`` arrays
+    rather than a list of tuples.
+
+    * a **swap** row (``kinds == MoveBatch.SWAP``) exchanges the instances
+      of node indices ``first`` and ``second``;
+    * a **relocate** row (``kinds == MoveBatch.RELOCATE``) moves node index
+      ``first`` onto the free instance index ``second``.
+    """
+
+    SWAP = 0
+    RELOCATE = 1
+
+    __slots__ = ("kinds", "first", "second")
+
+    def __init__(self, kinds: np.ndarray, first: np.ndarray,
+                 second: np.ndarray):
+        self.kinds = np.ascontiguousarray(kinds, dtype=np.uint8)
+        self.first = np.ascontiguousarray(first, dtype=np.intp)
+        self.second = np.ascontiguousarray(second, dtype=np.intp)
+        if not (self.kinds.ndim == self.first.ndim == self.second.ndim == 1):
+            raise InvalidDeploymentError("move batch columns must be 1-D")
+        if not (self.kinds.size == self.first.size == self.second.size):
+            raise InvalidDeploymentError(
+                "move batch columns must have equal lengths"
+            )
+
+    @classmethod
+    def from_moves(cls, moves: Sequence[Tuple[str, int, int]]) -> "MoveBatch":
+        """Build a batch from ``("swap", a, b)`` / ``("relocate", n, i)`` tuples."""
+        count = len(moves)
+        kinds = np.empty(count, dtype=np.uint8)
+        first = np.empty(count, dtype=np.intp)
+        second = np.empty(count, dtype=np.intp)
+        for row, (kind, a, b) in enumerate(moves):
+            if kind == "swap":
+                kinds[row] = cls.SWAP
+            elif kind == "relocate":
+                kinds[row] = cls.RELOCATE
+            else:
+                raise InvalidDeploymentError(f"unknown move kind {kind!r}")
+            first[row] = a
+            second[row] = b
+        return cls(kinds, first, second)
+
+    def __len__(self) -> int:
+        return self.kinds.size
+
+    def __repr__(self) -> str:
+        swaps = int((self.kinds == self.SWAP).sum())
+        return (f"MoveBatch(moves={len(self)}, swaps={swaps}, "
+                f"relocates={len(self) - swaps})")
 
 
 class DeltaEvaluator:
@@ -1463,6 +1593,8 @@ class DeltaEvaluator:
         peek = self._last_peek
         if peek is not None and peek[0] == key:
             return peek[1], peek[2]
+        global _DELTA_PEEKS
+        _DELTA_PEEKS += 1
         if self.objective is Objective.LONGEST_LINK:
             touched, new_costs = self._touched_and_moves(moves)
             cost = self._candidate_cost_ll(touched, new_costs)
@@ -1499,10 +1631,272 @@ class DeltaEvaluator:
             )
 
     # ------------------------------------------------------------------ #
+    # Batched move scoring (vectorized neighborhood kernels)
+    # ------------------------------------------------------------------ #
+
+    def _validate_batch(self, batch: MoveBatch) -> None:
+        """Vectorized batch-wide counterpart of the per-move validation."""
+        n = self.problem.num_nodes
+        m = self.problem.num_instances
+        kinds = batch.kinds
+        first = batch.first
+        second = batch.second
+        is_swap = kinds == MoveBatch.SWAP
+        if not np.all(is_swap | (kinds == MoveBatch.RELOCATE)):
+            raise InvalidDeploymentError("unknown move kind in batch")
+        if first.size and (first.min() < 0 or first.max() >= n):
+            raise InvalidDeploymentError("node index out of range in batch")
+        swap_second = second[is_swap]
+        if swap_second.size and (swap_second.min() < 0
+                                 or swap_second.max() >= n):
+            raise InvalidDeploymentError("node index out of range in batch")
+        reloc = ~is_swap
+        reloc_second = second[reloc]
+        if reloc_second.size:
+            if reloc_second.min() < 0 or reloc_second.max() >= m:
+                raise InvalidDeploymentError(
+                    "instance index out of range in batch"
+                )
+            occupant = self._node_of_instance[reloc_second]
+            bad = (occupant >= 0) & (occupant != first[reloc])
+            if bad.any():
+                row = int(np.flatnonzero(bad)[0])
+                raise InvalidDeploymentError(
+                    f"instance index {int(reloc_second[row])} already hosts "
+                    f"node index {int(occupant[row])}"
+                )
+        if self.allowed_mask is not None:
+            asg = self.assignment
+            target1 = np.where(is_swap, asg[np.where(is_swap, second, 0)],
+                               second)
+            ok = self.allowed_mask[first, target1]
+            if is_swap.any():
+                ok = ok & np.where(
+                    is_swap, self.allowed_mask[np.where(is_swap, second, 0),
+                                               asg[first]], True)
+            if not ok.all():
+                row = int(np.flatnonzero(~ok)[0])
+                raise InvalidDeploymentError(
+                    f"move places node index {int(first[row])} on disallowed "
+                    f"instance index {int(target1[row])}"
+                )
+
+    def _batch_move_targets(self, batch: MoveBatch
+                            ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-row ``(is_swap, target of first, second-node sentinel)``.
+
+        ``target of first`` is the instance the row's ``first`` node ends up
+        on (the swap partner's current instance, or the relocate target).
+        The sentinel column holds the swap partner's node index for swap
+        rows and -1 for relocations, so endpoint-override compares never
+        match a relocate row twice.
+        """
+        asg = self.assignment
+        is_swap = batch.kinds == MoveBatch.SWAP
+        safe_second = np.where(is_swap, batch.second, 0)
+        target1 = np.where(is_swap, asg[safe_second], batch.second)
+        node2 = np.where(is_swap, batch.second, -1)
+        return is_swap, target1, node2
+
+    def candidate_assignments(self, batch: MoveBatch) -> np.ndarray:
+        """Materialize the ``(k, n)`` assignment each batch row would commit.
+
+        Row ``k`` is the current assignment with move ``k`` applied — the
+        input :meth:`CompiledProblem.evaluate_batch` needs to score the
+        batch through the full (pool-routable) engines.
+        """
+        is_swap, target1, _ = self._batch_move_targets(batch)
+        count = len(batch)
+        assignments = np.broadcast_to(
+            self.assignment, (count, self.problem.num_nodes)).copy()
+        rows = np.arange(count)
+        assignments[rows, batch.first] = target1
+        swap_rows = np.flatnonzero(is_swap)
+        assignments[swap_rows, batch.second[swap_rows]] = (
+            self.assignment[batch.first[swap_rows]]
+        )
+        return assignments
+
+    def _peek_many_ll(self, batch: MoveBatch) -> np.ndarray:
+        """Batched longest-link peek: one padded touched-edge gather.
+
+        Every row's touched edges are gathered through the problem's
+        padded incident matrix (duplicates and -1 padding are masked to
+        ``-inf``, harmless under max), endpoint instances are overridden
+        where an endpoint is the row's moved node, and the new per-row
+        maximum combines with the untouched maximum exactly as the serial
+        :meth:`_candidate_cost_ll` does — including its rare masked-max
+        fallback for rows that touch the current critical edge.
+        """
+        problem = self.problem
+        count = len(batch)
+        if problem.num_edges == 0:
+            return np.full(count, self._cost)
+        asg = self.assignment
+        is_swap, target1, node2 = self._batch_move_targets(batch)
+        pad = problem._incident_padded()
+        eids = np.concatenate(
+            [pad[batch.first], pad[np.where(is_swap, batch.second,
+                                            batch.first)]], axis=1)
+        valid = eids >= 0
+        safe = np.where(valid, eids, 0)
+        old_vals = np.where(valid, self._edge_costs[safe], -np.inf)
+        old_touched_max = old_vals.max(axis=1)
+
+        src_nodes = problem.edge_src[safe]
+        dst_nodes = problem.edge_dst[safe]
+        src_inst = asg[src_nodes]
+        dst_inst = asg[dst_nodes]
+        n1 = batch.first[:, None]
+        i1 = target1[:, None]
+        n2 = node2[:, None]
+        i2 = asg[batch.first][:, None]
+        src_inst = np.where(src_nodes == n1, i1, src_inst)
+        src_inst = np.where(src_nodes == n2, i2, src_inst)
+        dst_inst = np.where(dst_nodes == n1, i1, dst_inst)
+        dst_inst = np.where(dst_nodes == n2, i2, dst_inst)
+        linear = src_inst * problem.num_instances + dst_inst
+        new_vals = np.where(valid, problem.cost_array.ravel()[linear], -np.inf)
+        new_max = new_vals.max(axis=1)
+
+        untouched = np.full(count, self._cost)
+        slow_rows = np.flatnonzero(old_touched_max >= self._cost)
+        for row in slow_rows:
+            mask = np.ones(problem.num_edges, dtype=bool)
+            mask[eids[row][valid[row]]] = False
+            remaining = self._edge_costs[mask]
+            untouched[row] = float(remaining.max()) if remaining.size else 0.0
+        return np.maximum(untouched, new_max)
+
+    def _peek_many_lp(self, batch: MoveBatch) -> np.ndarray:
+        """Batched longest-path peek via a window-local level sweep.
+
+        Broadcasts the committed per-node ``finish`` values across the
+        batch, zeroes every column at or above the batch's lowest moved
+        level, and re-relaxes the level groups upward with row-specific
+        edge costs.  The sweep stops early once no changed node's reach
+        (see :meth:`CompiledProblem._lp_reach`) extends past the levels
+        already finalized; the per-row cost then combines the recomputed
+        window with the committed prefix/suffix level maxima —
+        ``max(prefix(lo-1), window, suffix(stop+1))`` — exactly the PR 9
+        window-local peek, broadcast across the batch.  Costs are
+        bit-identical to the serial sparse peek: the same float64 adds in
+        topological order, combined with exact max reductions.
+        """
+        problem = self.problem
+        count = len(batch)
+        if problem.num_edges == 0:
+            return np.full(count, self._cost)
+        levels = problem._node_levels()
+        reach = problem._lp_reach()
+        is_swap, _, _ = self._batch_move_targets(batch)
+
+        lvl_first = levels[batch.first]
+        lvl_second = levels[np.where(is_swap, batch.second, batch.first)]
+        lo_min = int(min(lvl_first.min(), lvl_second.min()))
+        stop_lv = int(max(
+            lvl_first.max(), lvl_second.max(),
+            reach[batch.first].max(),
+            reach[np.where(is_swap, batch.second, batch.first)].max(),
+        ))
+
+        assignments = self.candidate_assignments(batch)
+        committed = np.asarray(self._lp_finish)
+        best = np.broadcast_to(committed, (count, problem.num_nodes)).copy()
+        best[:, levels >= lo_min] = 0.0
+
+        flat_cost = problem.cost_array.ravel()
+        groups = problem._level_groups()
+        group_dst_max = problem._group_max_dst_levels()
+        src_levels = [int(levels[group.src[0]]) for group in groups]
+        num_levels = int(levels.max()) + 1 if problem.num_nodes else 0
+        for gi, group in enumerate(groups):
+            if src_levels[gi] > stop_lv:
+                break
+            if group_dst_max[gi] < lo_min:
+                continue
+            linear = np.take(assignments, group.src, axis=1)
+            linear *= problem.num_instances
+            linear += np.take(assignments, group.dst, axis=1)
+            vals = np.take(best, group.src, axis=1)
+            vals += np.take(flat_cost, linear)
+            reduced = np.maximum.reduceat(vals, group.starts, axis=1)
+            updated = np.maximum(
+                np.take(best, group.unique_dst, axis=1), reduced)
+            best[:, group.unique_dst] = updated
+            # Extend the stop level past every destination whose value now
+            # differs from the committed relaxation in any row: only those
+            # nodes can push changes further up the DAG.
+            changed = (updated != committed[group.unique_dst]).any(axis=0)
+            if changed.any():
+                climb = int(reach[group.unique_dst[changed]].max())
+                if climb > stop_lv:
+                    stop_lv = climb
+        stop_lv = min(stop_lv, num_levels - 1)
+
+        window = (levels >= lo_min) & (levels <= stop_lv)
+        window_max = best[:, window].max(axis=1)
+        base = self._lp_prefix_upto(lo_min - 1)
+        tail = self._lp_suffix_from(stop_lv + 1)
+        if tail > base:
+            base = tail
+        return np.maximum(window_max, base)
+
+    def peek_many(self, moves: "MoveBatch | Sequence[Tuple[str, int, int]]",
+                  workers: Optional[int | str] = None) -> np.ndarray:
+        """Score a whole block of candidate moves in one vectorized pass.
+
+        Returns a ``(k,)`` float array whose entry ``k`` equals what
+        :meth:`swap_cost` / :meth:`relocate_cost` would return for move
+        ``k`` — bit-identical, so solvers can batch their peeks without
+        perturbing seeded trajectories.  Scoring does not mutate the
+        evaluator (no commit payloads are produced; committing a chosen
+        move re-peeks it through the serial path).
+
+        ``workers`` (the :class:`~repro.solvers.base.SearchBudget` spec:
+        ``"auto"``, an int, or ``"procs[:N]"``) routes blocks whose gather
+        footprint crosses :data:`PARALLEL_MIN_CELLS` through the thread or
+        shared-memory process pools as a full candidate-assignment batch
+        evaluation — still bit-identical, per the engines' contract.
+
+        Raises the same errors as the serial peeks: ``SolverError`` after
+        a cost refresh (until :meth:`reprime`), ``InvalidDeploymentError``
+        for out-of-range indices, occupied relocate targets, or moves the
+        allowed mask forbids.
+        """
+        self._check_epoch()
+        batch = (moves if isinstance(moves, MoveBatch)
+                 else MoveBatch.from_moves(moves))
+        count = len(batch)
+        if count == 0:
+            return np.empty(0)
+        self._validate_batch(batch)
+        global _BATCH_PEEK_CALLS, _BATCH_PEEKED_MOVES
+        _BATCH_PEEK_CALLS += 1
+        _BATCH_PEEKED_MOVES += count
+        if (workers is not None
+                and count * max(1, self.problem.num_edges)
+                >= PARALLEL_MIN_CELLS):
+            mode, pool_workers = workers_spec(workers)
+            assignments = self.candidate_assignments(batch)
+            if mode == "procs":
+                from .parallel import ProcessPoolEvaluator
+                scorer: Any = ProcessPoolEvaluator(self.problem,
+                                                   workers=pool_workers)
+            else:
+                scorer = ParallelEvaluator(self.problem, workers=pool_workers)
+            return scorer.evaluate_batch(assignments, self.objective)
+        if self.objective is Objective.LONGEST_LINK:
+            return self._peek_many_ll(batch)
+        return self._peek_many_lp(batch)
+
+    # ------------------------------------------------------------------ #
     # Committing moves
     # ------------------------------------------------------------------ #
 
     def _commit(self, moves: Dict[int, int]) -> float:
+        global _DELTA_COMMITS
+        _DELTA_COMMITS += 1
         cost, payload = self._candidate_cost(moves)
         for instance in moves.values():
             self._node_of_instance[instance] = -1

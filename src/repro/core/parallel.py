@@ -63,6 +63,7 @@ from .evaluation import (
     CompiledProblem,
     ParallelEvaluator,
     balanced_chunk_bounds,
+    delta_counters,
     resolve_workers,
     thread_parallel_counters,
     thread_pool_size,
@@ -600,6 +601,16 @@ class ParallelStats:
     shm_attaches: int = 0
     shm_refreshes: int = 0
     pool_recoveries: int = 0
+    #: Incremental-evaluator telemetry (see
+    #: :func:`repro.core.evaluation.delta_counters`): single-move candidate
+    #: scorings and commits, plus ``peek_many`` batch calls and the total
+    #: moves they scored — the observability hook for neighborhood
+    #: batching (``batch_peeked_moves / batch_peek_calls`` is the realized
+    #: mean block size).
+    delta_peeks: int = 0
+    delta_commits: int = 0
+    batch_peek_calls: int = 0
+    batch_peeked_moves: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serializable snapshot (consumed by telemetry exporters)."""
@@ -614,12 +625,17 @@ class ParallelStats:
             "shm_attaches": self.shm_attaches,
             "shm_refreshes": self.shm_refreshes,
             "pool_recoveries": self.pool_recoveries,
+            "delta_peeks": self.delta_peeks,
+            "delta_commits": self.delta_commits,
+            "batch_peek_calls": self.batch_peek_calls,
+            "batch_peeked_moves": self.batch_peeked_moves,
         }
 
 
 def parallel_stats() -> ParallelStats:
     """Snapshot the process-wide parallel-evaluation counters."""
     thread_parallel, thread_serial = thread_parallel_counters()
+    peeks, commits, batch_calls, batch_moves = delta_counters()
     with _STATS_LOCK:
         return ParallelStats(
             thread_parallel_calls=thread_parallel,
@@ -632,6 +648,10 @@ def parallel_stats() -> ParallelStats:
             shm_attaches=_SHM_ATTACHES,
             shm_refreshes=_SHM_REFRESHES,
             pool_recoveries=_POOL_RECOVERIES,
+            delta_peeks=peeks,
+            delta_commits=commits,
+            batch_peek_calls=batch_calls,
+            batch_peeked_moves=batch_moves,
         )
 
 
@@ -646,3 +666,7 @@ def reset_parallel_stats() -> None:
     with _evaluation._THREAD_COUNTER_LOCK:
         _evaluation._THREAD_PARALLEL_CALLS = 0
         _evaluation._THREAD_SERIAL_CALLS = 0
+    _evaluation._DELTA_PEEKS = 0
+    _evaluation._DELTA_COMMITS = 0
+    _evaluation._BATCH_PEEK_CALLS = 0
+    _evaluation._BATCH_PEEKED_MOVES = 0

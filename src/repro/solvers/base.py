@@ -69,16 +69,31 @@ class SearchBudget:
             Results are bit-identical at any setting (see
             :class:`~repro.core.evaluation.ParallelEvaluator`); only the
             wall-clock changes, so seeded runs stay reproducible.
+        peek_block: neighborhood block size for the move-based searches
+            (local search, annealing): how many candidate moves are drawn
+            and scored per :meth:`~repro.core.evaluation.DeltaEvaluator.peek_many`
+            batch.  ``None`` keeps each solver's default, ``1`` disables
+            batching (the pure per-move loop).  Trajectories are
+            bit-identical at any setting — the solvers select the
+            serial-order-first admissible move and re-synchronise their
+            RNG stream — so this knob, like ``workers``, only moves
+            wall-clock.
     """
 
     time_limit_s: Optional[float] = None
     max_iterations: Optional[int] = None
     target_cost: Optional[float] = None
     workers: Optional[int | str] = None
+    peek_block: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.workers is not None:
             resolve_workers(self.workers)  # validate eagerly; resolve lazily
+        if self.peek_block is not None:
+            if (not isinstance(self.peek_block, int)
+                    or isinstance(self.peek_block, bool)
+                    or self.peek_block < 1):
+                raise SolverError("peek_block must be a positive integer")
 
     @classmethod
     def unlimited(cls) -> "SearchBudget":
@@ -103,6 +118,7 @@ class SearchBudget:
             "max_iterations": self.max_iterations,
             "target_cost": self.target_cost,
             "workers": self.workers,
+            "peek_block": self.peek_block,
         }
 
     @classmethod
@@ -118,6 +134,7 @@ class SearchBudget:
             max_iterations=payload.get("max_iterations"),
             target_cost=payload.get("target_cost"),
             workers=payload.get("workers"),
+            peek_block=payload.get("peek_block"),
         )
 
 
@@ -290,6 +307,13 @@ class DeploymentSolver(abc.ABC):
     #: nothing.
     supports_warm_start: bool = False
 
+    #: Whether this solver class offers an opt-in best-improvement
+    #: acceptance mode (scanning a whole candidate block and committing
+    #: the best improving move instead of the serial-order first one).
+    #: Registered through :class:`~repro.solvers.registry.SolverSpec` as a
+    #: capability so clients can discover it before configuring a solver.
+    supports_best_improvement: bool = False
+
     def handles_constraints(self, problem: DeploymentProblem) -> bool:
         """Whether this *instance* natively enforces ``problem``'s constraints.
 
@@ -418,17 +442,20 @@ def default_limits(budget: Optional[SearchBudget],
     """Solver-side budget defaulting, aware of the ``workers`` knob.
 
     Replaces the ``budget or default`` idiom: a missing budget becomes
-    ``default`` as before, and a budget carrying *only* ``workers`` (no
-    time / iteration / target limit) adopts ``default``'s limits while
-    keeping the knob — otherwise a session-level ``workers`` default would
+    ``default`` as before, and a budget carrying *only* execution knobs
+    (``workers`` and/or ``peek_block``, no time / iteration / target
+    limit) adopts ``default``'s limits while keeping the knobs —
+    otherwise a session-level ``workers`` or ``peek_block`` default would
     silently disable a solver's default time cap (and purely time-bounded
     searches such as simulated annealing would never stop).  A budget with
     any explicit limit passes through untouched.
     """
     if budget is None:
         return default
-    if budget.workers is not None and not budget.has_limits():
-        return replace(default, workers=budget.workers)
+    if ((budget.workers is not None or budget.peek_block is not None)
+            and not budget.has_limits()):
+        return replace(default, workers=budget.workers,
+                       peek_block=budget.peek_block)
     return budget
 
 

@@ -8,27 +8,55 @@ extension (DESIGN.md, experiment A3).  Moves preserve injectivity:
 * *relocate* — move a node to a currently unused (over-allocated) instance.
 
 Candidate moves are scored through the incremental
-:class:`~repro.core.evaluation.DeltaEvaluator`: a longest-link candidate
-only touches the edges incident to the moved nodes, so proposals cost
-O(degree) instead of a full O(|E|) re-evaluation.  The move-sampling code
-consumes the RNG exactly as the original implementation did, so results are
-reproducible seed for seed across the rewrite.
+:class:`~repro.core.evaluation.DeltaEvaluator`.  The hot loop is *blocked*:
+each pass draws up to ``peek_block`` proposals, scores them in one
+vectorized :meth:`~repro.core.evaluation.DeltaEvaluator.peek_many` batch,
+and then replays the serial bookkeeping over the cached costs — selecting
+the serial-order-first admissible improvement, so trajectories are
+bit-identical seed for seed to the historical per-move loop at any block
+size.  Bit-identity rests on two invariants:
+
+* **Peeks are state-free.**  Every proposal in a block is scored against
+  the same committed assignment, exactly as the serial loop scores each
+  proposal before any of them is applied; the first accepted move ends the
+  block (later peeks would be stale).
+* **The RNG stream is re-synchronised.**  Proposals are drawn through the
+  same sampling functions (preserving the documented draw order), and when
+  a block is cut short — an accepted move, a stall limit, an iteration
+  cap — the generator is rewound to the block's start state and the
+  consumed prefix of proposals is re-drawn, leaving the stream exactly
+  where the serial loop would have left it.  Simulated annealing
+  additionally rewinds before every Metropolis acceptance draw so
+  ``rng.random()`` lands at its serial stream position; since an accepted
+  *or* rejected uphill candidate consumes that draw, annealing's usable
+  lookahead is one scored candidate per block (the block machinery still
+  amortises runs of inadmissible proposals).
+
+:class:`SwapLocalSearch` additionally offers an opt-in *best-improvement*
+acceptance mode (``acceptance="best"``): each block commits the best
+improving candidate instead of the first one.  That mode trades the serial
+trajectory contract for deeper block utilisation and is surfaced as a
+registry capability (``supports_best_improvement``).
 
 On constrained problems the search is natively constraint-aware: it starts
 from a feasible plan (constrained sampling, or the warm start repaired up
-front) and proposes only moves the compiled allowed mask admits — the
-evaluator's mask filtering keeps pinned nodes pinned and forbidden
-placements out of the walk, so the final plan never needs the base-class
-repair.  The unconstrained path consumes the RNG exactly as before.
+front) and proposes only moves the compiled allowed mask admits.  Swap
+partners are drawn directly from the precomputed admissible-partner set
+(no rejection-sampling spin on tightly constrained instances), so the
+constrained walk makes progress whenever any admissible swap exists for
+the drawn node.  The unconstrained path consumes the RNG exactly as
+before.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
+
+import numpy as np
 
 from ..core.deployment import DeploymentPlan
-from ..core.evaluation import DeltaEvaluator
+from ..core.evaluation import DeltaEvaluator, MoveBatch
 from ..core.problem import DeploymentProblem
 from ..core.types import make_rng
 from .base import (
@@ -46,6 +74,13 @@ from .base import (
 #: A proposed move in engine coordinates: ``("swap", node_idx, node_idx)``
 #: or ``("relocate", node_idx, instance_idx)``.
 Move = Tuple[str, int, int]
+
+#: Default number of candidate moves drawn and batch-scored per block by
+#: :class:`SwapLocalSearch` when the budget does not pin ``peek_block``.
+#: Plateau scanning (long runs of rejected proposals) batches perfectly;
+#: accepted moves cut a block short with only a cheap RNG replay, so a
+#: moderate default wins on both phases.
+DEFAULT_PEEK_BLOCK = 32
 
 
 def _propose_move(evaluator: DeltaEvaluator, rng) -> Optional[Move]:
@@ -75,15 +110,33 @@ def _propose_move(evaluator: DeltaEvaluator, rng) -> Optional[Move]:
     return ("swap", int(a), int(b))
 
 
-def _propose_constrained_move(evaluator: DeltaEvaluator, rng,
-                              max_attempts: int = 32) -> Optional[Move]:
+def _admissible_swap_partners(evaluator: DeltaEvaluator,
+                              node: int) -> np.ndarray:
+    """Node indices whose instance swap with ``node`` satisfies the mask.
+
+    One vectorized mask gather instead of per-candidate ``swap_allowed``
+    probes: partner ``c`` qualifies iff ``node`` may sit on ``c``'s
+    instance and ``c`` may sit on ``node``'s.
+    """
+    mask = evaluator.allowed_mask
+    asg = evaluator.assignment
+    ok = mask[node, asg] & mask[:, asg[node]]
+    ok[node] = False
+    return np.flatnonzero(ok)
+
+
+def _propose_constrained_move(evaluator: DeltaEvaluator, rng) -> Optional[Move]:
     """Sample a move the evaluator's allowed mask admits.
 
     Mirrors :func:`_propose_move` but draws relocate targets from the
-    node's *allowed* free instances and rejection-samples swaps against the
-    mask.  Returns ``None`` when no admissible move surfaced within the
-    attempt budget (e.g. every node pinned) — callers treat that as a
-    non-improving proposal.
+    node's *allowed* free instances, and swap partners directly from the
+    precomputed admissible-partner set: the first pair draw is kept (so
+    lightly constrained walks stay cheap), and when it is inadmissible the
+    partner is re-drawn uniformly from the nodes that actually admit a
+    swap with either endpoint — no rejection-sampling spin on tightly
+    constrained instances.  Returns ``None`` only when neither drawn
+    endpoint has any admissible partner at all (e.g. every node pinned) —
+    callers treat that as a non-improving proposal.
     """
     n_nodes = evaluator.problem.num_nodes
     free = evaluator.free_instance_indices()
@@ -97,10 +150,14 @@ def _propose_constrained_move(evaluator: DeltaEvaluator, rng,
             return ("relocate", node, target)
     if n_nodes < 2:
         return None  # no swap population; relocate (above) was the only hope
-    for _ in range(max_attempts):
-        a, b = rng.choice(n_nodes, size=2, replace=False)
-        if evaluator.swap_allowed(int(a), int(b)):
-            return ("swap", int(a), int(b))
+    a, b = rng.choice(n_nodes, size=2, replace=False)
+    if evaluator.swap_allowed(int(a), int(b)):
+        return ("swap", int(a), int(b))
+    for anchor in (int(a), int(b)):
+        partners = _admissible_swap_partners(evaluator, anchor)
+        if partners.size:
+            partner = int(partners[int(rng.integers(partners.size))])
+            return ("swap", anchor, partner)
     return None
 
 
@@ -118,26 +175,85 @@ def _apply_move(evaluator: DeltaEvaluator, move: Move) -> float:
     return evaluator.apply_relocate(first, second)
 
 
+def _draw_proposals(evaluator: DeltaEvaluator, rng, constrained: bool,
+                    count: int) -> List[Optional[Move]]:
+    """Draw ``count`` proposals through the contract-preserving samplers.
+
+    All proposals are drawn against the current committed state (nothing
+    is applied in between), so a rewound generator re-drawing the same
+    prefix reproduces the exact same moves.
+    """
+    propose = _propose_constrained_move if constrained else _propose_move
+    return [propose(evaluator, rng) for _ in range(count)]
+
+
+def _block_costs(evaluator: DeltaEvaluator,
+                 proposals: List[Optional[Move]],
+                 workers: Optional[int | str]) -> List[Optional[float]]:
+    """Scores aligned with ``proposals`` (``None`` rows stay ``None``).
+
+    A single real proposal takes the serial sparse peek (cheaper than a
+    batch-of-one kernel dispatch); larger blocks go through one
+    :meth:`~repro.core.evaluation.DeltaEvaluator.peek_many` call.  Either
+    path returns bit-identical costs.
+    """
+    rows = [k for k, move in enumerate(proposals) if move is not None]
+    costs: List[Optional[float]] = [None] * len(proposals)
+    if not rows:
+        return costs
+    if len(rows) == 1:
+        costs[rows[0]] = _peek_move(evaluator, proposals[rows[0]])
+        return costs
+    batch = MoveBatch.from_moves([proposals[k] for k in rows])
+    for k, cost in zip(rows, evaluator.peek_many(batch, workers=workers)):
+        costs[k] = float(cost)
+    return costs
+
+
+def _resync_rng(rng, snapshot, evaluator: DeltaEvaluator, constrained: bool,
+                consumed: int, drawn: int) -> None:
+    """Rewind ``rng`` to ``snapshot`` and replay ``consumed`` proposals.
+
+    After a block of ``drawn`` proposals is cut short at ``consumed``, the
+    serial loop would have drawn only the consumed prefix; replaying it
+    from the snapshot leaves the stream bit-identical to the serial
+    trajectory.  No-op when the whole block was consumed.
+    """
+    if consumed >= drawn:
+        return
+    rng.bit_generator.state = snapshot
+    _draw_proposals(evaluator, rng, constrained, consumed)
+
+
 class SwapLocalSearch(DeploymentSolver):
-    """First-improvement hill climbing over swap and relocate moves.
+    """Hill climbing over swap and relocate moves, block-scored.
 
     Args:
         restarts: how many random restarts to perform when time allows.
         seed: RNG seed.
         max_moves_without_improvement: stop a descent after this many
             consecutive non-improving proposals.
+        acceptance: ``"first"`` (default) commits the serial-order-first
+            improving move of each block — trajectories bit-identical to
+            the historical per-move loop; ``"best"`` commits the best
+            improving move of each block (opt-in, different trajectories).
     """
 
     name = "local-search"
     supports_constraints = True
     supports_warm_start = True
+    supports_best_improvement = True
 
     def __init__(self, restarts: int = 3, seed: int | None = None,
-                 max_moves_without_improvement: int = 2000):
+                 max_moves_without_improvement: int = 2000,
+                 acceptance: str = "first"):
         if restarts < 1:
             raise ValueError("restarts must be >= 1")
+        if acceptance not in ("first", "best"):
+            raise ValueError("acceptance must be 'first' or 'best'")
         self.restarts = restarts
         self.max_moves_without_improvement = max_moves_without_improvement
+        self.acceptance = acceptance
         self._seed = seed
 
     def _solve(self, problem: DeploymentProblem,
@@ -151,7 +267,9 @@ class SwapLocalSearch(DeploymentSolver):
         engine = self.compiled(graph, costs)
         view = problem.compiled_constraints()
         mask = None if view is None else view.allowed_mask
+        constrained = view is not None
         initial_plan = constrained_warm_start(problem, initial_plan)
+        peek_block = budget.peek_block or DEFAULT_PEEK_BLOCK
 
         best_plan: Optional[DeploymentPlan] = initial_plan
         best_cost = (
@@ -185,20 +303,85 @@ class SwapLocalSearch(DeploymentSolver):
                                                allowed_mask=mask)
 
             stall = 0
-            while stall < self.max_moves_without_improvement and not watch.expired():
-                iterations += 1
-                if view is None:
-                    move = _propose_move(evaluator, rng)
-                else:
-                    move = _propose_constrained_move(evaluator, rng)
-                if move is None:
+            exit_inner = False
+            while (not exit_inner
+                   and stall < self.max_moves_without_improvement
+                   and not watch.expired()):
+                block = peek_block
+                if budget.max_iterations is not None:
+                    block = min(block, budget.max_iterations - iterations)
+                block = max(1, block)
+                snapshot = (rng.bit_generator.state if block > 1 else None)
+                proposals = _draw_proposals(evaluator, rng, constrained, block)
+                costs_block = _block_costs(evaluator, proposals,
+                                           budget.workers)
+
+                if self.acceptance == "best":
+                    # Opt-in best-improvement: every proposal counts one
+                    # iteration, the best improving candidate (serial order
+                    # breaks ties) is committed.  No RNG replay — this mode
+                    # has no serial-trajectory contract to preserve.
+                    iterations += len(proposals)
+                    accept_idx: Optional[int] = None
+                    accept_cost = cost
+                    for j, move in enumerate(proposals):
+                        if move is None:
+                            continue
+                        if costs_block[j] < accept_cost:
+                            accept_idx, accept_cost = j, costs_block[j]
+                    if accept_idx is None:
+                        stall += len(proposals)
+                    else:
+                        move = proposals[accept_idx]
+                        _peek_move(evaluator, move)  # prime the commit memo
+                        _apply_move(evaluator, move)
+                        cost = accept_cost
+                        stall = 0
+                        if cost < best_cost:
+                            best_plan, best_cost = evaluator.plan(), cost
+                            trace.record(watch.elapsed(), cost)
+                            if target_reached():
+                                exit_inner = True
+                    if budget.max_iterations is not None \
+                            and iterations >= budget.max_iterations:
+                        exit_inner = True
+                    continue
+
+                # First-improvement: replay the serial loop's bookkeeping
+                # over the batch costs, stopping at the first accepted move
+                # (later peeks would be stale) or wherever the serial loop
+                # would have stopped; then re-synchronise the RNG stream.
+                accept_idx = None
+                consumed = 0
+                for j, move in enumerate(proposals):
+                    if j > 0 and (
+                            stall >= self.max_moves_without_improvement
+                            or watch.expired()):
+                        break
+                    consumed = j + 1
+                    iterations += 1
+                    if move is None:
+                        stall += 1
+                        if budget.max_iterations is not None \
+                                and iterations >= budget.max_iterations:
+                            exit_inner = True
+                            break
+                        continue
+                    if costs_block[j] < cost:
+                        accept_idx = j
+                        break
                     stall += 1
                     if budget.max_iterations is not None \
                             and iterations >= budget.max_iterations:
+                        exit_inner = True
                         break
-                    continue
-                candidate_cost = _peek_move(evaluator, move)
-                if candidate_cost < cost:
+                if snapshot is not None:
+                    _resync_rng(rng, snapshot, evaluator, constrained,
+                                consumed, len(proposals))
+                if accept_idx is not None:
+                    move = proposals[accept_idx]
+                    candidate_cost = costs_block[accept_idx]
+                    _peek_move(evaluator, move)  # prime the commit memo
                     _apply_move(evaluator, move)
                     cost = candidate_cost
                     stall = 0
@@ -206,11 +389,10 @@ class SwapLocalSearch(DeploymentSolver):
                         best_plan, best_cost = evaluator.plan(), cost
                         trace.record(watch.elapsed(), cost)
                         if target_reached():
-                            break
-                else:
-                    stall += 1
-                if budget.max_iterations is not None and iterations >= budget.max_iterations:
-                    break
+                            exit_inner = True
+                    if budget.max_iterations is not None \
+                            and iterations >= budget.max_iterations:
+                        exit_inner = True
             if cost < best_cost:
                 best_plan, best_cost = evaluator.plan(), cost
                 trace.record(watch.elapsed(), cost)
@@ -233,6 +415,7 @@ class SwapLocalSearch(DeploymentSolver):
             solver_name=self.name, solve_time_s=watch.elapsed(),
             iterations=iterations, optimal=False, trace=trace.as_tuples(),
         )
+
 
 class SimulatedAnnealing(DeploymentSolver):
     """Simulated annealing over the same move set as :class:`SwapLocalSearch`.
@@ -269,7 +452,16 @@ class SimulatedAnnealing(DeploymentSolver):
         engine = self.compiled(graph, costs)
         view = problem.compiled_constraints()
         mask = None if view is None else view.allowed_mask
+        constrained = view is not None
         initial_plan = constrained_warm_start(problem, initial_plan)
+        # Metropolis interleaves an acceptance draw after every scored
+        # candidate, so a pre-drawn block invalidates at the first real
+        # proposal; the usable lookahead is one scored candidate per block
+        # and the serial per-move loop is the fastest bit-identical
+        # schedule.  peek_block > 1 still runs the block machinery (and
+        # stays bit-identical through the rewind/replay), it just cannot
+        # help — see the module docstring.
+        peek_block = budget.peek_block or 1
 
         if initial_plan is not None:
             plan = initial_plan
@@ -287,26 +479,69 @@ class SimulatedAnnealing(DeploymentSolver):
         temperature = self.initial_temperature * max(cost, 1e-9)
         iterations = 0
         no_move_streak = 0
-        while not watch.expired():
+        exit_walk = False
+        while not exit_walk and not watch.expired():
             if budget.max_iterations is not None and iterations >= budget.max_iterations:
                 break
-            iterations += 1
-            if view is None:
-                move = _propose_move(evaluator, rng)
+            block = peek_block
+            if budget.max_iterations is not None:
+                block = min(block, budget.max_iterations - iterations)
+            if block <= 1:
+                # Fast serial path for the default lookahead-1 schedule:
+                # the block machinery's per-iteration list allocations are
+                # measurable in this hot loop, and a 1-wide block buys
+                # nothing.  Same RNG stream and bookkeeping by construction.
+                move = (_propose_constrained_move(evaluator, rng)
+                        if constrained else _propose_move(evaluator, rng))
+                iterations += 1
+                if move is None:
+                    # Heavily constrained walks can run out of admissible
+                    # moves entirely (e.g. every node pinned); stop instead
+                    # of spinning through the remaining wall-clock budget.
+                    no_move_streak += 1
+                    if no_move_streak >= 100:
+                        break
+                    continue
+                no_move_streak = 0
+                candidate_cost = _peek_move(evaluator, move)
+                primed = True  # the serial peek just filled the commit memo
             else:
-                move = _propose_constrained_move(evaluator, rng)
-            if move is None:
-                # Heavily constrained walks can run out of admissible
-                # moves entirely (e.g. every node pinned); stop instead of
-                # spinning through the remaining wall-clock budget.
-                no_move_streak += 1
-                if no_move_streak >= 100:
-                    break
-                continue
-            no_move_streak = 0
-            candidate_cost = _peek_move(evaluator, move)
+                snapshot = rng.bit_generator.state
+                proposals = _draw_proposals(evaluator, rng, constrained, block)
+                costs_block = _block_costs(evaluator, proposals, budget.workers)
+
+                consumed = 0
+                scored: Optional[int] = None
+                for j, move in enumerate(proposals):
+                    if j > 0 and (
+                            watch.expired()
+                            or (budget.max_iterations is not None
+                                and iterations >= budget.max_iterations)):
+                        break
+                    consumed = j + 1
+                    iterations += 1
+                    if move is None:
+                        # See the no-admissible-moves note on the serial
+                        # path above.
+                        no_move_streak += 1
+                        if no_move_streak >= 100:
+                            exit_walk = True
+                            break
+                        continue
+                    no_move_streak = 0
+                    scored = j
+                    break  # the acceptance decision consumes the RNG stream
+                _resync_rng(rng, snapshot, evaluator, constrained,
+                            consumed, len(proposals))
+                if scored is None:
+                    continue
+                move = proposals[scored]
+                candidate_cost = costs_block[scored]
+                primed = False  # batch peeks bypass the serial commit memo
             delta = candidate_cost - cost
             if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-12)):
+                if not primed:
+                    _peek_move(evaluator, move)  # prime the commit memo
                 _apply_move(evaluator, move)
                 cost = candidate_cost
                 temperature *= self.cooling

@@ -1,0 +1,542 @@
+"""Vectorized neighborhood kernels: batch-peek scoring and blocked solvers.
+
+Four contracts are pinned here:
+
+* :meth:`~repro.core.evaluation.DeltaEvaluator.peek_many` returns
+  bit-identical costs to the sequential per-move ``swap_cost`` /
+  ``relocate_cost`` peeks — for both objectives, constrained and
+  unconstrained instances, mid-walk after commits, and through every
+  worker routing (serial kernels, thread pool, process pool);
+* the blocked solver loops are bit-identical seed for seed to the
+  historical per-move loops: the committed golden trajectories in
+  ``tests/data/golden_trajectories.json`` (captured from the pre-batching
+  implementation) must keep reproducing exactly, at any ``peek_block``;
+* :class:`~repro.core.evaluation.MoveBatch` validates like the serial
+  move API (occupied relocate targets, constraint masks, stale cost
+  epochs) and the batch counters surface through ``parallel_stats()`` /
+  ``SessionStats``;
+* the ``peek_block`` knob round-trips through budgets and sessions, and
+  the opt-in best-improvement acceptance mode is registry-visible.
+"""
+
+import json
+import pathlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import AdvisorSession
+from repro.core import (
+    CommunicationGraph,
+    CostMatrix,
+    DeploymentProblem,
+    InvalidDeploymentError,
+    MoveBatch,
+    Objective,
+    PlacementConstraints,
+    SolverError,
+    compile_problem,
+)
+from repro.core.parallel import parallel_stats, reset_parallel_stats
+from repro.solvers import (
+    SearchBudget,
+    SimulatedAnnealing,
+    SwapLocalSearch,
+    default_limits,
+)
+from repro.solvers.local_search import (
+    _propose_constrained_move,
+    _propose_move,
+)
+from repro.solvers.registry import default_registry
+from repro.testing import deterministic_cost_matrix
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "golden_trajectories.json"
+GOLDEN_CASES = json.loads(GOLDEN_PATH.read_text())
+
+GOLDEN_GRAPHS = {
+    "mesh": CommunicationGraph.mesh_2d(3, 3),
+    "tree": CommunicationGraph.aggregation_tree(2, 3),
+}
+GOLDEN_INSTANCES = {"mesh": 12, "tree": 18}
+
+
+def _random_instance(seed, n_lo=4, n_hi=10, extra=3, dag=False):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(n_lo, n_hi + 1))
+    m = n + int(rng.integers(1, extra + 1))
+    matrix = rng.uniform(0.1, 2.0, size=(m, m))
+    np.fill_diagonal(matrix, 0.0)
+    costs = CostMatrix(list(range(m)), matrix)
+    if dag:
+        graph = CommunicationGraph.random_dag(n, 0.4, seed=seed)
+    else:
+        graph = CommunicationGraph.random_graph(n, 0.4, seed=seed)
+    return graph, costs
+
+
+def _random_moves(problem, evaluator, rng, count, constrained=False):
+    """Mixed valid swap/relocate moves against the current assignment."""
+    n, moves = problem.num_nodes, []
+    while len(moves) < count:
+        if n >= 2 and rng.random() < 0.7:
+            a, b = (int(x) for x in rng.choice(n, size=2, replace=False))
+            if constrained and not evaluator.swap_allowed(a, b):
+                continue
+            moves.append(("swap", a, b))
+        else:
+            node = int(rng.integers(n))
+            free = evaluator.free_instance_indices(node=node)
+            if constrained:
+                free = free[evaluator.allowed_mask[node, free]]
+            if not free.size:
+                continue
+            moves.append(("relocate", node,
+                          int(free[int(rng.integers(free.size))])))
+    return moves
+
+
+def _serial_costs(evaluator, moves):
+    out = []
+    for kind, first, second in moves:
+        if kind == "swap":
+            out.append(evaluator.swap_cost(first, second))
+        else:
+            out.append(evaluator.relocate_cost(first, second))
+    return np.asarray(out)
+
+
+# --------------------------------------------------------------------------- #
+# peek_many == sequential per-move peeks, bit for bit
+# --------------------------------------------------------------------------- #
+
+@given(seed=st.integers(0, 5000),
+       objective=st.sampled_from([Objective.LONGEST_LINK,
+                                  Objective.LONGEST_PATH]),
+       count=st.integers(2, 40))
+@settings(max_examples=60, deadline=None)
+def test_peek_many_matches_serial_peeks(seed, objective, count):
+    graph, costs = _random_instance(
+        seed, dag=objective is Objective.LONGEST_PATH)
+    problem = compile_problem(graph, costs)
+    rng = np.random.default_rng(seed + 1)
+    start = problem.random_assignments(1, rng)[0]
+    evaluator = problem.delta_evaluator(start, objective)
+    moves = _random_moves(problem, evaluator, rng, count)
+    got = evaluator.peek_many(MoveBatch.from_moves(moves))
+    assert np.array_equal(got, _serial_costs(evaluator, moves))
+
+
+def _constrained_problem(graph, costs, rng, objective):
+    """A random satisfiable forbidden-set constrained problem."""
+    n, m = graph.num_nodes, costs.num_instances
+    ids = costs.instance_ids
+    allowed = rng.random((n, m)) < 0.8
+    # The injective assignment i -> i keeps the instance feasible.
+    allowed[np.arange(n), np.arange(n)] = True
+    forbidden = {
+        graph.nodes[i]: {ids[j] for j in range(m) if not allowed[i, j]}
+        for i in range(n)
+    }
+    return DeploymentProblem(graph, costs, objective=objective,
+                             constraints=PlacementConstraints(
+                                 forbidden=forbidden))
+
+
+@given(seed=st.integers(0, 3000),
+       objective=st.sampled_from([Objective.LONGEST_LINK,
+                                  Objective.LONGEST_PATH]),
+       count=st.integers(2, 24))
+@settings(max_examples=40, deadline=None)
+def test_peek_many_matches_serial_peeks_constrained(seed, objective, count):
+    graph, costs = _random_instance(
+        seed, n_lo=5, dag=objective is Objective.LONGEST_PATH)
+    rng = np.random.default_rng(seed + 2)
+    problem = _constrained_problem(graph, costs, rng, objective)
+    engine = problem.compiled()
+    view = problem.compiled_constraints()
+    start = view.random_assignments(1, rng)[0]
+    evaluator = engine.delta_evaluator(start, objective,
+                                       allowed_mask=view.allowed_mask)
+    moves = _random_moves(problem, evaluator, rng, count, constrained=True)
+    got = evaluator.peek_many(MoveBatch.from_moves(moves))
+    assert np.array_equal(got, _serial_costs(evaluator, moves))
+
+
+@given(seed=st.integers(0, 2000),
+       objective=st.sampled_from([Objective.LONGEST_LINK,
+                                  Objective.LONGEST_PATH]))
+@settings(max_examples=25, deadline=None)
+def test_peek_many_consistent_after_commits(seed, objective):
+    graph, costs = _random_instance(
+        seed, dag=objective is Objective.LONGEST_PATH)
+    problem = compile_problem(graph, costs)
+    rng = np.random.default_rng(seed + 3)
+    start = problem.random_assignments(1, rng)[0]
+    evaluator = problem.delta_evaluator(start, objective)
+    for _ in range(3):
+        moves = _random_moves(problem, evaluator, rng, 12)
+        got = evaluator.peek_many(MoveBatch.from_moves(moves))
+        assert np.array_equal(got, _serial_costs(evaluator, moves))
+        kind, first, second = moves[int(rng.integers(len(moves)))]
+        if kind == "swap":
+            evaluator.apply_swap(first, second)
+        else:
+            evaluator.apply_relocate(first, second)
+
+
+@given(seed=st.integers(0, 1500),
+       workers=st.integers(1, 3))
+@settings(max_examples=15, deadline=None)
+def test_peek_many_worker_routing_bit_identical(seed, workers):
+    # Large enough that count * num_edges crosses the pool routing cutoff.
+    graph = CommunicationGraph.random_dag(40, 0.15, seed=seed)
+    rng = np.random.default_rng(seed + 4)
+    m = 48
+    matrix = rng.uniform(0.1, 2.0, size=(m, m))
+    np.fill_diagonal(matrix, 0.0)
+    problem = compile_problem(graph, CostMatrix(list(range(m)), matrix))
+    start = problem.random_assignments(1, rng)[0]
+    for objective in (Objective.LONGEST_LINK, Objective.LONGEST_PATH):
+        evaluator = problem.delta_evaluator(start, objective)
+        moves = _random_moves(problem, evaluator, rng, 600)
+        batch = MoveBatch.from_moves(moves)
+        serial = evaluator.peek_many(batch)
+        assert np.array_equal(serial, evaluator.peek_many(batch,
+                                                          workers=workers))
+
+
+def test_peek_many_process_pool_routing_bit_identical():
+    graph = CommunicationGraph.random_dag(40, 0.15, seed=11)
+    rng = np.random.default_rng(12)
+    m = 48
+    matrix = rng.uniform(0.1, 2.0, size=(m, m))
+    np.fill_diagonal(matrix, 0.0)
+    problem = compile_problem(graph, CostMatrix(list(range(m)), matrix))
+    start = problem.random_assignments(1, rng)[0]
+    evaluator = problem.delta_evaluator(start, Objective.LONGEST_PATH)
+    moves = _random_moves(problem, evaluator, rng, 600)
+    batch = MoveBatch.from_moves(moves)
+    serial = evaluator.peek_many(batch)
+    assert np.array_equal(serial, evaluator.peek_many(batch,
+                                                      workers="procs:2"))
+
+
+def test_peek_many_empty_batch():
+    graph, costs = _random_instance(0)
+    problem = compile_problem(graph, costs)
+    evaluator = problem.delta_evaluator(
+        problem.random_assignments(1, 0)[0], Objective.LONGEST_LINK)
+    out = evaluator.peek_many(MoveBatch.from_moves([]))
+    assert out.shape == (0,)
+
+
+# --------------------------------------------------------------------------- #
+# MoveBatch validation mirrors the serial move API
+# --------------------------------------------------------------------------- #
+
+def test_move_batch_rejects_unknown_kind_and_shape():
+    with pytest.raises(InvalidDeploymentError):
+        MoveBatch.from_moves([("teleport", 0, 1)])
+    with pytest.raises(InvalidDeploymentError):
+        MoveBatch(np.zeros((2, 2), dtype=np.uint8),
+                  np.zeros(4, dtype=np.intp), np.zeros(4, dtype=np.intp))
+    with pytest.raises(InvalidDeploymentError):
+        MoveBatch(np.zeros(2, dtype=np.uint8),
+                  np.zeros(3, dtype=np.intp), np.zeros(2, dtype=np.intp))
+
+
+def test_peek_many_rejects_occupied_relocate_target():
+    graph, costs = _random_instance(5)
+    problem = compile_problem(graph, costs)
+    start = problem.random_assignments(1, 5)[0]
+    evaluator = problem.delta_evaluator(start, Objective.LONGEST_LINK)
+    occupied = int(start[1])
+    with pytest.raises(InvalidDeploymentError):
+        evaluator.peek_many(MoveBatch.from_moves(
+            [("relocate", 0, occupied)]))
+    # Relocating a node onto its own instance is a no-op, not a conflict —
+    # same contract as the serial relocate_cost.
+    own = int(start[0])
+    got = evaluator.peek_many(MoveBatch.from_moves([("relocate", 0, own)]))
+    assert np.array_equal(got, [evaluator.relocate_cost(0, own)])
+
+
+def test_peek_many_rejects_mask_violations():
+    graph, costs = _random_instance(7, n_lo=5)
+    n, m = graph.num_nodes, costs.num_instances
+    allowed = np.ones((n, m), dtype=bool)
+    engine = compile_problem(graph, costs)
+    rng = np.random.default_rng(7)
+    start = engine.random_assignments(1, rng)[0]
+    allowed[0, :] = False
+    allowed[0, start[0]] = True  # node 0 pinned to its current instance
+    evaluator = engine.delta_evaluator(start, Objective.LONGEST_LINK,
+                                       allowed_mask=allowed)
+    with pytest.raises(InvalidDeploymentError):
+        evaluator.peek_many(MoveBatch.from_moves([("swap", 0, 1)]))
+
+
+def test_peek_many_stale_after_cost_refresh():
+    graph, costs = _random_instance(9)
+    problem = compile_problem(graph, costs)
+    start = problem.random_assignments(1, 9)[0]
+    evaluator = problem.delta_evaluator(start, Objective.LONGEST_LINK)
+    batch = MoveBatch.from_moves([("swap", 0, 1)])
+    evaluator.peek_many(batch)
+    matrix = costs.as_array() * 1.5
+    problem.refresh_costs(CostMatrix(costs.instance_ids, matrix))
+    with pytest.raises(SolverError):
+        evaluator.peek_many(batch)
+    evaluator.reprime()
+    assert np.array_equal(evaluator.peek_many(batch),
+                          [evaluator.swap_cost(0, 1)])
+
+
+# --------------------------------------------------------------------------- #
+# Golden trajectories: the blocked loops reproduce the pre-batching runs
+# --------------------------------------------------------------------------- #
+
+def _golden_solver(case, **overrides):
+    if case["solver"] == "local-search":
+        return SwapLocalSearch(seed=case["seed"], **overrides)
+    return SimulatedAnnealing(seed=case["seed"], **overrides)
+
+
+def _golden_problem(case):
+    graph = GOLDEN_GRAPHS[case["graph"]]
+    costs = deterministic_cost_matrix(
+        GOLDEN_INSTANCES[case["graph"]], seed=case["seed"] + 3)
+    return DeploymentProblem(graph, costs,
+                             objective=Objective[case["objective"]])
+
+
+@pytest.mark.parametrize("case", GOLDEN_CASES,
+                         ids=lambda c: (f"{c['solver']}-{c['objective']}-"
+                                        f"{c['graph']}-s{c['seed']}"))
+def test_golden_trajectories_bit_identical(case):
+    result = _golden_solver(case).solve(
+        _golden_problem(case),
+        budget=SearchBudget(time_limit_s=30.0, max_iterations=400))
+    assert result.cost == case["cost"]
+    assert result.iterations == case["iterations"]
+    assert [list(kv) for kv in sorted(result.plan.as_dict().items())] \
+        == case["plan"]
+
+
+@pytest.mark.parametrize("peek_block", [1, 5, 64])
+def test_golden_trajectories_stable_across_block_sizes(peek_block):
+    # Every golden case, re-run with an explicit block size: the blocked
+    # loop's rewind/replay keeps the trajectory bit-identical no matter
+    # how much lookahead it buys.
+    for case in GOLDEN_CASES[::3]:
+        result = _golden_solver(case).solve(
+            _golden_problem(case),
+            budget=SearchBudget(time_limit_s=30.0, max_iterations=400,
+                                peek_block=peek_block))
+        assert result.cost == case["cost"], case
+        assert result.iterations == case["iterations"], case
+        assert [list(kv) for kv in sorted(result.plan.as_dict().items())] \
+            == case["plan"], case
+
+
+@given(seed=st.integers(0, 400), peek_block=st.integers(1, 48))
+@settings(max_examples=20, deadline=None)
+def test_constrained_trajectory_stable_across_block_sizes(seed, peek_block):
+    graph = CommunicationGraph.mesh_2d(3, 3)
+    costs = deterministic_cost_matrix(12, seed=seed)
+    rng = np.random.default_rng(seed)
+    problem = _constrained_problem(graph, costs, rng,
+                                   Objective.LONGEST_LINK)
+    budget = SearchBudget(time_limit_s=30.0, max_iterations=150,
+                          peek_block=peek_block)
+    baseline = SwapLocalSearch(seed=seed).solve(
+        problem, budget=SearchBudget(time_limit_s=30.0, max_iterations=150))
+    blocked = SwapLocalSearch(seed=seed).solve(problem, budget=budget)
+    assert blocked.cost == baseline.cost
+    assert blocked.iterations == baseline.iterations
+    assert blocked.plan.as_dict() == baseline.plan.as_dict()
+
+
+# --------------------------------------------------------------------------- #
+# Constrained proposal sampling: direct draw, no rejection spin
+# --------------------------------------------------------------------------- #
+
+def test_constrained_proposal_terminates_when_everything_pinned():
+    graph, costs = _random_instance(3, n_lo=5)
+    n, m = graph.num_nodes, costs.num_instances
+    engine = compile_problem(graph, costs)
+    start = engine.random_assignments(1, 3)[0]
+    allowed = np.zeros((n, m), dtype=bool)
+    allowed[np.arange(n), start[:n]] = True  # every node pinned in place
+    evaluator = engine.delta_evaluator(start, Objective.LONGEST_LINK,
+                                       allowed_mask=allowed)
+    rng = np.random.default_rng(0)
+    assert all(_propose_constrained_move(evaluator, rng) is None
+               for _ in range(50))
+
+
+def test_constrained_proposal_finds_the_only_admissible_swap():
+    # Nodes 0 and 1 may sit on each other's instances; everything else is
+    # pinned.  The direct draw must surface the unique admissible swap for
+    # any draw that touches it — the old rejection sampler only found it
+    # when both endpoints came up together.
+    graph, costs = _random_instance(13, n_lo=6)
+    n, m = graph.num_nodes, costs.num_instances
+    engine = compile_problem(graph, costs)
+    start = engine.random_assignments(1, 13)[0]
+    allowed = np.zeros((n, m), dtype=bool)
+    allowed[np.arange(n), start[:n]] = True
+    allowed[0, start[1]] = True
+    allowed[1, start[0]] = True
+    evaluator = engine.delta_evaluator(start, Objective.LONGEST_LINK,
+                                       allowed_mask=allowed)
+    rng = np.random.default_rng(1)
+    seen = set()
+    for _ in range(40):
+        move = _propose_constrained_move(evaluator, rng)
+        if move is not None:
+            assert move[0] == "swap" and {move[1], move[2]} == {0, 1}
+            seen.add(move[0])
+    assert "swap" in seen
+
+
+def test_unconstrained_proposal_rng_contract_unchanged():
+    # The unconstrained sampler must keep its documented draw order; this
+    # pins the exact proposal sequence for a fixed seed.
+    graph, costs = _random_instance(21, n_lo=6)
+    problem = compile_problem(graph, costs)
+    start = problem.random_assignments(1, 21)[0]
+    evaluator = problem.delta_evaluator(start, Objective.LONGEST_LINK)
+    first = [_propose_move(evaluator, np.random.default_rng(42))
+             for _ in range(1)][0]
+    again = _propose_move(evaluator, np.random.default_rng(42))
+    assert first == again
+
+
+# --------------------------------------------------------------------------- #
+# Best-improvement acceptance mode
+# --------------------------------------------------------------------------- #
+
+def test_best_improvement_mode_validates_and_runs():
+    with pytest.raises(ValueError):
+        SwapLocalSearch(acceptance="steepest")
+    graph = CommunicationGraph.mesh_2d(3, 3)
+    costs = deterministic_cost_matrix(12, seed=4)
+    problem = DeploymentProblem(graph, costs,
+                                objective=Objective.LONGEST_LINK)
+    budget = SearchBudget(time_limit_s=30.0, max_iterations=300)
+    result = SwapLocalSearch(seed=4, acceptance="best").solve(
+        problem, budget=budget)
+    assert result.iterations == 300
+    # Never worse than the start the first-improvement run also gets, and
+    # a valid plan either way.
+    assert result.plan is not None
+    assert result.cost == pytest.approx(
+        problem.evaluate(result.plan), abs=0.0)
+
+
+def test_best_improvement_respects_iteration_budget():
+    graph = CommunicationGraph.mesh_2d(3, 3)
+    costs = deterministic_cost_matrix(12, seed=6)
+    problem = DeploymentProblem(graph, costs,
+                                objective=Objective.LONGEST_LINK)
+    result = SwapLocalSearch(seed=6, acceptance="best").solve(
+        problem,
+        budget=SearchBudget(time_limit_s=30.0, max_iterations=70,
+                            peek_block=32))
+    assert result.iterations <= 70 + 31  # at most one trailing block
+
+
+def test_best_improvement_is_registry_visible():
+    spec = default_registry.spec("local-search")
+    assert spec.supports_best_improvement
+    assert spec.describe()["supports_best_improvement"] is True
+    assert not default_registry.spec("annealing").supports_best_improvement
+    assert "local-search" in default_registry.supporting(
+        Objective.LONGEST_LINK, best_improvement=True)
+    assert "annealing" not in default_registry.supporting(
+        Objective.LONGEST_LINK, best_improvement=True)
+    solver = default_registry.spec("local-search").make(acceptance="best")
+    assert solver.acceptance == "best"
+
+
+# --------------------------------------------------------------------------- #
+# peek_block knob: validation, JSON round-trip, session folding
+# --------------------------------------------------------------------------- #
+
+def test_peek_block_validation_and_round_trip():
+    budget = SearchBudget(time_limit_s=1.0, peek_block=16)
+    assert SearchBudget.from_dict(budget.to_dict()) == budget
+    assert SearchBudget.from_dict(
+        SearchBudget(time_limit_s=1.0).to_dict()).peek_block is None
+    for bad in (0, -3, True, 2.5):
+        with pytest.raises(SolverError):
+            SearchBudget(time_limit_s=1.0, peek_block=bad)
+
+
+def test_peek_block_only_budget_adopts_default_limits():
+    default = SearchBudget.seconds(2.0)
+    adopted = default_limits(SearchBudget(peek_block=8), default)
+    assert adopted.time_limit_s == 2.0
+    assert adopted.peek_block == 8
+    both = default_limits(SearchBudget(workers=2, peek_block=8), default)
+    assert both.workers == 2 and both.peek_block == 8
+
+
+def test_session_peek_block_folds_into_budgets():
+    with pytest.raises(ValueError):
+        AdvisorSession(peek_block=0)
+    session = AdvisorSession(peek_block=16, eval_workers=2)
+    folded = session._effective_budget(None)
+    assert folded.peek_block == 16 and folded.workers == 2
+    folded = session._effective_budget(SearchBudget(time_limit_s=1.0))
+    assert folded.peek_block == 16 and folded.time_limit_s == 1.0
+    explicit = session._effective_budget(
+        SearchBudget(time_limit_s=1.0, peek_block=4))
+    assert explicit.peek_block == 4  # the request's own knob wins
+    assert AdvisorSession()._effective_budget(None) is None
+
+
+# --------------------------------------------------------------------------- #
+# Telemetry: batch-peek counters flow to parallel stats and sessions
+# --------------------------------------------------------------------------- #
+
+def test_batch_peek_counters_surface_in_parallel_stats():
+    reset_parallel_stats()
+    graph, costs = _random_instance(17)
+    problem = compile_problem(graph, costs)
+    start = problem.random_assignments(1, 17)[0]
+    evaluator = problem.delta_evaluator(start, Objective.LONGEST_LINK)
+    rng = np.random.default_rng(18)
+    moves = _random_moves(problem, evaluator, rng, 12)
+    evaluator.peek_many(MoveBatch.from_moves(moves))
+    stats = parallel_stats()
+    assert stats.batch_peek_calls >= 1
+    assert stats.batch_peeked_moves >= 12
+    payload = stats.to_dict()
+    for key in ("delta_peeks", "delta_commits", "batch_peek_calls",
+                "batch_peeked_moves"):
+        assert key in payload
+    reset_parallel_stats()
+    assert parallel_stats().batch_peek_calls == 0
+
+
+def test_batch_peek_counters_reach_session_stats():
+    reset_parallel_stats()
+    graph = CommunicationGraph.mesh_2d(3, 3)
+    costs = deterministic_cost_matrix(12, seed=8)
+    problem = DeploymentProblem(graph, costs,
+                                objective=Objective.LONGEST_LINK)
+    session = AdvisorSession()
+    from repro.api import SolveRequest
+    session.solve(SolveRequest(
+        problem=problem, solver="local-search",
+        config={"seed": 8},
+        budget=SearchBudget(time_limit_s=30.0, max_iterations=300)))
+    payload = session.stats.to_dict()["parallel"]
+    assert payload["batch_peek_calls"] > 0
+    assert payload["batch_peeked_moves"] >= payload["batch_peek_calls"]
+    assert payload["delta_peeks"] > 0

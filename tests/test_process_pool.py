@@ -258,7 +258,8 @@ class TestSessionAndTelemetry:
             "thread_pool_size", "process_parallel_calls",
             "process_serial_calls", "process_fallback_calls",
             "process_pool_size", "shm_attaches", "shm_refreshes",
-            "pool_recoveries",
+            "pool_recoveries", "delta_peeks", "delta_commits",
+            "batch_peek_calls", "batch_peeked_moves",
         }
 
     def test_reset_zeroes_both_backends(self):
